@@ -1,0 +1,26 @@
+//! # pmcs-baselines
+//!
+//! The two baselines the paper compares against (Section VII):
+//!
+//! * [`nps`] — classical **non-preemptive fixed-priority scheduling**
+//!   (reference \[16\] of the paper): memory phases are serialized on the
+//!   CPU (`C'_i = l_i + C_i + u_i`), no DMA parallelism; response times via
+//!   the standard level-i active-period analysis with arrival curves.
+//! * [`wp`] — the DMA co-scheduling protocol of **Wasly & Pellizzoni**
+//!   (reference \[3\]): memory phases hidden by the DMA, but every task can
+//!   be blocked by up to *two* lower-priority scheduling intervals. Two
+//!   analysis flavors are provided: the closed-form interval-counting
+//!   bound reconstructed from the characterization in Section III-A
+//!   ([`wp::WpAnalysis`]), and the paper's own MILP run with all tasks
+//!   NLS ([`wp::wp_milp_analysis`]), which the paper notes is itself an
+//!   improved analysis of \[3\].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod nps;
+pub mod wp;
+
+pub use nps::{NpsAnalysis, NpsTaskResult};
+pub use wp::{wp_milp_analysis, WpAnalysis, WpTaskResult};

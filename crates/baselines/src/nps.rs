@@ -1,0 +1,308 @@
+//! Classical non-preemptive fixed-priority response-time analysis.
+//!
+//! Under NPS the three phases are serialized on the CPU: each job demands
+//! `C'_i = l_i + C_i + u_i` and runs to completion once started. The
+//! analysis is the standard level-i active-period formulation for
+//! non-preemptive fixed priorities, generalized to arrival curves:
+//!
+//! * blocking `B_i = max_{j ∈ lp(i)} (C'_j − 1)` (a lower-priority job must
+//!   have *started* strictly before the critical instant);
+//! * level-i active period
+//!   `L_i = B_i + Σ_{j ∈ hp(i) ∪ {i}} η⁺_j(L_i) · C'_j`;
+//! * for every job `q` of `τ_i` in the active period, start time
+//!   `s_q = B_i + (q−1)·C'_i + Σ_{j ∈ hp(i)} η⁺_j(s_q) · C'_j` and
+//!   response `R_q = s_q + C'_i − r_q`, where `r_q` is the earliest
+//!   possible release of the `q`-th job (the curve's pseudo-inverse);
+//! * `R_i = max_q R_q`.
+//!
+//! `η⁺` counts releases in a closed window (a higher-priority job released
+//! exactly at the start instant still wins the processor).
+
+use pmcs_model::{ArrivalBound, TaskId, TaskSet, Time};
+
+/// Per-task NPS analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpsTaskResult {
+    /// The analyzed task.
+    pub task: TaskId,
+    /// WCRT bound (saturated to [`Time::MAX`] on divergence).
+    pub wcrt: Time,
+    /// `wcrt ≤ D_i`.
+    pub schedulable: bool,
+    /// Jobs examined in the level-i active period.
+    pub jobs_checked: u64,
+}
+
+/// Non-preemptive fixed-priority analysis (reference \[16\] of the paper).
+///
+/// Two interference-counting conventions are provided:
+///
+/// * **Classical critical-instant** (default): higher-priority jobs
+///   released in the closed window `[0, s]` interfere — the textbook
+///   level-i active-period analysis. The tightest baseline.
+/// * **Release-anchored with carry** ([`NpsAnalysis::with_carry`]): each
+///   higher-priority task contributes `η_j(s) + 1` jobs, mirroring the
+///   convention of the paper's own analysis (Theorem 1). Use this variant
+///   for apples-to-apples comparisons against the proposed protocol and
+///   WP — all three then charge carry-in identically, as the paper's
+///   evaluation implicitly does.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_baselines::NpsAnalysis;
+/// use pmcs_core::window::test_task;
+/// use pmcs_model::{TaskId, TaskSet};
+///
+/// let set = TaskSet::new(vec![
+///     test_task(0, 10, 2, 2, 100, 0, false),
+///     test_task(1, 20, 4, 4, 200, 1, false),
+/// ]).unwrap();
+/// let r = NpsAnalysis::default().analyze(&set);
+/// assert!(r.iter().all(|t| t.schedulable));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NpsAnalysis {
+    /// Iteration cap for the fixed points (safety net).
+    pub max_iterations: usize,
+    /// Charge `η_j + 1` interfering jobs per higher-priority task
+    /// (the paper's carry-in convention) instead of the classical
+    /// closed-window count.
+    pub carry_in: bool,
+}
+
+impl Default for NpsAnalysis {
+    fn default() -> Self {
+        NpsAnalysis {
+            max_iterations: 10_000,
+            carry_in: false,
+        }
+    }
+}
+
+impl NpsAnalysis {
+    /// Creates an analysis with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an analysis using the paper's carry-in convention
+    /// (`η_j + 1` interfering jobs per higher-priority task).
+    pub fn with_carry() -> Self {
+        NpsAnalysis {
+            carry_in: true,
+            ..Self::default()
+        }
+    }
+
+    /// Interfering job count of `task` in a window of length `w`.
+    fn interference_count(&self, task: &pmcs_model::Task, w: Time) -> u64 {
+        if self.carry_in {
+            task.arrival().eta(w) + 1
+        } else {
+            task.arrival().eta_closed(w)
+        }
+    }
+
+    /// Analyzes every task; results are in decreasing priority order.
+    pub fn analyze(&self, set: &TaskSet) -> Vec<NpsTaskResult> {
+        set.iter().map(|t| self.analyze_task(set, t.id())).collect()
+    }
+
+    /// `true` iff all tasks meet their deadlines.
+    pub fn is_schedulable(&self, set: &TaskSet) -> bool {
+        set.iter().all(|t| {
+            let r = self.analyze_task(set, t.id());
+            r.schedulable
+        })
+    }
+
+    /// Analyzes one task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the set.
+    pub fn analyze_task(&self, set: &TaskSet, id: TaskId) -> NpsTaskResult {
+        let task = set.require(id).expect("task must belong to the set");
+        let c_own = task.wcet_serialized();
+        let deadline = task.deadline();
+
+        let blocking = set
+            .lower_priority(id)
+            .map(|j| j.wcet_serialized() - Time::TICK)
+            .fold(Time::ZERO, Time::max);
+
+        // --- Level-i active period -----------------------------------
+        let hp: Vec<_> = set.higher_priority(id).collect();
+        let mut period_len = blocking + c_own;
+        let mut diverged = true;
+        for _ in 0..self.max_iterations {
+            let mut next = blocking
+                + c_own * (task.arrival().eta_closed(period_len) as i64);
+            for j in &hp {
+                next += j.wcet_serialized() * (self.interference_count(j, period_len) as i64);
+            }
+            if next <= period_len {
+                diverged = false;
+                break;
+            }
+            period_len = next;
+            if period_len > deadline * 64 + Time::from_secs(10) {
+                // Hopeless overload; treat as divergence.
+                break;
+            }
+        }
+        if diverged {
+            return NpsTaskResult {
+                task: id,
+                wcrt: Time::MAX,
+                schedulable: false,
+                jobs_checked: 0,
+            };
+        }
+
+        // --- Per-job start times --------------------------------------
+        let num_jobs = task.arrival().eta_closed(period_len).max(1);
+        let mut wcrt = Time::ZERO;
+        for q in 1..=num_jobs {
+            let release = task.arrival().min_distance(q);
+            let mut start = blocking + c_own * ((q - 1) as i64);
+            let mut converged = false;
+            for _ in 0..self.max_iterations {
+                let mut next = blocking + c_own * ((q - 1) as i64);
+                for j in &hp {
+                    next += j.wcet_serialized() * (self.interference_count(j, start) as i64);
+                }
+                if next <= start {
+                    converged = true;
+                    break;
+                }
+                start = next;
+            }
+            if !converged {
+                return NpsTaskResult {
+                    task: id,
+                    wcrt: Time::MAX,
+                    schedulable: false,
+                    jobs_checked: q,
+                };
+            }
+            let response = start + c_own - release;
+            wcrt = wcrt.max(response);
+            // Early exit: if already past the deadline, the verdict is
+            // settled.
+            if wcrt > deadline {
+                return NpsTaskResult {
+                    task: id,
+                    wcrt,
+                    schedulable: false,
+                    jobs_checked: q,
+                };
+            }
+        }
+        NpsTaskResult {
+            task: id,
+            wcrt,
+            schedulable: wcrt <= deadline,
+            jobs_checked: num_jobs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcs_core::window::test_task;
+
+    #[test]
+    fn single_task_response_is_serialized_wcet() {
+        let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, false)]).unwrap();
+        let r = NpsAnalysis::default().analyze_task(&set, TaskId(0));
+        assert_eq!(r.wcrt, Time::from_ticks(15));
+        assert!(r.schedulable);
+    }
+
+    #[test]
+    fn highest_priority_task_suffers_blocking_only() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 0, 0, 100, 0, false),
+            test_task(1, 50, 0, 0, 1_000, 1, false),
+        ])
+        .unwrap();
+        let r = NpsAnalysis::default().analyze_task(&set, TaskId(0));
+        // B = 50 - 1 = 49; R = 49 + 10 = 59.
+        assert_eq!(r.wcrt, Time::from_ticks(59));
+    }
+
+    #[test]
+    fn lower_priority_task_suffers_interference() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 0, 0, 100, 0, false),
+            test_task(1, 50, 0, 0, 1_000, 1, false),
+        ])
+        .unwrap();
+        let r = NpsAnalysis::default().analyze_task(&set, TaskId(1));
+        // s = Σ η⁺(s)·10: s=10 → η⁺(10)=1... iterate: start=50? Let's
+        // bound: one hp job fits before the 50-long job starts (start=10,
+        // η⁺(10) = 1 → 10 ✓ fixed point). R = 10 + 50 = 60.
+        assert_eq!(r.wcrt, Time::from_ticks(60));
+        assert!(r.schedulable);
+    }
+
+    #[test]
+    fn memory_phases_count_toward_demand() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 5, 5, 100, 0, false),
+            test_task(1, 20, 10, 10, 400, 1, false),
+        ])
+        .unwrap();
+        let r = NpsAnalysis::default().analyze_task(&set, TaskId(1));
+        // hp C' = 20; own C' = 40. start: B=0; s = 20 (one hp job),
+        // η⁺(20) = 1 → stable. R = 20 + 40 = 60.
+        assert_eq!(r.wcrt, Time::from_ticks(60));
+    }
+
+    #[test]
+    fn overload_is_flagged_unschedulable() {
+        let set = TaskSet::new(vec![
+            test_task(0, 60, 0, 0, 100, 0, false),
+            test_task(1, 60, 0, 0, 100, 1, false),
+        ])
+        .unwrap();
+        let r = NpsAnalysis::default().analyze_task(&set, TaskId(1));
+        assert!(!r.schedulable);
+    }
+
+    #[test]
+    fn multi_job_active_period_is_examined() {
+        // High hp load keeps the level-i active period running across
+        // several of τ_1's releases; all of them must be analyzed.
+        let set = TaskSet::new(vec![
+            test_task(0, 30, 0, 0, 60, 0, false),
+            test_task(1, 20, 0, 0, 50, 1, false),
+        ])
+        .unwrap();
+        let r = NpsAnalysis::default().analyze_task(&set, TaskId(1));
+        assert!(
+            r.jobs_checked >= 2,
+            "active period should span several jobs, got {}",
+            r.jobs_checked
+        );
+        // q=1: s = 30 (one hp job), R = 50 — exactly the deadline.
+        assert_eq!(r.wcrt, Time::from_ticks(50));
+        assert!(r.schedulable);
+    }
+
+    #[test]
+    fn analyze_returns_priority_order() {
+        let set = TaskSet::new(vec![
+            test_task(5, 10, 0, 0, 100, 2, false),
+            test_task(7, 10, 0, 0, 100, 0, false),
+        ])
+        .unwrap();
+        let rs = NpsAnalysis::default().analyze(&set);
+        assert_eq!(rs[0].task, TaskId(7));
+        assert_eq!(rs[1].task, TaskId(5));
+        assert!(NpsAnalysis::default().is_schedulable(&set));
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the schedulability analyses — the runtime
+//! measurements the paper reports in prose ("hundreds of seconds …
+//! about one hour" per task set with CPLEX; our specialized engine is
+//! orders of magnitude faster).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pmcs_baselines::{NpsAnalysis, WpAnalysis};
+use pmcs_core::{analyze_task_set, ExactEngine};
+use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
+
+fn bench_greedy_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_ls_analysis");
+    group.sample_size(10);
+    for n in [3usize, 4, 6] {
+        let cfg = TaskSetConfig {
+            n,
+            utilization: 0.3,
+            gamma: 0.3,
+            beta: 0.4,
+            ..TaskSetConfig::default()
+        };
+        let mut generator = TaskSetGenerator::new(cfg, 7);
+        let set = generator.generate();
+        let engine = ExactEngine::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| analyze_task_set(set, &engine).unwrap().schedulable());
+        });
+    }
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let cfg = TaskSetConfig {
+        n: 6,
+        utilization: 0.4,
+        gamma: 0.3,
+        beta: 0.4,
+        ..TaskSetConfig::default()
+    };
+    let set = TaskSetGenerator::new(cfg, 11).generate();
+    c.bench_function("wp_closed_form", |b| {
+        b.iter(|| WpAnalysis::default().is_schedulable(&set));
+    });
+    c.bench_function("nps_classical", |b| {
+        b.iter(|| NpsAnalysis::default().is_schedulable(&set));
+    });
+    c.bench_function("nps_carry", |b| {
+        b.iter(|| NpsAnalysis::with_carry().is_schedulable(&set));
+    });
+}
+
+criterion_group!(benches, bench_greedy_analysis, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! One Criterion benchmark per figure-regeneration unit: the cost of one
+//! sweep point of each Figure 2 inset (3-set micro version — the real
+//! figures use the `fig2` binary) and of the Figure 1 simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pmcs_bench::{fig1_task_set, fig2_inset, sweep, Fig2Inset};
+use pmcs_model::Time;
+use pmcs_sim::{simulate, Policy, ReleasePlan};
+
+fn bench_fig2_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_point");
+    group.sample_size(10);
+    for inset in [Fig2Inset::A, Fig2Inset::B, Fig2Inset::C, Fig2Inset::E, Fig2Inset::F] {
+        let points = fig2_inset(inset);
+        // A representative mid-sweep point.
+        let mid = points[points.len() / 2].clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(inset.letter()),
+            &mid,
+            |b, point| {
+                b.iter(|| sweep(std::slice::from_ref(point), 3, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let (set, releases) = fig1_task_set();
+    let plan = ReleasePlan::from_pairs(releases);
+    for (policy, name) in [
+        (Policy::Proposed, "fig1_proposed"),
+        (Policy::WaslyPellizzoni, "fig1_wp"),
+        (Policy::Nps, "fig1_nps"),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| simulate(&set, &plan, policy, Time::from_ticks(100)));
+        });
+    }
+}
+
+criterion_group!(benches, bench_fig2_points, bench_fig1);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the discrete-event simulator: events per
+//! second under each policy on a second-long horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pmcs_model::Time;
+use pmcs_sim::{simulate, Policy, ReleasePlan};
+use pmcs_workload::{random_sporadic_plan, TaskSetConfig, TaskSetGenerator};
+
+fn bench_policies(c: &mut Criterion) {
+    let cfg = TaskSetConfig {
+        n: 6,
+        utilization: 0.4,
+        gamma: 0.3,
+        beta: 0.8,
+        ..TaskSetConfig::default()
+    };
+    let set = TaskSetGenerator::new(cfg, 3).generate();
+    let horizon = Time::from_secs(1);
+    let plan = random_sporadic_plan(&set, horizon, 0.2, 9);
+    let mut group = c.benchmark_group("simulate_1s");
+    for (policy, name) in [
+        (Policy::Proposed, "proposed"),
+        (Policy::WaslyPellizzoni, "wp"),
+        (Policy::Nps, "nps"),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &p| {
+            b.iter(|| simulate(&set, &plan, p, horizon));
+        });
+    }
+    group.finish();
+}
+
+fn bench_periodic_plan(c: &mut Criterion) {
+    let cfg = TaskSetConfig {
+        n: 8,
+        utilization: 0.5,
+        gamma: 0.3,
+        beta: 1.0,
+        ..TaskSetConfig::default()
+    };
+    let set = TaskSetGenerator::new(cfg, 5).generate();
+    let horizon = Time::from_secs(1);
+    c.bench_function("periodic_plan_build", |b| {
+        b.iter(|| ReleasePlan::periodic(&set, horizon));
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_periodic_plan);
+criterion_main!(benches);

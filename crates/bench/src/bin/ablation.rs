@@ -1,0 +1,84 @@
+//! Ablation study: where does the proposed approach's schedulability gain
+//! come from?
+//!
+//! The paper (Section VIII) notes its formulation doubles as an improved
+//! analysis of \[3\] when no task is latency-sensitive. This binary
+//! decomposes the gap between the WP baseline and the full proposed
+//! approach into:
+//!
+//! 1. **analysis tightening** — WP closed form → all-NLS MILP/engine
+//!    (same protocol, sharper math);
+//! 2. **LS support** — all-NLS → greedy LS marking (the protocol change:
+//!    rules R3–R5).
+//!
+//! Usage: `cargo run --release -p pmcs-bench --bin ablation -- [--sets N]`
+
+use pmcs_baselines::{wp_milp_analysis, WpAnalysis};
+use pmcs_core::schedulability::analyze_fixed_marking;
+use pmcs_core::{analyze_task_set, ExactEngine};
+use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
+
+fn main() {
+    let mut sets = 50usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--sets" {
+            sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N");
+        }
+    }
+    let engine = ExactEngine::default();
+
+    println!(
+        "{:>5} | {:>10} {:>12} {:>12} | {:>10} {:>10}",
+        "U", "wp-closed", "all-NLS", "greedy-LS", "Δ analysis", "Δ LS"
+    );
+    for step in 2..=9 {
+        let u = step as f64 * 0.05;
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 6,
+                utilization: u,
+                gamma: 0.3,
+                beta: 0.4,
+                ..TaskSetConfig::default()
+            },
+            0xAB1A ^ step,
+        );
+        let (mut closed, mut all_nls, mut greedy) = (0usize, 0usize, 0usize);
+        for _ in 0..sets {
+            let set = generator.generate();
+            closed += usize::from(WpAnalysis::default().is_schedulable(&set));
+            all_nls += usize::from(
+                wp_milp_analysis(&set, &engine)
+                    .expect("analysis")
+                    .schedulable(),
+            );
+            // Identical to analyze_task_set when all-NLS already passes;
+            // the greedy adds LS promotions on top.
+            greedy += usize::from(analyze_task_set(&set, &engine).expect("analysis").schedulable());
+            // analyze_fixed_marking is exercised in tests; keep the import
+            // honest here by using it for the sanity check below.
+            debug_assert!(
+                analyze_fixed_marking(&set.all_nls(), &engine)
+                    .map(|r| r.schedulable())
+                    .unwrap_or(false)
+                    == wp_milp_analysis(&set, &engine)
+                        .map(|r| r.schedulable())
+                        .unwrap_or(false)
+            );
+        }
+        let r = |v: usize| v as f64 / sets as f64;
+        println!(
+            "{u:>5.2} | {:>10.2} {:>12.2} {:>12.2} | {:>+10.2} {:>+10.2}",
+            r(closed),
+            r(all_nls),
+            r(greedy),
+            r(all_nls) - r(closed),
+            r(greedy) - r(all_nls),
+        );
+    }
+    println!(
+        "\nΔ analysis = all-NLS formulation vs WP closed form (same protocol);\n\
+         Δ LS       = greedy latency-sensitive marking on top (rules R3-R5)."
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerates one inset of Figure 2 (schedulability-ratio comparison).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p pmcs-bench --bin fig2 -- <a|b|c|d|e|f|all> [--sets N] [--seed S]
+//! ```
+//!
+//! Results are printed as a table plus an ASCII chart and written to
+//! `target/experiments/fig2<inset>.csv`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use pmcs_bench::report::text_table;
+use pmcs_bench::{ascii_chart, fig2_inset, sweep, write_csv, Fig2Inset};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut insets: Vec<Fig2Inset> = Vec::new();
+    let mut sets_per_point = 100usize;
+    let mut seed = 0xDAC2020u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--sets" => {
+                sets_per_point = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--sets needs a number");
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "all" => insets.extend(Fig2Inset::ALL),
+            other => match Fig2Inset::parse(other) {
+                Some(i) => insets.push(i),
+                None => {
+                    eprintln!("unknown inset '{other}'; use a..f or 'all'");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    if insets.is_empty() {
+        insets.extend(Fig2Inset::ALL);
+    }
+
+    for inset in insets {
+        let started = Instant::now();
+        let points = fig2_inset(inset);
+        println!(
+            "=== Figure 2({}) — {} [{} sets/point, seed {seed}] ===",
+            inset.letter(),
+            inset.description(),
+            sets_per_point,
+        );
+        let rows = sweep(&points, sets_per_point, seed);
+        println!("{}", text_table(&rows, inset.x_label()));
+        println!("{}", ascii_chart(&rows, inset.x_label()));
+        let path = PathBuf::from(format!("target/experiments/fig2{}.csv", inset.letter()));
+        write_csv(&path, inset.x_label(), &rows).expect("write csv");
+        println!(
+            "wrote {} ({:.1}s)\n",
+            path.display(),
+            started.elapsed().as_secs_f64()
+        );
+    }
+}

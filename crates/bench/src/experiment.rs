@@ -1,0 +1,160 @@
+//! Schedulability-ratio sweeps (the machinery behind Figure 2).
+
+use std::fmt;
+
+use pmcs_baselines::{NpsAnalysis, WpAnalysis};
+use pmcs_core::{analyze_task_set, ExactEngine};
+use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
+
+/// The approaches compared in the paper's evaluation (plus the classical
+/// NPS convention for reference).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// The paper's protocol with greedy LS marking, analyzed with the
+    /// exact engine.
+    Proposed,
+    /// Wasly-Pellizzoni \[3\], closed-form interval analysis.
+    WaslyPellizzoni,
+    /// Non-preemptive scheduling, carry-in convention matching the
+    /// paper's analyses.
+    Nps,
+    /// Non-preemptive scheduling, classical critical-instant analysis
+    /// (tighter than the paper's convention; reported for reference).
+    NpsClassic,
+}
+
+impl Approach {
+    /// All approaches, in reporting order.
+    pub const ALL: [Approach; 4] = [
+        Approach::Proposed,
+        Approach::WaslyPellizzoni,
+        Approach::Nps,
+        Approach::NpsClassic,
+    ];
+
+    /// Short column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Approach::Proposed => "proposed",
+            Approach::WaslyPellizzoni => "wp",
+            Approach::Nps => "nps",
+            Approach::NpsClassic => "nps-classic",
+        }
+    }
+}
+
+impl fmt::Display for Approach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One x-axis point of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// X value (utilization, γ, or β depending on the figure).
+    pub x: f64,
+    /// Generator configuration for this point.
+    pub config: TaskSetConfig,
+}
+
+/// Measured schedulability ratios at one sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// X value of the point.
+    pub x: f64,
+    /// Schedulable fraction per approach (ordered as [`Approach::ALL`]).
+    pub ratios: [f64; 4],
+    /// Task sets evaluated.
+    pub sets: usize,
+}
+
+impl SweepRow {
+    /// Ratio for one approach.
+    pub fn ratio(&self, a: Approach) -> f64 {
+        let idx = Approach::ALL.iter().position(|&x| x == a).expect("known");
+        self.ratios[idx]
+    }
+}
+
+/// Evaluates one task set under every approach; returns schedulability
+/// flags ordered as [`Approach::ALL`].
+pub fn evaluate_set(set: &pmcs_model::TaskSet, engine: &ExactEngine) -> [bool; 4] {
+    let proposed = analyze_task_set(set, engine)
+        .map(|r| r.schedulable())
+        .unwrap_or(false);
+    let wp = WpAnalysis::default().is_schedulable(set);
+    let nps = NpsAnalysis::with_carry().is_schedulable(set);
+    let nps_classic = NpsAnalysis::default().is_schedulable(set);
+    [proposed, wp, nps, nps_classic]
+}
+
+/// Runs a sweep: for each point, generates `sets_per_point` task sets
+/// (seeded deterministically from `base_seed` and the point index) and
+/// measures the schedulability ratio of every approach.
+pub fn sweep(points: &[SweepPoint], sets_per_point: usize, base_seed: u64) -> Vec<SweepRow> {
+    let engine = ExactEngine::default();
+    points
+        .iter()
+        .enumerate()
+        .map(|(pi, point)| {
+            let mut generator =
+                TaskSetGenerator::new(point.config.clone(), base_seed ^ ((pi as u64) << 32));
+            let mut wins = [0usize; 4];
+            for _ in 0..sets_per_point {
+                let set = generator.generate();
+                let flags = evaluate_set(&set, &engine);
+                for (w, f) in wins.iter_mut().zip(flags) {
+                    *w += usize::from(f);
+                }
+            }
+            SweepRow {
+                x: point.x,
+                ratios: wins.map(|w| w as f64 / sets_per_point as f64),
+                sets: sets_per_point,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_set_is_consistent_with_direct_calls() {
+        let mut g = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 3,
+                utilization: 0.2,
+                ..TaskSetConfig::default()
+            },
+            7,
+        );
+        let set = g.generate();
+        let flags = evaluate_set(&set, &ExactEngine::default());
+        assert_eq!(flags[1], WpAnalysis::default().is_schedulable(&set));
+    }
+
+    #[test]
+    fn sweep_rows_align_with_points() {
+        let points: Vec<SweepPoint> = [0.1, 0.2]
+            .iter()
+            .map(|&u| SweepPoint {
+                x: u,
+                config: TaskSetConfig {
+                    n: 3,
+                    utilization: u,
+                    ..TaskSetConfig::default()
+                },
+            })
+            .collect();
+        let rows = sweep(&points, 3, 42);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].x, 0.1);
+        assert!(rows
+            .iter()
+            .all(|r| r.ratios.iter().all(|&v| (0.0..=1.0).contains(&v))));
+        assert!(rows[0].ratio(Approach::Proposed) >= 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # pmcs-bench
+//!
+//! Experiment harness regenerating the evaluation of Section VII:
+//!
+//! * [`experiment`] — schedulability-ratio sweeps over utilization `U`,
+//!   memory-intensity `γ` and deadline-tightness `β`, comparing the
+//!   proposed protocol, the Wasly-Pellizzoni baseline, and non-preemptive
+//!   scheduling;
+//! * [`figures`] — the concrete configurations of Figure 2 insets (a)–(f)
+//!   and the Figure 1 scenario;
+//! * [`report`] — CSV output and ASCII line charts for terminal viewing.
+//!
+//! Binaries:
+//!
+//! * `fig1` — regenerates the Figure 1 example schedules (WP miss,
+//!   NPS meet, plus the proposed protocol rescuing the task);
+//! * `fig2 <a..f>` — regenerates one inset of Figure 2;
+//! * `runtime_table` — the analysis-runtime measurements reported in
+//!   prose in Section VII.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod figures;
+pub mod report;
+
+pub use experiment::{evaluate_set, sweep, Approach, SweepPoint, SweepRow};
+pub use figures::{fig1_task_set, fig2_inset, Fig2Inset};
+pub use report::{ascii_chart, write_csv};

@@ -1,0 +1,125 @@
+//! CSV output and ASCII charts for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::experiment::{Approach, SweepRow};
+
+/// Writes sweep rows as CSV (header + one row per point).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, x_label: &str, rows: &[SweepRow]) -> io::Result<()> {
+    let mut out = String::new();
+    let _ = write!(out, "{x_label}");
+    for a in Approach::ALL {
+        let _ = write!(out, ",{}", a.label());
+    }
+    let _ = writeln!(out, ",sets");
+    for r in rows {
+        let _ = write!(out, "{:.3}", r.x);
+        for v in r.ratios {
+            let _ = write!(out, ",{v:.4}");
+        }
+        let _ = writeln!(out, ",{}", r.sets);
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, out)
+}
+
+/// Renders sweep rows as a fixed-height ASCII line chart, one glyph per
+/// approach (`P` proposed, `W` WP, `N` NPS-carry, `n` NPS-classic);
+/// overlapping points print the higher-priority glyph.
+pub fn ascii_chart(rows: &[SweepRow], x_label: &str) -> String {
+    const HEIGHT: usize = 12;
+    let glyphs = ['P', 'W', 'N', 'n'];
+    let width = rows.len();
+    let mut grid = vec![vec![' '; width]; HEIGHT + 1];
+    for (col, r) in rows.iter().enumerate() {
+        // Draw lowest-priority glyphs first so P wins collisions.
+        for ai in (0..4).rev() {
+            let v = r.ratios[ai].clamp(0.0, 1.0);
+            let row = HEIGHT - (v * HEIGHT as f64).round() as usize;
+            grid[row][col] = glyphs[ai];
+        }
+    }
+    let mut out = String::new();
+    for (i, line) in grid.iter().enumerate() {
+        let y = 1.0 - i as f64 / HEIGHT as f64;
+        let _ = writeln!(out, "{y:>5.2} |{}", line.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "      +{}", "-".repeat(width));
+    let xs: Vec<String> = rows.iter().map(|r| format!("{:.2}", r.x)).collect();
+    let _ = writeln!(out, "      {x_label}: {}", xs.join(" "));
+    let _ = writeln!(out, "      P=proposed W=wp N=nps(carry) n=nps(classic)");
+    out
+}
+
+/// Formats rows as an aligned text table.
+pub fn text_table(rows: &[SweepRow], x_label: &str) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{x_label:>12}");
+    for a in Approach::ALL {
+        let _ = write!(out, "{:>12}", a.label());
+    }
+    let _ = writeln!(out);
+    for r in rows {
+        let _ = write!(out, "{:>12.3}", r.x);
+        for v in r.ratios {
+            let _ = write!(out, "{v:>12.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<SweepRow> {
+        vec![
+            SweepRow {
+                x: 0.1,
+                ratios: [1.0, 0.9, 0.8, 0.9],
+                sets: 10,
+            },
+            SweepRow {
+                x: 0.2,
+                ratios: [0.7, 0.4, 0.5, 0.6],
+                sets: 10,
+            },
+        ]
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("pmcs-bench-test");
+        let path = dir.join("out.csv");
+        write_csv(&path, "utilization", &rows()).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("utilization,proposed,wp,nps,nps-classic,sets"));
+        assert!(text.contains("0.100,1.0000,0.9000,0.8000,0.9000,10"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chart_contains_glyphs_and_axis() {
+        let chart = ascii_chart(&rows(), "U");
+        assert!(chart.contains('P'));
+        assert!(chart.contains("U: 0.10 0.20"));
+        assert!(chart.contains("1.00 |"));
+    }
+
+    #[test]
+    fn table_is_aligned() {
+        let t = text_table(&rows(), "U");
+        assert!(t.contains("proposed"));
+        assert_eq!(t.lines().count(), 3);
+    }
+}

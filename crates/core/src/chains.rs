@@ -1,0 +1,216 @@
+//! End-to-end latency of communicating task chains — the extension the
+//! paper names as future work (Section IV: rule R2 performs every
+//! copy-out as soon as possible precisely so that data outputs are
+//! "communicated in a timely and predictable fashion to ensure flow
+//! preservation in functional chains").
+//!
+//! A chain `τ_{c1} → τ_{c2} → … → τ_{cm}` passes data through the global
+//! memory: each stage's copy-out publishes its output, the next stage's
+//! copy-in samples it. Because the protocol completes a job only when its
+//! copy-out finishes (the response time *includes* publication), classical
+//! chain composition applies directly on top of the per-task WCRT bounds:
+//!
+//! * **Triggered chains** (each stage released by its predecessor's
+//!   completion): `L = Σ R_i`.
+//! * **Sampling chains** (independently activated periodic stages that
+//!   read the latest published value): a fresh input written just after a
+//!   stage sampled waits up to one period plus that stage's response, so
+//!   `L = R_1 + Σ_{i≥2} (T_i + R_i)` — the standard bound for
+//!   register-based communication.
+//!
+//! Stages may live on different cores: the per-core analyses are
+//! independent (partitioned scheduling), so the caller supplies per-task
+//! WCRTs from whichever cores host the stages.
+
+use std::collections::BTreeMap;
+
+use pmcs_model::{Task, TaskId, TaskSet, Time};
+
+use crate::error::CoreError;
+use crate::schedulability::analyze_task_set;
+use crate::wcrt::DelayEngine;
+
+/// How successive chain stages are activated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChainActivation {
+    /// Each stage is released when its predecessor completes.
+    Triggered,
+    /// Stages run on their own periodic activations and sample the latest
+    /// published data (register communication).
+    Sampling,
+}
+
+/// A task chain: an ordered list of stages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskChain {
+    stages: Vec<TaskId>,
+}
+
+impl TaskChain {
+    /// Builds a chain from its ordered stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty or a stage repeats.
+    pub fn new(stages: Vec<TaskId>) -> Self {
+        assert!(!stages.is_empty(), "a chain needs at least one stage");
+        let mut seen = stages.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), stages.len(), "chain stages must be distinct");
+        TaskChain { stages }
+    }
+
+    /// The ordered stages.
+    pub fn stages(&self) -> &[TaskId] {
+        &self.stages
+    }
+
+    /// End-to-end latency bound given per-task WCRT bounds and (for
+    /// sampling chains) the stage tasks' minimum inter-arrival times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] if a stage has no WCRT entry or (for
+    /// sampling chains) no finite minimum inter-arrival time.
+    pub fn latency_bound(
+        &self,
+        wcrts: &BTreeMap<TaskId, Time>,
+        tasks: &BTreeMap<TaskId, Task>,
+        activation: ChainActivation,
+    ) -> Result<Time, CoreError> {
+        let mut latency = Time::ZERO;
+        for (idx, stage) in self.stages.iter().enumerate() {
+            let r = *wcrts
+                .get(stage)
+                .ok_or(CoreError::Model(pmcs_model::ModelError::UnknownTask(*stage)))?;
+            latency += r;
+            if idx > 0 && activation == ChainActivation::Sampling {
+                let t = tasks
+                    .get(stage)
+                    .and_then(|t| t.arrival().min_inter_arrival())
+                    .ok_or(CoreError::Model(pmcs_model::ModelError::UnknownTask(
+                        *stage,
+                    )))?;
+                latency += t;
+            }
+        }
+        Ok(latency)
+    }
+}
+
+/// Convenience: analyzes every core-local task set and bounds the chain's
+/// end-to-end latency in one call. `cores` lists the task set of every
+/// core hosting at least one stage (tasks not on any listed core are an
+/// error).
+///
+/// # Errors
+///
+/// Propagates analysis failures; unknown stages surface as
+/// [`CoreError::Model`].
+pub fn chain_latency(
+    chain: &TaskChain,
+    cores: &[TaskSet],
+    activation: ChainActivation,
+    engine: &impl DelayEngine,
+) -> Result<Time, CoreError> {
+    let mut wcrts = BTreeMap::new();
+    let mut tasks = BTreeMap::new();
+    for set in cores {
+        let report = analyze_task_set(set, engine)?;
+        for v in report.verdicts() {
+            wcrts.insert(v.task, v.wcrt);
+        }
+        for t in set.iter() {
+            tasks.insert(t.id(), t.clone());
+        }
+    }
+    chain.latency_bound(&wcrts, &tasks, activation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::window::test_task;
+
+    fn core_a() -> TaskSet {
+        TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 1_000, 0, false),
+            test_task(1, 20, 4, 4, 2_000, 1, false),
+        ])
+        .unwrap()
+    }
+
+    fn core_b() -> TaskSet {
+        TaskSet::new(vec![test_task(2, 30, 5, 5, 3_000, 0, false)]).unwrap()
+    }
+
+    #[test]
+    fn triggered_latency_is_sum_of_wcrts() {
+        let chain = TaskChain::new(vec![TaskId(0), TaskId(2)]);
+        let engine = ExactEngine::default();
+        let l = chain_latency(
+            &chain,
+            &[core_a(), core_b()],
+            ChainActivation::Triggered,
+            &engine,
+        )
+        .unwrap();
+        // Both stages are analyzed in their own cores; latency = R0 + R2.
+        let ra = analyze_task_set(&core_a(), &engine).unwrap();
+        let rb = analyze_task_set(&core_b(), &engine).unwrap();
+        let expected =
+            ra.verdict(TaskId(0)).unwrap().wcrt + rb.verdict(TaskId(2)).unwrap().wcrt;
+        assert_eq!(l, expected);
+    }
+
+    #[test]
+    fn sampling_adds_downstream_periods() {
+        let chain = TaskChain::new(vec![TaskId(0), TaskId(2)]);
+        let engine = ExactEngine::default();
+        let triggered = chain_latency(
+            &chain,
+            &[core_a(), core_b()],
+            ChainActivation::Triggered,
+            &engine,
+        )
+        .unwrap();
+        let sampling = chain_latency(
+            &chain,
+            &[core_a(), core_b()],
+            ChainActivation::Sampling,
+            &engine,
+        )
+        .unwrap();
+        assert_eq!(sampling - triggered, Time::from_ticks(3_000));
+    }
+
+    #[test]
+    fn single_stage_chain_is_just_the_wcrt() {
+        let chain = TaskChain::new(vec![TaskId(1)]);
+        let engine = ExactEngine::default();
+        let l = chain_latency(&chain, &[core_a()], ChainActivation::Sampling, &engine).unwrap();
+        let r = analyze_task_set(&core_a(), &engine).unwrap();
+        assert_eq!(l, r.verdict(TaskId(1)).unwrap().wcrt);
+    }
+
+    #[test]
+    fn unknown_stage_is_an_error() {
+        let chain = TaskChain::new(vec![TaskId(9)]);
+        let engine = ExactEngine::default();
+        assert!(chain_latency(&chain, &[core_a()], ChainActivation::Triggered, &engine).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn repeated_stage_panics() {
+        let _ = TaskChain::new(vec![TaskId(0), TaskId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_chain_panics() {
+        let _ = TaskChain::new(vec![]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for the analysis crate.
+
+use std::error::Error;
+use std::fmt;
+
+use pmcs_milp::MilpError;
+use pmcs_model::{ModelError, TaskId};
+
+/// Errors produced by the schedulability analyses.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Underlying model error (unknown task, invalid set, …).
+    Model(ModelError),
+    /// The MILP backend failed.
+    Milp(MilpError),
+    /// The fixed-point iteration failed to converge within the iteration
+    /// cap without proving a deadline miss (should not happen for sane
+    /// task parameters).
+    NoConvergence {
+        /// Task under analysis.
+        task: TaskId,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// The specialized engine exhausted its node budget and the caller
+    /// requested strict (non-approximate) results.
+    BudgetExhausted {
+        /// Nodes explored before giving up.
+        nodes: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Milp(e) => write!(f, "milp solver error: {e}"),
+            CoreError::NoConvergence { task, iterations } => write!(
+                f,
+                "response-time iteration for {task} did not converge after {iterations} rounds"
+            ),
+            CoreError::BudgetExhausted { nodes } => {
+                write!(f, "search budget exhausted after {nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Model(e) => Some(e),
+            CoreError::Milp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CoreError {
+    fn from(e: ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+impl From<MilpError> for CoreError {
+    fn from(e: MilpError) -> Self {
+        CoreError::Milp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(ModelError::EmptyTaskSet);
+        assert!(e.to_string().contains("model error"));
+        assert!(Error::source(&e).is_some());
+
+        let e = CoreError::NoConvergence {
+            task: TaskId(3),
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("τ3"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = MilpError::Infeasible.into();
+        assert_eq!(e, CoreError::Milp(MilpError::Infeasible));
+    }
+}

@@ -1,0 +1,428 @@
+//! The MILP formulation of Section V, solved with [`pmcs_milp`].
+//!
+//! Variable map (one block per scheduling interval):
+//!
+//! | paper | here | meaning |
+//! |---|---|---|
+//! | `E_j^k` | `e[j][k]` | task `j` executes in `I_k` (k ∈ [0, N−2]) |
+//! | `LE_j^k` | `le[j][k]` | urgent execution: CPU copy-in + execute (LS only) |
+//! | `L_j^k` | `l[j][k]` | DMA copy-in of `j` in `I_k` (k ∈ [0, N−3]) |
+//! | `CL_j^k` | `cl[j][k]` | canceled copy-in of `j` in `I_k` |
+//! | `Δ_k, Δ^cpu_k, Δ^in_k, Δ^out_k` | `delta/dcpu/din/dout` | durations |
+//! | `α_k` | `alpha[k]` | max-selector of Constraint 13 |
+//!
+//! Deviations from the paper's letter (both safe, both mirrored by
+//! [`ExactEngine`](crate::ExactEngine) so the engines stay equivalent):
+//!
+//! * Constraints 5 and 6 are relaxed from `= 1` to `≤ 1` so that windows
+//!   with fewer competitors than intervals stay feasible (an idle CPU or
+//!   DMA slot simply contributes less delay — the maximizer never prefers
+//!   it when a real activity is available).
+//! * Constraint 8 is applied per urgent task with the victim set
+//!   `lp(τ_j)` (tasks with priority lower than the *urgent* task), which
+//!   is the set rules R3/R4 actually permit.
+//! * The task under analysis never appears as a cancellation victim: its
+//!   copy-in is pinned to `I_{N−2}` by Constraint 12.
+
+use pmcs_milp::{Cmp, LinExpr, Limits, Problem, Solver, Var};
+use pmcs_model::Time;
+
+use crate::error::CoreError;
+use crate::wcrt::{DelayBound, DelayEngine};
+use crate::window::WindowModel;
+
+/// Delay engine backed by the faithful MILP formulation.
+///
+/// Exponentially slower than [`ExactEngine`](crate::ExactEngine) on large
+/// windows; intended for validation, small task sets, and benchmarking the
+/// formulation itself (as the paper does with CPLEX).
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct MilpEngine {
+    /// Branch-and-bound limits handed to the solver.
+    pub limits: Limits,
+}
+
+
+impl MilpEngine {
+    /// Creates an engine with default solver limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the MILP for a window (exposed for inspection and tests).
+    pub fn build_problem(&self, w: &WindowModel) -> Problem {
+        Formulation::build(w).problem
+    }
+}
+
+impl DelayEngine for MilpEngine {
+    fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
+        let f = Formulation::build(w);
+        let sol = Solver::with_limits(self.limits.clone()).solve(&f.problem)?;
+        let (value, exact) = if sol.is_optimal() {
+            (sol.objective(), true)
+        } else {
+            (sol.proven_bound(), false)
+        };
+        // All durations are integer ticks, so the optimum is integral;
+        // round defensively toward the safe side.
+        let delay = Time::from_f64_ceil(value - 1e-6);
+        Ok(DelayBound {
+            delay,
+            exact,
+            nodes: sol.nodes() as u64,
+        })
+    }
+}
+
+/// Index helper: `Option<Var>` per (task, interval), absent when the
+/// variable is structurally zero.
+type VarGrid = Vec<Vec<Option<Var>>>;
+
+struct Formulation {
+    problem: Problem,
+}
+
+impl Formulation {
+    fn build(w: &WindowModel) -> Formulation {
+        let n = w.n();
+        let m = w.tasks.len();
+        let exec_slots = n - 1; // intervals 0 ..= N−2 host competitor executions
+        let copyin_slots = n.saturating_sub(2); // intervals 0 ..= N−3 host copy-ins
+
+        let mut p = Problem::maximize();
+
+        // Big-M: an upper bound on any single interval length.
+        let max_demand = w
+            .tasks
+            .iter()
+            .map(|t| t.demand(t.ls).as_f64())
+            .fold(0.0, f64::max);
+        let big_m = max_demand
+            .max((w.max_l + w.max_u).as_f64())
+            .max(w.exec_i.as_f64())
+            .max((w.copy_in_i + w.max_u).as_f64())
+            + 1.0;
+
+        // --- Variables ---------------------------------------------------
+        let mut e: VarGrid = vec![vec![None; exec_slots]; m];
+        let mut le: VarGrid = vec![vec![None; exec_slots]; m];
+        let mut lv: VarGrid = vec![vec![None; copyin_slots]; m];
+        let mut cl: VarGrid = vec![vec![None; copyin_slots]; m];
+        for (j, task) in w.tasks.iter().enumerate() {
+            for k in 0..exec_slots {
+                let exec_allowed = task.hp || k <= w.last_lp_exec_interval();
+                if exec_allowed {
+                    e[j][k] = Some(p.binary(format!("E_{j}_{k}")));
+                    if task.ls {
+                        le[j][k] = Some(p.binary(format!("LE_{j}_{k}")));
+                    }
+                }
+            }
+            for k in 0..copyin_slots {
+                // Constraint 1 pairs L_j^k with E_j^{k+1}; the copy-in of
+                // an execution in I_0 predates the window.
+                let exec_next = k + 1 < exec_slots + 1 && k < exec_slots - 1 + 1;
+                let next_e_exists = k < exec_slots - 1 && e[j][k + 1].is_some();
+                let copyin_allowed = task.hp || (k == 0 && w.lp_copy_in_allowed());
+                if exec_next && next_e_exists && copyin_allowed {
+                    lv[j][k] = Some(p.binary(format!("L_{j}_{k}")));
+                }
+                // Cancellations: hp anywhere, lp only in I_0
+                // (Constraint 3), and only when some higher-priority LS
+                // task exists to trigger the cancel (rule R3).
+                if (task.hp || k == 0) && w.cancel_triggerable(j) {
+                    cl[j][k] = Some(p.binary(format!("CL_{j}_{k}")));
+                }
+            }
+        }
+        let delta: Vec<Var> = (0..n).map(|k| p.continuous(format!("delta_{k}"), 0.0, big_m)).collect();
+        let dcpu: Vec<Var> = (0..n).map(|k| p.continuous(format!("dcpu_{k}"), 0.0, big_m)).collect();
+        let din: Vec<Var> = (0..n).map(|k| p.continuous(format!("din_{k}"), 0.0, big_m)).collect();
+        let dout: Vec<Var> = (0..n).map(|k| p.continuous(format!("dout_{k}"), 0.0, big_m)).collect();
+        let alpha: Vec<Var> = (0..n).map(|k| p.binary(format!("alpha_{k}"))).collect();
+
+        // --- Constraint 1: L_j^k = E_j^{k+1} ------------------------------
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..m {
+            for k in 0..copyin_slots {
+                if k + 1 > exec_slots - 1 {
+                    continue;
+                }
+                match (lv[j][k], e[j][k + 1]) {
+                    (Some(l), Some(ex)) => {
+                        p.constrain_named(Some(format!("C1_{j}_{k}")), l - ex, Cmp::Eq, 0.0);
+                    }
+                    (None, Some(ex))
+                        // Execution without an in-window DMA copy-in is
+                        // only legal in I_0 (pre-window copy-in).
+                        if k + 1 >= 1 => {
+                            p.constrain_named(
+                                Some(format!("C1z_{j}_{k}")),
+                                LinExpr::from(ex),
+                                Cmp::Eq,
+                                0.0,
+                            );
+                        }
+                    _ => {}
+                }
+            }
+        }
+
+        // --- Constraint 5 (relaxed): one execution per interval ----------
+        for k in 0..exec_slots {
+            let mut sum = LinExpr::zero();
+            for j in 0..m {
+                if let Some(v) = e[j][k] {
+                    sum += LinExpr::from(v);
+                }
+                if let Some(v) = le[j][k] {
+                    sum += LinExpr::from(v);
+                }
+            }
+            if !sum.is_constant() {
+                p.constrain_named(Some(format!("C5_{k}")), sum, Cmp::Le, 1.0);
+            }
+        }
+
+        // --- Constraint 6 (relaxed): one copy-in activity per interval ---
+        for k in 0..copyin_slots {
+            let mut sum = LinExpr::zero();
+            for j in 0..m {
+                if let Some(v) = lv[j][k] {
+                    sum += LinExpr::from(v);
+                }
+                if let Some(v) = cl[j][k] {
+                    sum += LinExpr::from(v);
+                }
+            }
+            if !sum.is_constant() {
+                p.constrain_named(Some(format!("C6_{k}")), sum, Cmp::Le, 1.0);
+            }
+        }
+
+        // --- Constraint 7: job budgets ------------------------------------
+        for (j, task) in w.tasks.iter().enumerate() {
+            let mut sum = LinExpr::zero();
+            for k in 0..exec_slots {
+                if let Some(v) = e[j][k] {
+                    sum += LinExpr::from(v);
+                }
+                if let Some(v) = le[j][k] {
+                    sum += LinExpr::from(v);
+                }
+            }
+            if !sum.is_constant() {
+                p.constrain_named(Some(format!("C7_{j}")), sum, Cmp::Le, task.budget as f64);
+            }
+        }
+
+        // --- Constraint 8: urgency requires a lower-priority cancel ------
+        #[allow(clippy::needless_range_loop)]
+        for j in 0..m {
+            if !w.tasks[j].ls {
+                continue;
+            }
+            for k in 0..copyin_slots {
+                let Some(le_next) = (k < exec_slots - 1)
+                    .then(|| le[j][k + 1])
+                    .flatten()
+                else {
+                    continue;
+                };
+                let mut victims = LinExpr::zero();
+                for v in 0..m {
+                    if v != j && w.cancellation_enables(v, j) {
+                        if let Some(clv) = cl[v][k] {
+                            victims += LinExpr::from(clv);
+                        }
+                    }
+                }
+                p.constrain_named(
+                    Some(format!("C8_{j}_{k}")),
+                    victims - le_next,
+                    Cmp::Ge,
+                    0.0,
+                );
+            }
+        }
+
+        // --- Constraint 9: CPU time per interval --------------------------
+        for k in 0..exec_slots {
+            let mut cap = LinExpr::zero();
+            for (j, task) in w.tasks.iter().enumerate() {
+                if let Some(v) = e[j][k] {
+                    cap += v * task.exec.as_f64();
+                }
+                if let Some(v) = le[j][k] {
+                    cap += v * (task.copy_in + task.exec).as_f64();
+                }
+            }
+            p.constrain_named(Some(format!("C9_{k}")), dcpu[k] - cap, Cmp::Le, 0.0);
+        }
+        // Constraint 12: the last interval executes τ_i.
+        p.fix(dcpu[n - 1], w.exec_i.as_f64());
+
+        // --- Constraint 10: DMA copy-in time ------------------------------
+        for k in 0..copyin_slots {
+            let mut cap = LinExpr::zero();
+            for (j, task) in w.tasks.iter().enumerate() {
+                if let Some(v) = lv[j][k] {
+                    cap += v * task.copy_in.as_f64();
+                }
+                if let Some(v) = cl[j][k] {
+                    cap += v * task.copy_in.as_f64();
+                }
+            }
+            p.constrain_named(Some(format!("C10_{k}")), din[k] - cap, Cmp::Le, 0.0);
+        }
+        // Constraint 12: τ_i's copy-in in I_{N−2}; a future task's copy-in
+        // may occupy the DMA in I_{N−1}.
+        p.fix(din[n - 2], w.copy_in_i.as_f64());
+        p.constrain_named(
+            Some("C12_din_last".to_string()),
+            LinExpr::from(din[n - 1]),
+            Cmp::Le,
+            w.max_l.as_f64(),
+        );
+
+        // --- Constraints 2+11: DMA copy-out time --------------------------
+        for k in 1..n {
+            let mut cap = LinExpr::zero();
+            if k - 1 < exec_slots {
+                for (j, task) in w.tasks.iter().enumerate() {
+                    if let Some(v) = e[j][k - 1] {
+                        cap += v * task.copy_out.as_f64();
+                    }
+                    if let Some(v) = le[j][k - 1] {
+                        cap += v * task.copy_out.as_f64();
+                    }
+                }
+            }
+            p.constrain_named(Some(format!("C11_{k}")), dout[k] - cap, Cmp::Le, 0.0);
+        }
+        // Constraint 12: the first interval may copy out a pre-window task.
+        p.constrain_named(
+            Some("C12_dout0".to_string()),
+            LinExpr::from(dout[0]),
+            Cmp::Le,
+            w.max_u.as_f64(),
+        );
+
+        // --- Constraint 13: Δ_k = max(Δ^cpu_k, Δ^in_k + Δ^out_k) ---------
+        for k in 0..n {
+            p.constrain_named(
+                Some(format!("C13a_{k}")),
+                delta[k] - dcpu[k] - alpha[k] * big_m,
+                Cmp::Le,
+                0.0,
+            );
+            p.constrain_named(
+                Some(format!("C13b_{k}")),
+                delta[k] - din[k] - dout[k] + alpha[k] * big_m,
+                Cmp::Le,
+                big_m,
+            );
+        }
+
+        // --- Objective (Eq. 1, without the constant u_i) -------------------
+        let mut obj = LinExpr::zero();
+        for &d in &delta {
+            obj += LinExpr::from(d);
+        }
+        p.set_objective(obj);
+
+        Formulation { problem: p }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::window::{test_task, WindowCase, WindowModel};
+    use pmcs_model::{TaskId, TaskSet};
+
+    fn window(tasks: Vec<pmcs_model::Task>, id: u32, case: WindowCase, t: i64) -> WindowModel {
+        let set = TaskSet::new(tasks).unwrap();
+        WindowModel::build(&set, TaskId(id), case, Time::from_ticks(t)).unwrap()
+    }
+
+    fn milp_delay(w: &WindowModel) -> i64 {
+        let b = MilpEngine::default().max_total_delay(w).unwrap();
+        assert!(b.exact);
+        b.delay.as_ticks()
+    }
+
+    #[test]
+    fn singleton_matches_engine_hand_calculation() {
+        let w = window(
+            vec![test_task(0, 10, 3, 2, 100, 0, false)],
+            0,
+            WindowCase::Nls,
+            3,
+        );
+        assert_eq!(milp_delay(&w), 15);
+    }
+
+    #[test]
+    fn lp_blocking_example_matches_engine() {
+        let w = window(
+            vec![
+                test_task(0, 10, 1, 1, 10_000, 0, false),
+                test_task(1, 500, 1, 1, 10_000, 1, false),
+            ],
+            0,
+            WindowCase::Nls,
+            12,
+        );
+        assert_eq!(milp_delay(&w), 510);
+    }
+
+    #[test]
+    fn ls_case_a_example_matches_engine() {
+        let w = window(
+            vec![
+                test_task(0, 10, 1, 1, 10_000, 0, true),
+                test_task(1, 500, 1, 1, 10_000, 1, false),
+            ],
+            0,
+            WindowCase::LsCaseA,
+            12,
+        );
+        assert_eq!(milp_delay(&w), 510);
+    }
+
+    #[test]
+    fn problem_size_scales_with_intervals() {
+        let w = window(
+            vec![
+                test_task(0, 10, 2, 2, 100, 0, false),
+                test_task(1, 20, 4, 4, 200, 1, false),
+            ],
+            1,
+            WindowCase::Nls,
+            150,
+        );
+        let p = MilpEngine::default().build_problem(&w);
+        assert!(p.num_vars() > 4 * w.n());
+        assert!(p.num_constraints() >= 2 * w.n());
+    }
+
+    #[test]
+    fn urgent_blocking_is_representable() {
+        // The urgent-execution gadget: LS hp task with big copy-in.
+        let w = window(
+            vec![
+                test_task(0, 10, 50, 1, 100_000, 0, true),
+                test_task(1, 10, 1, 1, 100_000, 1, false),
+                test_task(2, 10, 1, 1, 100_000, 2, false),
+            ],
+            2,
+            WindowCase::Nls,
+            5,
+        );
+        let d = milp_delay(&w);
+        assert!(d >= 60, "MILP bound {d} must cover urgent CPU demand 60");
+    }
+}

@@ -1,0 +1,161 @@
+//! Exhaustive latency-sensitivity assignment search.
+//!
+//! Section VI proposes a *greedy* algorithm for choosing which tasks to
+//! mark LS, noting that the choice matters: LS marking reduces a task's
+//! own blocking but inflates the interference it causes (urgent
+//! executions occupy the CPU for `l + C`, cancellations waste DMA time).
+//! This module provides the brute-force ground truth — trying every one of
+//! the `2^n` markings — so the greedy's optimality gap can be measured
+//! (see the `ablation` binary and the `greedy_vs_exhaustive` tests).
+
+use pmcs_model::{Sensitivity, TaskId, TaskSet};
+
+use crate::error::CoreError;
+use crate::schedulability::{analyze_fixed_marking, SchedulabilityReport};
+use crate::wcrt::DelayEngine;
+
+/// Result of the exhaustive search.
+#[derive(Debug, Clone)]
+pub struct ExhaustiveResult {
+    /// A schedulable marking with the fewest LS tasks, if any marking is
+    /// schedulable at all.
+    pub best: Option<(Vec<TaskId>, SchedulabilityReport)>,
+    /// Number of markings that were schedulable.
+    pub schedulable_markings: usize,
+    /// Markings evaluated (`2^n`).
+    pub evaluated: usize,
+}
+
+/// Tries every LS/NLS marking of `set` and returns the schedulable one
+/// with the fewest LS tasks (ties broken toward lower task indices).
+///
+/// Complexity is `2^n` full analyses — use only for small `n` (the
+/// function refuses `n > 16`).
+///
+/// # Errors
+///
+/// Propagates engine failures.
+///
+/// # Panics
+///
+/// Panics if the set has more than 16 tasks.
+pub fn exhaustive_ls_assignment(
+    set: &TaskSet,
+    engine: &impl DelayEngine,
+) -> Result<ExhaustiveResult, CoreError> {
+    let n = set.len();
+    assert!(n <= 16, "exhaustive search is exponential; n ≤ 16 required");
+    let ids: Vec<TaskId> = set.iter().map(|t| t.id()).collect();
+
+    let mut best: Option<(Vec<TaskId>, SchedulabilityReport)> = None;
+    let mut schedulable_markings = 0usize;
+    // Enumerate masks in popcount-then-value order so the first
+    // schedulable hit is automatically minimal.
+    let mut masks: Vec<u32> = (0..(1u32 << n)).collect();
+    masks.sort_by_key(|m| (m.count_ones(), *m));
+
+    for mask in masks {
+        // Once a minimal marking is found, only same-size masks could tie;
+        // smaller masks were already tried. Stop early at the next size.
+        if let Some((bst, _)) = &best {
+            if mask.count_ones() as usize > bst.len() {
+                break;
+            }
+        }
+        let mut marked = set.all_nls();
+        let mut ls = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                marked = marked.with_sensitivity(*id, Sensitivity::Ls)?;
+                ls.push(*id);
+            }
+        }
+        let report = analyze_fixed_marking(&marked, engine)?;
+        if report.schedulable() {
+            schedulable_markings += 1;
+            if best.is_none() {
+                best = Some((ls, report));
+            }
+        }
+    }
+    // `schedulable_markings` counts hits up to the early cutoff only;
+    // `evaluated` reports the full search-space size.
+    let evaluated = 1usize << n;
+    Ok(ExhaustiveResult {
+        best,
+        schedulable_markings,
+        evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::schedulability::analyze_task_set;
+    use crate::window::test_task;
+    use pmcs_model::Time;
+
+    #[test]
+    fn schedulable_without_ls_finds_empty_marking() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 1_000, 0, false),
+            test_task(1, 20, 4, 4, 2_000, 1, false),
+        ])
+        .unwrap();
+        let r = exhaustive_ls_assignment(&set, &ExactEngine::default()).unwrap();
+        let (ls, report) = r.best.expect("schedulable");
+        assert!(ls.is_empty());
+        assert!(report.schedulable());
+    }
+
+    #[test]
+    fn finds_the_single_necessary_promotion() {
+        // The schedulability test from the greedy suite: τ0 needs LS.
+        let tasks = vec![
+            pmcs_model::Task::builder(TaskId(0))
+                .exec(Time::from_ticks(10))
+                .copy_in(Time::from_ticks(2))
+                .copy_out(Time::from_ticks(2))
+                .sporadic(Time::from_ticks(10_000))
+                .deadline(Time::from_ticks(600))
+                .priority(pmcs_model::Priority(0))
+                .build()
+                .unwrap(),
+            test_task(1, 300, 2, 2, 10_000, 1, false),
+            test_task(2, 400, 2, 2, 10_000, 2, false),
+        ];
+        let set = TaskSet::new(tasks).unwrap();
+        let engine = ExactEngine::default();
+        let r = exhaustive_ls_assignment(&set, &engine).unwrap();
+        let (ls, _) = r.best.expect("schedulable with LS");
+        assert_eq!(ls, vec![TaskId(0)]);
+        // And the greedy found the same thing.
+        let greedy = analyze_task_set(&set, &engine).unwrap();
+        assert_eq!(greedy.assignment().promoted, ls);
+    }
+
+    #[test]
+    fn greedy_failure_confirmed_by_exhaustive_search_or_not() {
+        // Overload: no marking helps.
+        let set = TaskSet::new(vec![
+            test_task(0, 90, 5, 5, 100, 0, false),
+            test_task(1, 90, 5, 5, 100, 1, false),
+        ])
+        .unwrap();
+        let r = exhaustive_ls_assignment(&set, &ExactEngine::default()).unwrap();
+        assert!(r.best.is_none());
+        assert_eq!(r.evaluated, 4);
+        assert_eq!(r.schedulable_markings, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn refuses_large_sets() {
+        let tasks: Vec<_> = (0..17)
+            .map(|i| test_task(i, 1, 0, 0, 1_000, i, false))
+            .collect();
+        let set = TaskSet::new(tasks).unwrap();
+        let _ = exhaustive_ls_assignment(&set, &ExactEngine::default());
+    }
+}

@@ -1,0 +1,272 @@
+//! Partitioned-multiprocessor support.
+//!
+//! The paper's model is partitioned scheduling: tasks are statically
+//! assigned to cores and every core is analyzed in isolation
+//! (Section II). This module provides the partitioning step itself —
+//! bin-packing heuristics with the schedulability analysis as admission
+//! test — and whole-platform analysis.
+
+use std::fmt;
+
+use pmcs_model::{Platform, Task, TaskId, TaskSet};
+
+use crate::error::CoreError;
+use crate::schedulability::{analyze_task_set, SchedulabilityReport};
+use crate::wcrt::DelayEngine;
+
+/// Bin-packing heuristic used to pick the target core for each task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// First core (in index order) that admits the task.
+    FirstFit,
+    /// Admitting core with the highest current utilization (tightest fit).
+    BestFit,
+    /// Admitting core with the lowest current utilization (load spread).
+    WorstFit,
+}
+
+impl fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Heuristic::FirstFit => "first-fit",
+            Heuristic::BestFit => "best-fit",
+            Heuristic::WorstFit => "worst-fit",
+        })
+    }
+}
+
+/// Outcome of [`partition`].
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// The resulting platform (one task set per core).
+    pub platform: Platform,
+    /// Per-core schedulability reports under the final assignment.
+    pub reports: Vec<SchedulabilityReport>,
+}
+
+impl Partitioning {
+    /// `true` iff every core is schedulable.
+    pub fn schedulable(&self) -> bool {
+        self.reports.iter().all(SchedulabilityReport::schedulable)
+    }
+}
+
+/// Error: a task could not be placed on any core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionError {
+    /// The task that does not fit anywhere.
+    pub task: TaskId,
+    /// Cores tried.
+    pub cores: usize,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "task {} is not schedulable on any of the {} cores",
+            self.task, self.cores
+        )
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Statically partitions `tasks` onto `cores` cores, using the proposed
+/// protocol's greedy-LS schedulability analysis as the admission test.
+///
+/// Tasks are considered in decreasing-utilization order (the standard
+/// bin-packing decreasing variant); a placement is admitted iff the
+/// target core's task set remains schedulable *as a whole* (LS markings
+/// are re-derived from scratch by the greedy algorithm on every test, so
+/// earlier placements may change marking when later tasks arrive).
+///
+/// # Errors
+///
+/// Two failure kinds are kept apart in the nested result: an engine or
+/// model failure aborts with `Err(CoreError)`, while an ordinary packing
+/// failure (no core admits some task) is a normal outcome reported as
+/// `Ok(Err(PartitionError))`.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn partition(
+    tasks: Vec<Task>,
+    cores: usize,
+    heuristic: Heuristic,
+    engine: &impl DelayEngine,
+) -> Result<Result<Partitioning, PartitionError>, CoreError> {
+    assert!(cores > 0, "need at least one core");
+    let mut ordered = tasks;
+    ordered.sort_by(|a, b| {
+        b.utilization()
+            .partial_cmp(&a.utilization())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut bins: Vec<Vec<Task>> = vec![Vec::new(); cores];
+    for task in ordered {
+        let mut admitted = false;
+        for core in candidate_order(&bins, heuristic) {
+            let mut trial = bins[core].clone();
+            trial.push(task.clone());
+            let Ok(set) = TaskSet::new(trial) else {
+                continue; // duplicate priority on this core — try another
+            };
+            let report = analyze_task_set(&set, engine)?;
+            if report.schedulable() {
+                bins[core].push(task.clone());
+                admitted = true;
+                break;
+            }
+        }
+        if !admitted {
+            return Ok(Err(PartitionError {
+                task: task.id(),
+                cores,
+            }));
+        }
+    }
+
+    let mut builder = Platform::builder();
+    let mut reports = Vec::with_capacity(cores);
+    for bin in bins.into_iter().filter(|b| !b.is_empty()) {
+        let set = TaskSet::new(bin).expect("admitted bins are valid sets");
+        reports.push(analyze_task_set(&set, engine)?);
+        builder = builder.core(set);
+    }
+    let platform = builder.build().map_err(CoreError::from)?;
+    Ok(Ok(Partitioning { platform, reports }))
+}
+
+/// Candidate core order for one placement.
+fn candidate_order(bins: &[Vec<Task>], heuristic: Heuristic) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..bins.len()).collect();
+    let util = |core: usize| -> f64 { bins[core].iter().map(Task::utilization).sum() };
+    match heuristic {
+        Heuristic::FirstFit => {}
+        Heuristic::BestFit => {
+            order.sort_by(|&a, &b| {
+                util(b)
+                    .partial_cmp(&util(a))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        Heuristic::WorstFit => {
+            order.sort_by(|&a, &b| {
+                util(a)
+                    .partial_cmp(&util(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+    }
+    order
+}
+
+/// Analyzes every core of an already-partitioned platform.
+///
+/// # Errors
+///
+/// Propagates analysis failures.
+pub fn analyze_platform(
+    platform: &Platform,
+    engine: &impl DelayEngine,
+) -> Result<Vec<SchedulabilityReport>, CoreError> {
+    platform
+        .iter()
+        .map(|(_, set)| analyze_task_set(set, engine))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::window::test_task;
+
+    fn tasks(n: u32) -> Vec<Task> {
+        (0..n)
+            .map(|i| test_task(i, 30 + 5 * i as i64, 5, 5, 200 + 10 * i as i64, i, false))
+            .collect()
+    }
+
+    #[test]
+    fn single_core_partitioning_matches_direct_analysis() {
+        let ts = tasks(3);
+        let engine = ExactEngine::default();
+        let result = partition(ts.clone(), 1, Heuristic::FirstFit, &engine)
+            .unwrap()
+            .unwrap();
+        assert_eq!(result.platform.num_cores(), 1);
+        assert!(result.schedulable());
+        let direct = analyze_task_set(&TaskSet::new(ts).unwrap(), &engine).unwrap();
+        assert_eq!(direct.schedulable(), result.schedulable());
+    }
+
+    #[test]
+    fn overload_spreads_across_cores() {
+        // Six tasks that cannot share one core but fit on two.
+        let ts: Vec<Task> = (0..6)
+            .map(|i| test_task(i, 40, 8, 8, 150, i, false))
+            .collect();
+        let engine = ExactEngine::default();
+        assert!(
+            partition(ts.clone(), 1, Heuristic::FirstFit, &engine)
+                .unwrap()
+                .is_err(),
+            "six 27%-utilization tasks with heavy blocking cannot share one core"
+        );
+        let two = partition(ts, 3, Heuristic::WorstFit, &engine)
+            .unwrap()
+            .unwrap();
+        assert!(two.schedulable());
+        assert!(two.platform.num_cores() >= 2);
+    }
+
+    #[test]
+    fn heuristics_produce_valid_partitions() {
+        let ts = tasks(5);
+        let engine = ExactEngine::default();
+        for h in [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit] {
+            let p = partition(ts.clone(), 2, h, &engine).unwrap().unwrap();
+            assert!(p.schedulable(), "{h}");
+            let total: usize = p.platform.iter().map(|(_, s)| s.len()).sum();
+            assert_eq!(total, 5, "{h}: every task placed exactly once");
+        }
+    }
+
+    #[test]
+    fn worst_fit_spreads_best_fit_packs() {
+        let ts = tasks(4);
+        let engine = ExactEngine::default();
+        let wf = partition(ts.clone(), 4, Heuristic::WorstFit, &engine)
+            .unwrap()
+            .unwrap();
+        let bf = partition(ts, 4, Heuristic::BestFit, &engine)
+            .unwrap()
+            .unwrap();
+        // Worst-fit uses at least as many cores as best-fit.
+        assert!(wf.platform.num_cores() >= bf.platform.num_cores());
+    }
+
+    #[test]
+    fn analyze_platform_covers_all_cores() {
+        let ts = tasks(4);
+        let engine = ExactEngine::default();
+        let p = partition(ts, 2, Heuristic::WorstFit, &engine)
+            .unwrap()
+            .unwrap();
+        let reports = analyze_platform(&p.platform, &engine).unwrap();
+        assert_eq!(reports.len(), p.platform.num_cores());
+    }
+
+    #[test]
+    fn partition_error_displays_task() {
+        let err = PartitionError {
+            task: TaskId(7),
+            cores: 2,
+        };
+        assert!(err.to_string().contains("τ7"));
+    }
+}

@@ -1,0 +1,104 @@
+//! The co-scheduling protocol: rules R1–R6 (Section IV of the paper).
+//!
+//! The protocol operates per core on **scheduling time intervals**
+//! (Definition 1). Within an interval the two local-memory partitions are
+//! statically assigned, one to the CPU and one to the DMA engine; the
+//! assignment swaps at every interval boundary. The executable semantics
+//! live in `pmcs-sim`; this module is the canonical, documented statement
+//! of the rules, shared by the analysis and the simulator, plus the
+//! blocking-bound properties (Properties 1–4) as constants used by both.
+
+use std::fmt;
+
+/// One protocol rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtocolRule {
+    /// Rule tag, `"R1"`–`"R6"`.
+    pub tag: &'static str,
+    /// Normative statement of the rule.
+    pub statement: &'static str,
+}
+
+impl fmt::Display for ProtocolRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.tag, self.statement)
+    }
+}
+
+/// The six rules of the proposed protocol, quoted from Section IV-A.
+pub const RULES: [ProtocolRule; 6] = [
+    ProtocolRule {
+        tag: "R1",
+        statement: "when an interval begins, the partition assignment is swapped: the \
+                    processor partition goes to the DMA engine and vice versa",
+    },
+    ProtocolRule {
+        tag: "R2",
+        statement: "at the beginning of each interval, the DMA first copies out any output \
+                    data left in its partition, then performs the copy-in of the \
+                    highest-priority ready task (removing it from the ready queue)",
+    },
+    ProtocolRule {
+        tag: "R3",
+        statement: "if a latency-sensitive task is released while the DMA is copying in a \
+                    lower-priority task, the copy-in is canceled and the task is put back \
+                    in the ready queue",
+    },
+    ProtocolRule {
+        tag: "R4",
+        statement: "at the end of an interval in which a copy-in was canceled or no copy-in \
+                    was executed, the highest-priority latency-sensitive task released in \
+                    the interval (if any) becomes urgent and leaves the ready queue",
+    },
+    ProtocolRule {
+        tag: "R5",
+        statement: "at the beginning of each interval, an urgent task (if any) has its \
+                    copy-in performed by the CPU and is then executed sequentially; \
+                    otherwise the task whose copy-in completed in the previous interval \
+                    is executed; otherwise the CPU idles until the interval ends",
+    },
+    ProtocolRule {
+        tag: "R6",
+        statement: "the interval length is the longest of the CPU operations and the DMA \
+                    operations performed in it",
+    },
+];
+
+/// Maximum number of intervals an **NLS** task can be blocked by
+/// lower-priority tasks (Property 3).
+pub const NLS_BLOCKING_INTERVALS: usize = 2;
+
+/// Maximum number of intervals an **LS** task can be blocked by
+/// lower-priority tasks (Property 4).
+pub const LS_BLOCKING_INTERVALS: usize = 1;
+
+/// Maximum number of intervals a task can be blocked under the baseline
+/// protocol of Wasly & Pellizzoni \[3\] (Section III-A) — identical to the
+/// NLS bound, but applying to *every* task since \[3\] has no LS support.
+pub const WP_BLOCKING_INTERVALS: usize = 2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_rules_in_order() {
+        assert_eq!(RULES.len(), 6);
+        for (i, r) in RULES.iter().enumerate() {
+            assert_eq!(r.tag, format!("R{}", i + 1));
+            assert!(!r.statement.is_empty());
+        }
+    }
+
+    #[test]
+    fn blocking_bounds_match_properties() {
+        assert_eq!(NLS_BLOCKING_INTERVALS, 2);
+        assert_eq!(LS_BLOCKING_INTERVALS, 1);
+        assert_eq!(WP_BLOCKING_INTERVALS, NLS_BLOCKING_INTERVALS);
+    }
+
+    #[test]
+    fn display_is_tagged() {
+        assert!(RULES[0].to_string().starts_with("R1: "));
+    }
+}

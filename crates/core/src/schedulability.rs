@@ -1,0 +1,312 @@
+//! Schedulability analysis with greedy LS marking (Section VI).
+//!
+//! The greedy algorithm starts with every task NLS. Whenever the analysis
+//! finds a task missing its deadline, that task is promoted to
+//! latency-sensitive and the whole set is re-analyzed (the promotion
+//! reduces the task's own blocking but may increase the interference it
+//! inflicts on lower-priority tasks through urgent executions). If a task
+//! that is *already* LS misses its deadline, the set is deemed
+//! unschedulable.
+
+use std::fmt;
+
+use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
+
+use crate::error::CoreError;
+use crate::wcrt::{DelayEngine, WcrtAnalyzer};
+
+/// Per-task verdict in a [`SchedulabilityReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskVerdict {
+    /// The task.
+    pub task: TaskId,
+    /// WCRT bound under the final LS assignment.
+    pub wcrt: Time,
+    /// The task's relative deadline.
+    pub deadline: Time,
+    /// `wcrt ≤ deadline`.
+    pub schedulable: bool,
+    /// Final sensitivity marking.
+    pub sensitivity: Sensitivity,
+}
+
+/// The final latency-sensitivity assignment chosen by the greedy
+/// algorithm.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LsAssignment {
+    /// Tasks marked latency-sensitive, in promotion order.
+    pub promoted: Vec<TaskId>,
+}
+
+impl fmt::Display for LsAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.promoted.is_empty() {
+            return write!(f, "no LS tasks");
+        }
+        write!(f, "LS: ")?;
+        for (i, t) in self.promoted.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of [`analyze_task_set`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulabilityReport {
+    verdicts: Vec<TaskVerdict>,
+    assignment: LsAssignment,
+    rounds: usize,
+}
+
+impl SchedulabilityReport {
+    /// `true` iff every task meets its deadline under the final marking.
+    pub fn schedulable(&self) -> bool {
+        self.verdicts.iter().all(|v| v.schedulable)
+    }
+
+    /// Per-task verdicts (decreasing priority order).
+    pub fn verdicts(&self) -> &[TaskVerdict] {
+        &self.verdicts
+    }
+
+    /// The verdict for one task.
+    pub fn verdict(&self, task: TaskId) -> Option<&TaskVerdict> {
+        self.verdicts.iter().find(|v| v.task == task)
+    }
+
+    /// The final LS assignment.
+    pub fn assignment(&self) -> &LsAssignment {
+        &self.assignment
+    }
+
+    /// Greedy rounds performed (1 = no promotion needed).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+impl fmt::Display for SchedulabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} after {} round(s); {}",
+            if self.schedulable() {
+                "SCHEDULABLE"
+            } else {
+                "NOT SCHEDULABLE"
+            },
+            self.rounds,
+            self.assignment
+        )?;
+        for v in &self.verdicts {
+            writeln!(
+                f,
+                "  {} [{}] R={} D={} {}",
+                v.task,
+                v.sensitivity,
+                v.wcrt,
+                v.deadline,
+                if v.schedulable { "ok" } else { "MISS" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the greedy LS-marking schedulability analysis of Section VI on a
+/// task set (initial markings are ignored: the algorithm starts all-NLS).
+///
+/// # Errors
+///
+/// Propagates engine and model errors from the per-task analyses.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn analyze_task_set(
+    set: &TaskSet,
+    engine: &impl DelayEngine,
+) -> Result<SchedulabilityReport, CoreError> {
+    let analyzer = WcrtAnalyzer::default();
+    let mut current = set.all_nls();
+    let mut promoted = Vec::new();
+
+    // Each round either terminates or promotes one task; at most n
+    // promotions are possible.
+    for round in 1..=set.len() + 1 {
+        let mut verdicts = Vec::with_capacity(current.len());
+        let mut failing: Option<TaskId> = None;
+        for task in current.iter() {
+            let analysis = analyzer.analyze_task(&current, task.id(), engine)?;
+            verdicts.push(TaskVerdict {
+                task: task.id(),
+                wcrt: analysis.wcrt,
+                deadline: task.deadline(),
+                schedulable: analysis.schedulable,
+                sensitivity: task.sensitivity(),
+            });
+            if !analysis.schedulable && failing.is_none() {
+                failing = Some(task.id());
+                // An NLS miss triggers a promotion and a full re-analysis
+                // anyway — skip the rest of this round (the paper's
+                // algorithm restarts at the first miss). An LS miss is
+                // final, so finish the scan for a complete report.
+                if !task.is_ls() {
+                    break;
+                }
+            }
+        }
+        match failing {
+            None => {
+                return Ok(SchedulabilityReport {
+                    verdicts,
+                    assignment: LsAssignment { promoted },
+                    rounds: round,
+                });
+            }
+            Some(task) => {
+                let is_ls = current
+                    .get(task)
+                    .map(|t| t.is_ls())
+                    .unwrap_or(false);
+                if is_ls {
+                    // Already LS and still missing: unschedulable.
+                    return Ok(SchedulabilityReport {
+                        verdicts,
+                        assignment: LsAssignment { promoted },
+                        rounds: round,
+                    });
+                }
+                current = current.with_sensitivity(task, Sensitivity::Ls)?;
+                promoted.push(task);
+            }
+        }
+    }
+    unreachable!("greedy LS marking performs at most n+1 rounds");
+}
+
+/// Analyzes a task set with its **current** LS/NLS markings (no greedy
+/// promotion). Useful to evaluate a hand-chosen assignment, and used by
+/// the baselines to run the formulation in all-NLS mode.
+///
+/// # Errors
+///
+/// Propagates engine and model errors from the per-task analyses.
+pub fn analyze_fixed_marking(
+    set: &TaskSet,
+    engine: &impl DelayEngine,
+) -> Result<SchedulabilityReport, CoreError> {
+    let analyzer = WcrtAnalyzer::default();
+    let mut verdicts = Vec::with_capacity(set.len());
+    for task in set.iter() {
+        let analysis = analyzer.analyze_task(set, task.id(), engine)?;
+        verdicts.push(TaskVerdict {
+            task: task.id(),
+            wcrt: analysis.wcrt,
+            deadline: task.deadline(),
+            schedulable: analysis.schedulable,
+            sensitivity: task.sensitivity(),
+        });
+    }
+    Ok(SchedulabilityReport {
+        verdicts,
+        assignment: LsAssignment {
+            promoted: set.latency_sensitive().map(|t| t.id()).collect(),
+        },
+        rounds: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::window::test_task;
+
+    #[test]
+    fn easy_set_is_schedulable_without_promotions() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 1_000, 0, false),
+            test_task(1, 20, 4, 4, 2_000, 1, false),
+        ])
+        .unwrap();
+        let r = analyze_task_set(&set, &ExactEngine::default()).unwrap();
+        assert!(r.schedulable());
+        assert!(r.assignment().promoted.is_empty());
+        assert_eq!(r.rounds(), 1);
+        assert_eq!(r.verdicts().len(), 2);
+    }
+
+    #[test]
+    fn overload_is_unschedulable() {
+        let set = TaskSet::new(vec![
+            test_task(0, 90, 5, 5, 100, 0, false),
+            test_task(1, 90, 5, 5, 100, 1, false),
+        ])
+        .unwrap();
+        let r = analyze_task_set(&set, &ExactEngine::default()).unwrap();
+        assert!(!r.schedulable());
+    }
+
+    #[test]
+    fn promotion_rescues_a_tightly_constrained_task() {
+        // τ0 has a deadline that tolerates one heavy blocking interval but
+        // not two → NLS analysis fails, LS promotion succeeds.
+        let tasks = vec![
+            {
+                let mut t = test_task(0, 10, 2, 2, 10_000, 0, false);
+                // Deadline between the LS and NLS response times.
+                t = pmcs_model::Task::builder(t.id())
+                    .exec(t.exec())
+                    .copy_in(t.copy_in())
+                    .copy_out(t.copy_out())
+                    .sporadic(Time::from_ticks(10_000))
+                    .deadline(Time::from_ticks(600))
+                    .priority(t.priority())
+                    .build()
+                    .unwrap();
+                t
+            },
+            test_task(1, 300, 2, 2, 10_000, 1, false),
+            test_task(2, 400, 2, 2, 10_000, 2, false),
+        ];
+        let set = TaskSet::new(tasks).unwrap();
+        let r = analyze_task_set(&set, &ExactEngine::default()).unwrap();
+        assert!(r.schedulable(), "{r}");
+        assert_eq!(r.assignment().promoted, vec![TaskId(0)]);
+        assert!(r.rounds() > 1);
+        assert_eq!(
+            r.verdict(TaskId(0)).unwrap().sensitivity,
+            Sensitivity::Ls
+        );
+    }
+
+    #[test]
+    fn fixed_marking_respects_existing_ls_flags() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 1_000, 0, true),
+            test_task(1, 20, 4, 4, 2_000, 1, false),
+        ])
+        .unwrap();
+        let r = analyze_fixed_marking(&set, &ExactEngine::default()).unwrap();
+        assert_eq!(r.assignment().promoted, vec![TaskId(0)]);
+        assert_eq!(
+            r.verdict(TaskId(0)).unwrap().sensitivity,
+            Sensitivity::Ls
+        );
+    }
+
+    #[test]
+    fn report_display_mentions_verdicts() {
+        let set = TaskSet::new(vec![test_task(0, 10, 2, 2, 1_000, 0, false)]).unwrap();
+        let r = analyze_task_set(&set, &ExactEngine::default()).unwrap();
+        let s = r.to_string();
+        assert!(s.contains("SCHEDULABLE"));
+        assert!(s.contains("τ0"));
+        assert!(LsAssignment::default().to_string().contains("no LS"));
+    }
+}

@@ -1,0 +1,319 @@
+//! Fixed-point worst-case response-time iteration (Section VI).
+//!
+//! For a tentative response time `R̄_i`, the delay window has length
+//! `t = R̄_i − C_i − u_i`; the delay engine maximizes `Σ_k Δ_k` over all
+//! protocol-legal schedules of the `N_i(t)` intervals, yielding a new
+//! tentative `R̄_i' = Σ_k Δ_k + u_i` (Eq. (1): the final copy-out runs
+//! undelayed at the start of interval `N_i(t)`, rule R2). The iteration
+//! starts from the interference-free response `l_i + C_i + u_i` and stops
+//! at the first fixed point, or as soon as the bound exceeds the deadline.
+
+use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
+
+use crate::error::CoreError;
+use crate::window::{WindowCase, WindowModel};
+
+/// Result of one window optimization: the maximal total delay `Σ_k Δ_k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayBound {
+    /// Upper bound on `Σ_k Δ_k`.
+    pub delay: Time,
+    /// `true` iff the bound is the exact optimum (engines degrade to safe
+    /// over-approximations when their search budgets run out).
+    pub exact: bool,
+    /// Search effort indicator (nodes explored / solver nodes).
+    pub nodes: u64,
+}
+
+/// A delay-maximization engine: the MILP of Section V
+/// ([`MilpEngine`](crate::MilpEngine)) or the specialized combinatorial
+/// solver ([`ExactEngine`](crate::ExactEngine)).
+pub trait DelayEngine {
+    /// Upper-bounds the total delay `Σ_k Δ_k` over all protocol-legal
+    /// schedules of the window.
+    ///
+    /// # Errors
+    ///
+    /// Implementations report solver failures as [`CoreError`].
+    fn max_total_delay(&self, window: &WindowModel) -> Result<DelayBound, CoreError>;
+}
+
+/// Per-task analysis outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskAnalysis {
+    /// The analyzed task.
+    pub task: TaskId,
+    /// WCRT bound. When the iteration aborts on a deadline miss this is
+    /// the first bound that exceeded the deadline (still a valid lower
+    /// bound on the true WCRT bound).
+    pub wcrt: Time,
+    /// `true` iff `wcrt ≤ D_i`.
+    pub schedulable: bool,
+    /// Fixed-point iterations performed.
+    pub iterations: usize,
+    /// `true` iff every engine invocation returned an exact optimum.
+    pub exact: bool,
+    /// For LS tasks, the response time of the urgent-promotion case (b);
+    /// `None` for NLS tasks.
+    pub case_b_response: Option<Time>,
+}
+
+/// Fixed-point WCRT analyzer.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_core::{ExactEngine, WcrtAnalyzer};
+/// use pmcs_core::window::test_task;
+/// use pmcs_model::{TaskId, TaskSet};
+///
+/// let set = TaskSet::new(vec![
+///     test_task(0, 10, 2, 2, 100, 0, false),
+///     test_task(1, 20, 4, 4, 200, 1, false),
+/// ]).unwrap();
+/// let analyzer = WcrtAnalyzer::default();
+/// let a = analyzer.analyze_task(&set, TaskId(1), &ExactEngine::default())?;
+/// assert!(a.schedulable);
+/// # Ok::<(), pmcs_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WcrtAnalyzer {
+    /// Cap on fixed-point rounds (a safety net; convergence or a deadline
+    /// miss normally occurs within a handful of rounds).
+    pub max_iterations: usize,
+}
+
+impl Default for WcrtAnalyzer {
+    fn default() -> Self {
+        WcrtAnalyzer {
+            max_iterations: 512,
+        }
+    }
+}
+
+impl WcrtAnalyzer {
+    /// Creates an analyzer with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the WCRT bound of `task` within `set` under the proposed
+    /// protocol, honoring the task's current LS/NLS marking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures and unknown-task errors; returns
+    /// [`CoreError::NoConvergence`] if the iteration cap is exhausted
+    /// before a fixed point or deadline miss.
+    pub fn analyze_task(
+        &self,
+        set: &TaskSet,
+        task: TaskId,
+        engine: &impl DelayEngine,
+    ) -> Result<TaskAnalysis, CoreError> {
+        let t = set.require(task)?;
+        let deadline = t.deadline();
+        match t.sensitivity() {
+            Sensitivity::Nls => {
+                let fp = self.fixed_point(set, task, WindowCase::Nls, deadline, engine)?;
+                Ok(TaskAnalysis {
+                    task,
+                    wcrt: fp.response,
+                    schedulable: fp.response <= deadline,
+                    iterations: fp.iterations,
+                    exact: fp.exact,
+                    case_b_response: None,
+                })
+            }
+            Sensitivity::Ls => {
+                // Case (b) is a closed form, independent of the window
+                // length (Section V-B.2).
+                let w0 = WindowModel::build(set, task, WindowCase::LsCaseA, Time::ZERO)?;
+                let case_b = w0.ls_case_b_response();
+                if case_b > deadline {
+                    return Ok(TaskAnalysis {
+                        task,
+                        wcrt: case_b,
+                        schedulable: false,
+                        iterations: 0,
+                        exact: true,
+                        case_b_response: Some(case_b),
+                    });
+                }
+                let fp = self.fixed_point(set, task, WindowCase::LsCaseA, deadline, engine)?;
+                let wcrt = fp.response.max(case_b);
+                Ok(TaskAnalysis {
+                    task,
+                    wcrt,
+                    schedulable: wcrt <= deadline,
+                    iterations: fp.iterations,
+                    exact: fp.exact,
+                    case_b_response: Some(case_b),
+                })
+            }
+        }
+    }
+
+    fn fixed_point(
+        &self,
+        set: &TaskSet,
+        task: TaskId,
+        case: WindowCase,
+        deadline: Time,
+        engine: &impl DelayEngine,
+    ) -> Result<FixedPoint, CoreError> {
+        let t = set.require(task)?;
+        let base = t.exec() + t.copy_out();
+        // Interference-free response: copy-in + execute + copy-out.
+        let mut response = t.copy_in() + base;
+        let mut exact = true;
+        for iteration in 1..=self.max_iterations {
+            let window_len = response - base;
+            debug_assert!(window_len.is_duration());
+            let window = WindowModel::build(set, task, case, window_len)?;
+            let bound = engine.max_total_delay(&window)?;
+            exact &= bound.exact;
+            let next = bound.delay + t.copy_out();
+            if next > deadline {
+                return Ok(FixedPoint {
+                    response: next,
+                    iterations: iteration,
+                    exact,
+                });
+            }
+            if next <= response {
+                return Ok(FixedPoint {
+                    response,
+                    iterations: iteration,
+                    exact,
+                });
+            }
+            response = next;
+        }
+        Err(CoreError::NoConvergence {
+            task,
+            iterations: self.max_iterations,
+        })
+    }
+}
+
+struct FixedPoint {
+    response: Time,
+    iterations: usize,
+    exact: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::window::test_task;
+    use pmcs_model::TaskSet;
+
+    #[test]
+    fn isolated_task_gets_structural_minimum() {
+        let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, false)]).unwrap();
+        let a = WcrtAnalyzer::default()
+            .analyze_task(&set, TaskId(0), &ExactEngine::default())
+            .unwrap();
+        // From the engine test: Σ Δ = 15 → R = 15 + u = 17.
+        assert_eq!(a.wcrt, Time::from_ticks(17));
+        assert!(a.schedulable);
+        assert!(a.exact);
+        assert!(a.case_b_response.is_none());
+    }
+
+    #[test]
+    fn wcrt_is_at_least_interference_free_response() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 100, 0, false),
+            test_task(1, 20, 4, 4, 200, 1, false),
+        ])
+        .unwrap();
+        for id in [0u32, 1] {
+            let a = WcrtAnalyzer::default()
+                .analyze_task(&set, TaskId(id), &ExactEngine::default())
+                .unwrap();
+            let t = set.get(TaskId(id)).unwrap();
+            assert!(a.wcrt >= t.copy_in() + t.exec() + t.copy_out());
+        }
+    }
+
+    #[test]
+    fn hp_task_unaffected_by_lp_exec_time_growth_beyond_blocking() {
+        // Growing an lp task's WCET grows the hp task's bound linearly
+        // through one (NLS: via two intervals) blocking term, but the
+        // budget caps it at one execution.
+        let mk = |c_lp: i64| {
+            TaskSet::new(vec![
+                test_task(0, 10, 2, 2, 10_000, 0, false),
+                test_task(1, c_lp, 2, 2, 10_000, 1, false),
+            ])
+            .unwrap()
+        };
+        let engine = ExactEngine::default();
+        let a100 = WcrtAnalyzer::default()
+            .analyze_task(&mk(100), TaskId(0), &engine)
+            .unwrap();
+        let a200 = WcrtAnalyzer::default()
+            .analyze_task(&mk(200), TaskId(0), &engine)
+            .unwrap();
+        // One extra blocking execution of +100.
+        assert_eq!(a200.wcrt - a100.wcrt, Time::from_ticks(100));
+    }
+
+    #[test]
+    fn ls_marking_reduces_wcrt_under_heavy_lp_blocking() {
+        let base = vec![
+            test_task(0, 10, 2, 2, 10_000, 0, false),
+            test_task(1, 300, 2, 2, 10_000, 1, false),
+            test_task(2, 400, 2, 2, 10_000, 2, false),
+        ];
+        let nls_set = TaskSet::new(base.clone()).unwrap();
+        let ls_set = nls_set
+            .with_sensitivity(TaskId(0), Sensitivity::Ls)
+            .unwrap();
+        let engine = ExactEngine::default();
+        let nls = WcrtAnalyzer::default()
+            .analyze_task(&nls_set, TaskId(0), &engine)
+            .unwrap();
+        let ls = WcrtAnalyzer::default()
+            .analyze_task(&ls_set, TaskId(0), &engine)
+            .unwrap();
+        assert!(ls.case_b_response.is_some());
+        assert!(
+            ls.wcrt < nls.wcrt,
+            "LS ({}) must beat NLS ({}) with two heavy lp tasks",
+            ls.wcrt,
+            nls.wcrt
+        );
+    }
+
+    #[test]
+    fn deadline_miss_reported_not_erred() {
+        // Utilization far above 1 → the lowest-priority task misses.
+        let set = TaskSet::new(vec![
+            test_task(0, 90, 5, 5, 100, 0, false),
+            test_task(1, 90, 5, 5, 100, 1, false),
+        ])
+        .unwrap();
+        let a = WcrtAnalyzer::default()
+            .analyze_task(&set, TaskId(1), &ExactEngine::default())
+            .unwrap();
+        assert!(!a.schedulable);
+        assert!(a.wcrt > set.get(TaskId(1)).unwrap().deadline());
+    }
+
+    #[test]
+    fn iterations_are_counted() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 100, 0, false),
+            test_task(1, 20, 4, 4, 400, 1, false),
+        ])
+        .unwrap();
+        let a = WcrtAnalyzer::default()
+            .analyze_task(&set, TaskId(1), &ExactEngine::default())
+            .unwrap();
+        assert!(a.iterations >= 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Structural properties of the exact delay engine beyond MILP
+//! equivalence: monotonicity in the window length, sensitivity of the
+//! bound to LS markings, and soundness of the degradation path.
+
+use proptest::prelude::*;
+
+use pmcs_core::{DelayEngine, ExactEngine, WindowCase, WindowModel};
+use pmcs_model::{Priority, Sensitivity, Task, TaskId, TaskSet, Time};
+
+fn build_set(params: &[(i64, i64, i64, bool)]) -> TaskSet {
+    let tasks: Vec<Task> = params
+        .iter()
+        .enumerate()
+        .map(|(i, &(c, m, t, ls))| {
+            Task::builder(TaskId(i as u32))
+                .exec(Time::from_ticks(c))
+                .copy_in(Time::from_ticks(m))
+                .copy_out(Time::from_ticks(m))
+                .sporadic(Time::from_ticks(t))
+                .deadline(Time::from_ticks(t))
+                .priority(Priority(i as u32))
+                .sensitivity(if ls { Sensitivity::Ls } else { Sensitivity::Nls })
+                .build()
+                .unwrap()
+        })
+        .collect();
+    TaskSet::new(tasks).unwrap()
+}
+
+fn delay(set: &TaskSet, under: u32, case: WindowCase, t: i64) -> i64 {
+    let w = WindowModel::build(set, TaskId(under), case, Time::from_ticks(t)).unwrap();
+    let b = ExactEngine::default().max_total_delay(&w).unwrap();
+    assert!(b.exact);
+    b.delay.as_ticks()
+}
+
+fn params_strategy() -> impl Strategy<Value = Vec<(i64, i64, i64, bool)>> {
+    prop::collection::vec((1i64..=25, 0i64..=8, 50i64..=150, any::<bool>()), 2..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Longer windows admit at least as many interfering jobs, so the
+    /// optimal delay is monotone in the window length.
+    #[test]
+    fn delay_is_monotone_in_window_length(
+        params in params_strategy(),
+        t1 in 1i64..=150,
+        dt in 0i64..=150,
+        under in 0usize..5,
+    ) {
+        let under = (under % params.len()) as u32;
+        let set = build_set(&params);
+        let d1 = delay(&set, under, WindowCase::Nls, t1);
+        let d2 = delay(&set, under, WindowCase::Nls, t1 + dt);
+        prop_assert!(d2 >= d1, "delay({}) = {d2} < delay({t1}) = {d1}", t1 + dt);
+    }
+
+    /// Marking the task under analysis LS (case (a)) never increases the
+    /// window's delay relative to NLS at the same window length: case (a)
+    /// drops one blocking interval and changes nothing else.
+    #[test]
+    fn ls_case_a_no_worse_than_nls_at_same_window(
+        params in params_strategy(),
+        t in 1i64..=150,
+        under in 0usize..5,
+    ) {
+        let under = (under % params.len()) as u32;
+        let set = build_set(&params);
+        let nls = delay(&set, under, WindowCase::Nls, t);
+        let ls = delay(&set, under, WindowCase::LsCaseA, t);
+        prop_assert!(ls <= nls, "LS case (a) {ls} > NLS {nls}");
+    }
+
+    /// Marking some *other* task LS can only increase the delay bound
+    /// (cancellations and urgent executions are extra adversary moves).
+    #[test]
+    fn foreign_ls_marking_never_decreases_the_bound(
+        params in params_strategy(),
+        t in 1i64..=120,
+        under in 0usize..5,
+        marked in 0usize..5,
+    ) {
+        let n = params.len();
+        let under_idx = under % n;
+        let marked_idx = marked % n;
+        prop_assume!(under_idx != marked_idx);
+        let mut nls_params = params.clone();
+        for p in &mut nls_params {
+            p.3 = false;
+        }
+        let base_set = build_set(&nls_params);
+        let mut marked_params = nls_params.clone();
+        marked_params[marked_idx].3 = true;
+        let marked_set = build_set(&marked_params);
+        let base = delay(&base_set, under_idx as u32, WindowCase::Nls, t);
+        let with_ls = delay(&marked_set, under_idx as u32, WindowCase::Nls, t);
+        prop_assert!(
+            with_ls >= base,
+            "marking τ{marked_idx} LS shrank τ{under_idx}'s bound: {with_ls} < {base}"
+        );
+    }
+
+    /// The starved engine's fallback dominates the exact optimum.
+    #[test]
+    fn fallback_bound_is_safe(
+        params in params_strategy(),
+        t in 1i64..=120,
+        under in 0usize..5,
+    ) {
+        let under = (under % params.len()) as u32;
+        let set = build_set(&params);
+        let w = WindowModel::build(&set, TaskId(under), WindowCase::Nls, Time::from_ticks(t))
+            .unwrap();
+        let exact = ExactEngine::default().max_total_delay(&w).unwrap();
+        let starved = ExactEngine { max_states: 1 }.max_total_delay(&w).unwrap();
+        prop_assert!(starved.delay >= exact.delay);
+    }
+}

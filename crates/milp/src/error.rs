@@ -1,0 +1,62 @@
+//! Solver error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the LP/MILP solvers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MilpError {
+    /// No assignment satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be improved without bound.
+    Unbounded,
+    /// The simplex iteration limit was exhausted without convergence,
+    /// usually a symptom of numerical trouble.
+    NumericalTrouble {
+        /// Phase in which the failure occurred (1 or 2).
+        phase: u8,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A malformed problem (e.g. inverted bounds, NaN coefficient).
+    InvalidProblem(String),
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::Infeasible => write!(f, "problem is infeasible"),
+            MilpError::Unbounded => write!(f, "problem is unbounded"),
+            MilpError::NumericalTrouble { phase, iterations } => write!(
+                f,
+                "simplex phase {phase} failed to converge after {iterations} iterations"
+            ),
+            MilpError::InvalidProblem(reason) => write!(f, "invalid problem: {reason}"),
+        }
+    }
+}
+
+impl Error for MilpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(MilpError::Infeasible.to_string(), "problem is infeasible");
+        assert!(MilpError::NumericalTrouble {
+            phase: 1,
+            iterations: 10
+        }
+        .to_string()
+        .contains("phase 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MilpError>();
+    }
+}

@@ -1,0 +1,397 @@
+//! Linear expressions over problem variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// Handle to a variable of a [`Problem`](crate::Problem).
+///
+/// Cheap to copy; only valid for the problem that created it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Column index of this variable within its problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Built with the usual operators on [`Var`], `f64` and other expressions:
+///
+/// ```
+/// use pmcs_milp::{Problem, LinExpr};
+///
+/// let mut p = Problem::maximize();
+/// let x = p.continuous("x", 0.0, 1.0);
+/// let y = p.continuous("y", 0.0, 1.0);
+/// let e = 2.0 * x - y + 3.0;
+/// assert_eq!(e.coefficient(x), 2.0);
+/// assert_eq!(e.coefficient(y), -1.0);
+/// assert_eq!(e.constant(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<usize, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// An expression consisting of a constant only.
+    pub fn constant_expr(value: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// Adds `coefficient * var` to this expression.
+    pub fn add_term(&mut self, var: Var, coefficient: f64) -> &mut Self {
+        let entry = self.terms.entry(var.0).or_insert(0.0);
+        *entry += coefficient;
+        if *entry == 0.0 {
+            self.terms.remove(&var.0);
+        }
+        self
+    }
+
+    /// Adds a constant to this expression.
+    pub fn add_constant(&mut self, value: f64) -> &mut Self {
+        self.constant += value;
+        self
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coefficient(&self, var: Var) -> f64 {
+        self.terms.get(&var.0).copied().unwrap_or(0.0)
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.terms.iter().map(|(&i, &c)| (Var(i), c))
+    }
+
+    /// Number of variables with non-zero coefficient.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` iff the expression has no variable terms.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression at a point given by a dense value vector
+    /// indexed by variable index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index is out of range of `values`.
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(&i, &c)| c * values[i])
+                .sum::<f64>()
+    }
+
+    /// Sum of expressions (convenience for folds).
+    pub fn sum<I: IntoIterator<Item = LinExpr>>(items: I) -> LinExpr {
+        items.into_iter().fold(LinExpr::zero(), |acc, e| acc + e)
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_term(v, 1.0);
+        e
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant_expr(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (&i, &c) in &rhs.terms {
+            self.add_term(Var(i), c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (&i, &c) in &rhs.terms {
+            self.add_term(Var(i), c);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        *self += -rhs;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        if rhs == 0.0 {
+            return LinExpr::zero();
+        }
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+// --- Var operator sugar -------------------------------------------------
+
+impl Add<Var> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) + LinExpr::from(rhs)
+    }
+}
+
+impl Add<LinExpr> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Add<Var> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Add<f64> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) + LinExpr::constant_expr(rhs)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub<Var> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<LinExpr> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Sub<Var> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Mul<f64> for Var {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) * rhs
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Var) -> LinExpr {
+        LinExpr::from(rhs) * self
+    }
+}
+
+impl Neg for Var {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        -LinExpr::from(self)
+    }
+}
+
+impl std::iter::Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        iter.fold(LinExpr::zero(), |acc, e| acc + e)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (&i, &c) in &self.terms {
+            if first {
+                write!(f, "{c}·x{i}")?;
+                first = false;
+            } else if c >= 0.0 {
+                write!(f, " + {c}·x{i}")?;
+            } else {
+                write!(f, " - {}·x{i}", -c)?;
+            }
+        }
+        if self.constant != 0.0 || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else if self.constant >= 0.0 {
+                write!(f, " + {}", self.constant)?;
+            } else {
+                write!(f, " - {}", -self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_and_coefficients() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = 2.0 * x + y * 3.0 - 1.5;
+        assert_eq!(e.coefficient(x), 2.0);
+        assert_eq!(e.coefficient(y), 3.0);
+        assert_eq!(e.coefficient(Var(9)), 0.0);
+        assert_eq!(e.constant(), -1.5);
+        assert_eq!(e.num_terms(), 2);
+    }
+
+    #[test]
+    fn cancellation_removes_terms() {
+        let x = Var(0);
+        let e = LinExpr::from(x) - x;
+        assert_eq!(e.num_terms(), 0);
+        assert!(e.is_constant());
+    }
+
+    #[test]
+    fn evaluate_at_point() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = 2.0 * x - 0.5 * y + 4.0;
+        assert_eq!(e.evaluate(&[3.0, 2.0]), 2.0 * 3.0 - 0.5 * 2.0 + 4.0);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let x = Var(0);
+        let e = -(2.0 * x + 1.0);
+        assert_eq!(e.coefficient(x), -2.0);
+        assert_eq!(e.constant(), -1.0);
+        let d = (x + 5.0) - (x + 2.0);
+        assert!(d.is_constant());
+        assert_eq!(d.constant(), 3.0);
+    }
+
+    #[test]
+    fn scaling_by_zero_clears() {
+        let x = Var(0);
+        let e = (3.0 * x + 2.0) * 0.0;
+        assert_eq!(e, LinExpr::zero());
+    }
+
+    #[test]
+    fn sum_folds_expressions() {
+        let x = Var(0);
+        let y = Var(1);
+        let e: LinExpr = vec![LinExpr::from(x), LinExpr::from(y), LinExpr::from(x)]
+            .into_iter()
+            .sum();
+        assert_eq!(e.coefficient(x), 2.0);
+        assert_eq!(e.coefficient(y), 1.0);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let x = Var(0);
+        let y = Var(1);
+        assert_eq!((2.0 * x - 1.0 * y + 1.0).to_string(), "2·x0 - 1·x1 + 1");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn iter_in_index_order() {
+        let e = 1.0 * Var(5) + 1.0 * Var(2) + 1.0 * Var(9);
+        let idx: Vec<usize> = e.iter().map(|(v, _)| v.index()).collect();
+        assert_eq!(idx, vec![2, 5, 9]);
+    }
+}

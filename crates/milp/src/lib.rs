@@ -1,0 +1,86 @@
+//! # pmcs-milp
+//!
+//! A self-contained linear-programming and mixed-integer-linear-programming
+//! solver, built from scratch for the `pmcs` workspace. It replaces the
+//! commercial solver (IBM CPLEX) used by the original paper.
+//!
+//! * **LP**: two-phase primal simplex with *bounded variables* (variables
+//!   may be non-basic at either bound, so variable bounds never add rows),
+//!   Dantzig pricing with an automatic fallback to Bland's rule to escape
+//!   cycling ([`simplex`]).
+//! * **MILP**: best-first branch & bound on fractional integer variables
+//!   with a rounding heuristic for early incumbents ([`branch`]).
+//!
+//! The solver is deliberately dense and simple — the schedulability
+//! formulations it serves have at most a few hundred variables. On node or
+//! iteration limits it reports the best *remaining upper bound* which, for
+//! the delay-maximization problems of the analysis, is still a **safe**
+//! (pessimistic) bound.
+//!
+//! ## Example
+//!
+//! ```
+//! use pmcs_milp::{Problem, Cmp, Solver};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4, x + 3y <= 6, 0 <= x,y, y integer
+//! let mut p = Problem::maximize();
+//! let x = p.continuous("x", 0.0, f64::INFINITY);
+//! let y = p.integer("y", 0.0, 10.0);
+//! p.constrain(x + y, Cmp::Le, 4.0);
+//! p.constrain(x + 3.0 * y, Cmp::Le, 6.0);
+//! p.set_objective(3.0 * x + 2.0 * y);
+//! let sol = Solver::new().solve(&p)?;
+//! assert!((sol.objective() - 12.0).abs() < 1e-6); // x=4, y=0
+//! # Ok::<(), pmcs_milp::MilpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod branch;
+pub mod error;
+pub mod expr;
+pub mod problem;
+pub mod simplex;
+pub mod solution;
+
+pub use branch::{BranchAndBound, Limits};
+pub use error::MilpError;
+pub use expr::{LinExpr, Var};
+pub use problem::{Cmp, Objective, Problem, VarKind};
+pub use simplex::{LpOutcome, LpSolution, Simplex};
+pub use solution::{MilpSolution, SolveStatus};
+
+/// Front-door MILP solver with default limits.
+///
+/// Thin convenience wrapper over [`BranchAndBound`]; see the crate-level
+/// example.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    limits: Limits,
+}
+
+impl Solver {
+    /// Creates a solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a solver with explicit limits.
+    pub fn with_limits(limits: Limits) -> Self {
+        Solver { limits }
+    }
+
+    /// Solves the problem to optimality (or to the configured limits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError`] if the problem is infeasible, unbounded, or
+    /// numerically intractable. Hitting a node/iteration limit is *not* an
+    /// error: the returned solution carries [`SolveStatus::LimitReached`]
+    /// together with the best proven bound.
+    pub fn solve(&self, problem: &Problem) -> Result<MilpSolution, MilpError> {
+        BranchAndBound::new(self.limits.clone()).solve(problem)
+    }
+}

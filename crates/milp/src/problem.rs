@@ -1,0 +1,404 @@
+//! Problem construction: variables, constraints, objective.
+
+use std::fmt;
+
+use crate::error::MilpError;
+use crate::expr::{LinExpr, Var};
+
+/// Variable kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds.
+    Integer,
+    /// Binary, i.e. integer in `[0, 1]`.
+    Binary,
+}
+
+impl VarKind {
+    /// `true` for integer-restricted kinds (integer and binary).
+    pub fn is_integral(self) -> bool {
+        !matches!(self, VarKind::Continuous)
+    }
+}
+
+/// Comparison sense of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Le => "<=",
+            Cmp::Eq => "=",
+            Cmp::Ge => ">=",
+        })
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Maximize the objective expression.
+    Maximize,
+    /// Minimize the objective expression.
+    Minimize,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarData {
+    pub name: String,
+    pub kind: VarKind,
+    pub lower: f64,
+    pub upper: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub expr: LinExpr,
+    pub cmp: Cmp,
+    pub rhs: f64,
+    pub name: Option<String>,
+}
+
+/// A mixed-integer linear program under construction.
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) vars: Vec<VarData>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) direction: Objective,
+}
+
+impl Problem {
+    /// Creates an empty maximization problem.
+    pub fn maximize() -> Self {
+        Problem::new(Objective::Maximize)
+    }
+
+    /// Creates an empty minimization problem.
+    pub fn minimize() -> Self {
+        Problem::new(Objective::Minimize)
+    }
+
+    /// Creates an empty problem with the given direction.
+    pub fn new(direction: Objective) -> Self {
+        Problem {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::zero(),
+            direction,
+        }
+    }
+
+    /// Adds a continuous variable with bounds `[lower, upper]`
+    /// (`f64::INFINITY` / `f64::NEG_INFINITY` allowed).
+    pub fn continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.add_var(name.into(), VarKind::Continuous, lower, upper)
+    }
+
+    /// Adds an integer variable with bounds `[lower, upper]`.
+    pub fn integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.add_var(name.into(), VarKind::Integer, lower, upper)
+    }
+
+    /// Adds a binary variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> Var {
+        self.add_var(name.into(), VarKind::Binary, 0.0, 1.0)
+    }
+
+    fn add_var(&mut self, name: String, kind: VarKind, lower: f64, upper: f64) -> Var {
+        self.vars.push(VarData {
+            name,
+            kind,
+            lower,
+            upper,
+        });
+        Var(self.vars.len() - 1)
+    }
+
+    /// Adds the constraint `expr cmp rhs`.
+    ///
+    /// Any constant inside `expr` is moved to the right-hand side.
+    pub fn constrain(&mut self, expr: impl Into<LinExpr>, cmp: Cmp, rhs: f64) {
+        self.constrain_named(None::<String>, expr, cmp, rhs)
+    }
+
+    /// Adds a named constraint (names appear in debug dumps).
+    pub fn constrain_named(
+        &mut self,
+        name: Option<impl Into<String>>,
+        expr: impl Into<LinExpr>,
+        cmp: Cmp,
+        rhs: f64,
+    ) {
+        let expr = expr.into();
+        let adjusted_rhs = rhs - expr.constant();
+        let mut pure = expr;
+        pure.add_constant(-pure.constant());
+        self.constraints.push(Constraint {
+            expr: pure,
+            cmp,
+            rhs: adjusted_rhs,
+            name: name.map(Into::into),
+        });
+    }
+
+    /// Fixes a variable to a value (convenience for `expr = value`).
+    pub fn fix(&mut self, var: Var, value: f64) {
+        let v = &mut self.vars[var.0];
+        v.lower = value;
+        v.upper = value;
+    }
+
+    /// Sets the objective expression (its constant is carried through to
+    /// reported objective values).
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = expr.into();
+    }
+
+    /// The optimization direction.
+    pub fn direction(&self) -> Objective {
+        self.direction
+    }
+
+    /// The objective expression.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable kind of `var`.
+    pub fn var_kind(&self, var: Var) -> VarKind {
+        self.vars[var.0].kind
+    }
+
+    /// Bounds of `var`.
+    pub fn var_bounds(&self, var: Var) -> (f64, f64) {
+        let v = &self.vars[var.0];
+        (v.lower, v.upper)
+    }
+
+    /// Name of `var`.
+    pub fn var_name(&self, var: Var) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// All integral (integer/binary) variables.
+    pub fn integral_vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind.is_integral())
+            .map(|(i, _)| Var(i))
+    }
+
+    /// Validates bounds and coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::InvalidProblem`] for inverted bounds or
+    /// non-finite coefficients/right-hand sides.
+    pub fn validate(&self) -> Result<(), MilpError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lower > v.upper {
+                return Err(MilpError::InvalidProblem(format!(
+                    "variable x{i} ({}) has inverted bounds [{}, {}]",
+                    v.name, v.lower, v.upper
+                )));
+            }
+            if v.lower.is_nan() || v.upper.is_nan() {
+                return Err(MilpError::InvalidProblem(format!(
+                    "variable x{i} ({}) has NaN bounds",
+                    v.name
+                )));
+            }
+        }
+        for (k, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(MilpError::InvalidProblem(format!(
+                    "constraint {k} has non-finite rhs {}",
+                    c.rhs
+                )));
+            }
+            for (v, coeff) in c.expr.iter() {
+                if !coeff.is_finite() {
+                    return Err(MilpError::InvalidProblem(format!(
+                        "constraint {k} has non-finite coefficient on {v}"
+                    )));
+                }
+                if v.0 >= self.vars.len() {
+                    return Err(MilpError::InvalidProblem(format!(
+                        "constraint {k} references unknown variable {v}"
+                    )));
+                }
+            }
+        }
+        for (v, coeff) in self.objective.iter() {
+            if !coeff.is_finite() {
+                return Err(MilpError::InvalidProblem(format!(
+                    "objective has non-finite coefficient on {v}"
+                )));
+            }
+            if v.0 >= self.vars.len() {
+                return Err(MilpError::InvalidProblem(format!(
+                    "objective references unknown variable {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks whether a candidate point satisfies all constraints and
+    /// bounds within `tol` (integrality of integer variables included).
+    ///
+    /// Useful for tests and for the rounding heuristic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.num_vars()`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        assert_eq!(values.len(), self.vars.len(), "dimension mismatch");
+        for (i, v) in self.vars.iter().enumerate() {
+            let x = values[i];
+            if x < v.lower - tol || x > v.upper + tol {
+                return false;
+            }
+            if v.kind.is_integral() && (x - x.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.evaluate(values);
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Problem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.direction {
+            Objective::Maximize => "maximize",
+            Objective::Minimize => "minimize",
+        };
+        writeln!(f, "{dir} {}", self.objective)?;
+        writeln!(f, "subject to:")?;
+        for c in &self.constraints {
+            if let Some(name) = &c.name {
+                writeln!(f, "  [{name}] {} {} {}", c.expr, c.cmp, c.rhs)?;
+            } else {
+                writeln!(f, "  {} {} {}", c.expr, c.cmp, c.rhs)?;
+            }
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            writeln!(
+                f,
+                "  {:?} x{i} ({}) in [{}, {}]",
+                v.kind, v.name, v.lower, v.upper
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_get_sequential_indices() {
+        let mut p = Problem::maximize();
+        let x = p.continuous("x", 0.0, 1.0);
+        let y = p.binary("y");
+        let z = p.integer("z", -2.0, 7.0);
+        assert_eq!((x.index(), y.index(), z.index()), (0, 1, 2));
+        assert_eq!(p.num_vars(), 3);
+        assert_eq!(p.var_kind(y), VarKind::Binary);
+        assert_eq!(p.var_bounds(z), (-2.0, 7.0));
+        assert_eq!(p.var_name(x), "x");
+        let ints: Vec<_> = p.integral_vars().collect();
+        assert_eq!(ints, vec![y, z]);
+    }
+
+    #[test]
+    fn constraint_constant_moves_to_rhs() {
+        let mut p = Problem::minimize();
+        let x = p.continuous("x", 0.0, 10.0);
+        p.constrain(x + 3.0, Cmp::Le, 5.0);
+        assert_eq!(p.constraints[0].rhs, 2.0);
+        assert_eq!(p.constraints[0].expr.constant(), 0.0);
+    }
+
+    #[test]
+    fn validate_catches_inverted_bounds() {
+        let mut p = Problem::maximize();
+        let _ = p.continuous("x", 1.0, 0.0);
+        assert!(matches!(p.validate(), Err(MilpError::InvalidProblem(_))));
+    }
+
+    #[test]
+    fn validate_catches_nonfinite_rhs() {
+        let mut p = Problem::maximize();
+        let x = p.continuous("x", 0.0, 1.0);
+        p.constrain(x, Cmp::Le, f64::INFINITY);
+        assert!(matches!(p.validate(), Err(MilpError::InvalidProblem(_))));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = Problem::maximize();
+        let x = p.continuous("x", 0.0, 4.0);
+        let y = p.binary("y");
+        p.constrain(x + 2.0 * y, Cmp::Le, 4.0);
+        assert!(p.is_feasible(&[2.0, 1.0], 1e-9));
+        assert!(!p.is_feasible(&[3.5, 1.0], 1e-9)); // violates constraint
+        assert!(!p.is_feasible(&[1.0, 0.5], 1e-9)); // fractional binary
+        assert!(!p.is_feasible(&[5.0, 0.0], 1e-9)); // bound violation
+    }
+
+    #[test]
+    fn fix_pins_both_bounds() {
+        let mut p = Problem::maximize();
+        let x = p.continuous("x", 0.0, 4.0);
+        p.fix(x, 2.5);
+        assert_eq!(p.var_bounds(x), (2.5, 2.5));
+    }
+
+    #[test]
+    fn display_contains_pieces() {
+        let mut p = Problem::maximize();
+        let x = p.binary("x");
+        p.constrain_named(Some("cap"), 2.0 * x, Cmp::Le, 1.0);
+        p.set_objective(x);
+        let s = p.to_string();
+        assert!(s.contains("maximize"));
+        assert!(s.contains("[cap]"));
+    }
+}

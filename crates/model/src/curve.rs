@@ -1,0 +1,353 @@
+//! Arrival curves bounding task release events (Section II of the paper).
+//!
+//! An arrival curve `η(δ)` upper-bounds the number of release events of a
+//! task in **any** half-open time window of length `δ`. A sporadic task with
+//! minimum inter-arrival time `T` has `η(δ) = ⌈δ/T⌉`.
+//!
+//! The analyses additionally need the *closed-window* count
+//! `η⁺(δ) = η(δ + 1 tick)` (releases in a window including both endpoints),
+//! used e.g. by the classical non-preemptive start-time recurrence.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// Upper bound on release events in any window of a given length.
+///
+/// Implementations must be **monotone**: `δ₁ ≤ δ₂ ⇒ η(δ₁) ≤ η(δ₂)`, and must
+/// satisfy `η(0) = 0` (a zero-length half-open window contains no events).
+pub trait ArrivalBound {
+    /// Maximum number of releases in any half-open window of length `delta`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `delta` is negative.
+    fn eta(&self, delta: Time) -> u64;
+
+    /// Maximum number of releases in any *closed* window of length `delta`
+    /// (both endpoints included). Equals `eta(delta + 1 tick)`.
+    fn eta_closed(&self, delta: Time) -> u64 {
+        self.eta(delta + Time::TICK)
+    }
+
+    /// Smallest window length that can contain `n` releases
+    /// (pseudo-inverse of the curve); `Time::ZERO` for `n ≤ 1`.
+    ///
+    /// Used by simulators generating adversarial release patterns. The
+    /// default implementation performs a galloping + binary search on `eta`
+    /// and is correct for any monotone curve.
+    fn min_distance(&self, n: u64) -> Time {
+        if n <= 1 {
+            return Time::ZERO;
+        }
+        // Find delta such that eta(delta + 1) >= n (closed window of length
+        // delta containing n releases) with the smallest such delta.
+        let mut hi = Time::TICK;
+        while self.eta_closed(hi) < n {
+            let next = hi * 2i64;
+            assert!(next > hi, "min_distance: overflow while searching");
+            hi = next;
+        }
+        let mut lo = Time::ZERO;
+        while lo < hi {
+            let mid = Time::from_ticks((lo.as_ticks() + hi.as_ticks()) / 2);
+            if self.eta_closed(mid) >= n {
+                hi = mid;
+            } else {
+                lo = mid + Time::TICK;
+            }
+        }
+        lo
+    }
+}
+
+/// The arrival models supported natively by the workspace.
+///
+/// This is a closed enum (rather than a trait object) so that tasks remain
+/// `Clone + PartialEq + Hash`; it implements [`ArrivalBound`], and exotic
+/// shapes can be expressed with [`ArrivalModel::Staircase`].
+///
+/// # Example
+///
+/// ```
+/// use pmcs_model::{ArrivalBound, ArrivalModel, Time};
+///
+/// let sporadic = ArrivalModel::sporadic(Time::from_millis(10));
+/// assert_eq!(sporadic.eta(Time::ZERO), 0);
+/// assert_eq!(sporadic.eta(Time::from_millis(10)), 1);
+/// assert_eq!(sporadic.eta(Time::from_millis(25)), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ArrivalModel {
+    /// Sporadic releases separated by at least the minimum inter-arrival
+    /// time: `η(δ) = ⌈δ/T⌉` (the model used by the paper's evaluation).
+    Sporadic {
+        /// Minimum inter-arrival time `T` (must be positive).
+        min_inter_arrival: Time,
+    },
+    /// Periodic releases with release jitter: `η(δ) = ⌈(δ + J)/T⌉` for
+    /// `δ > 0`, and `0` for `δ = 0`.
+    PeriodicJitter {
+        /// Period `T` (must be positive).
+        period: Time,
+        /// Release jitter `J ≥ 0`.
+        jitter: Time,
+    },
+    /// An explicit staircase curve.
+    Staircase(StaircaseCurve),
+}
+
+impl ArrivalModel {
+    /// Convenience constructor for a sporadic model.
+    pub fn sporadic(min_inter_arrival: Time) -> Self {
+        assert!(
+            min_inter_arrival > Time::ZERO,
+            "sporadic minimum inter-arrival time must be positive"
+        );
+        ArrivalModel::Sporadic { min_inter_arrival }
+    }
+
+    /// Convenience constructor for a periodic-with-jitter model.
+    pub fn periodic_with_jitter(period: Time, jitter: Time) -> Self {
+        assert!(period > Time::ZERO, "period must be positive");
+        assert!(jitter.is_duration(), "jitter must be non-negative");
+        ArrivalModel::PeriodicJitter { period, jitter }
+    }
+
+    /// The minimum inter-arrival time implied by this model, i.e. the
+    /// largest `T` with `η(T) ≤ 1`; `None` if bursts of ≥ 2 simultaneous
+    /// releases are possible.
+    pub fn min_inter_arrival(&self) -> Option<Time> {
+        match self {
+            ArrivalModel::Sporadic { min_inter_arrival } => Some(*min_inter_arrival),
+            ArrivalModel::PeriodicJitter { period, jitter } => {
+                if *jitter >= *period {
+                    None
+                } else {
+                    Some(*period - *jitter)
+                }
+            }
+            ArrivalModel::Staircase(c) => {
+                if c.eta(Time::TICK) > 1 {
+                    None
+                } else {
+                    Some(c.min_distance(2))
+                }
+            }
+        }
+    }
+}
+
+impl ArrivalBound for ArrivalModel {
+    fn eta(&self, delta: Time) -> u64 {
+        assert!(delta.is_duration(), "eta: window length must be non-negative");
+        if delta.is_zero() {
+            return 0;
+        }
+        match self {
+            ArrivalModel::Sporadic { min_inter_arrival } => delta.div_ceil(*min_inter_arrival),
+            ArrivalModel::PeriodicJitter { period, jitter } => {
+                (delta + *jitter).div_ceil(*period)
+            }
+            ArrivalModel::Staircase(c) => c.eta(delta),
+        }
+    }
+}
+
+/// An explicit, finite staircase arrival curve.
+///
+/// Defined by steps `(δ_k, n_k)`: for window length `δ`, `η(δ)` is the
+/// largest `n_k` with `δ_k ≤ δ`; beyond the last step the curve continues
+/// with a long-run rate (`extra` events every `tail_period`).
+///
+/// # Example
+///
+/// ```
+/// use pmcs_model::{ArrivalBound, StaircaseCurve, Time};
+///
+/// // A bursty source: 3 releases back-to-back, then 1 per 10 ms.
+/// let burst = StaircaseCurve::new(
+///     vec![(Time::TICK, 3)],
+///     Time::from_millis(10),
+/// );
+/// assert_eq!(burst.eta(Time::TICK), 3);
+/// assert_eq!(burst.eta_closed(Time::from_millis(10)), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StaircaseCurve {
+    /// Step points `(window length, cumulative count)`, strictly increasing
+    /// in both components.
+    steps: Vec<(Time, u64)>,
+    /// Long-run inter-arrival time applied after the last explicit step.
+    tail_period: Time,
+}
+
+impl StaircaseCurve {
+    /// Creates a staircase curve from explicit steps and a tail rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if steps are not strictly increasing in both window length and
+    /// count, if any window length is non-positive, or if `tail_period` is
+    /// non-positive.
+    pub fn new(steps: Vec<(Time, u64)>, tail_period: Time) -> Self {
+        assert!(tail_period > Time::ZERO, "tail period must be positive");
+        for w in steps.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 && w[0].1 < w[1].1,
+                "staircase steps must be strictly increasing"
+            );
+        }
+        if let Some(first) = steps.first() {
+            assert!(first.0 > Time::ZERO, "step window lengths must be positive");
+        }
+        StaircaseCurve { steps, tail_period }
+    }
+
+    /// The explicit steps of this curve.
+    pub fn steps(&self) -> &[(Time, u64)] {
+        &self.steps
+    }
+}
+
+impl ArrivalBound for StaircaseCurve {
+    fn eta(&self, delta: Time) -> u64 {
+        assert!(delta.is_duration(), "eta: window length must be non-negative");
+        if delta.is_zero() {
+            return 0;
+        }
+        match self.steps.last() {
+            None => delta.div_ceil(self.tail_period),
+            Some(&(last_delta, last_count)) => {
+                if delta <= last_delta {
+                    // Largest step with δ_k ≤ δ; before the first step the
+                    // curve is at least 1 (a single event fits any window).
+                    let mut count = 1;
+                    for &(d, n) in &self.steps {
+                        if d <= delta {
+                            count = n;
+                        } else {
+                            break;
+                        }
+                    }
+                    count
+                } else {
+                    // Half-open window: the (last_count + k)-th extra event
+                    // arrives k full tail periods after the last step.
+                    last_count + (delta - last_delta).div_floor(self.tail_period)
+                }
+            }
+        }
+    }
+}
+
+impl From<StaircaseCurve> for ArrivalModel {
+    fn from(curve: StaircaseCurve) -> Self {
+        ArrivalModel::Staircase(curve)
+    }
+}
+
+impl fmt::Display for ArrivalModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrivalModel::Sporadic { min_inter_arrival } => {
+                write!(f, "sporadic(T={min_inter_arrival})")
+            }
+            ArrivalModel::PeriodicJitter { period, jitter } => {
+                write!(f, "periodic(T={period}, J={jitter})")
+            }
+            ArrivalModel::Staircase(c) => write!(f, "staircase({} steps)", c.steps.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sporadic_eta_matches_ceiling_formula() {
+        let m = ArrivalModel::sporadic(Time::from_ticks(10));
+        assert_eq!(m.eta(Time::ZERO), 0);
+        assert_eq!(m.eta(Time::from_ticks(1)), 1);
+        assert_eq!(m.eta(Time::from_ticks(10)), 1);
+        assert_eq!(m.eta(Time::from_ticks(11)), 2);
+        assert_eq!(m.eta(Time::from_ticks(100)), 10);
+    }
+
+    #[test]
+    fn closed_window_counts_one_more_at_multiples() {
+        let m = ArrivalModel::sporadic(Time::from_ticks(10));
+        assert_eq!(m.eta_closed(Time::ZERO), 1);
+        assert_eq!(m.eta_closed(Time::from_ticks(10)), 2);
+        assert_eq!(m.eta_closed(Time::from_ticks(9)), 1);
+    }
+
+    #[test]
+    fn jitter_shifts_the_curve() {
+        let m = ArrivalModel::periodic_with_jitter(Time::from_ticks(10), Time::from_ticks(4));
+        assert_eq!(m.eta(Time::ZERO), 0);
+        assert_eq!(m.eta(Time::from_ticks(1)), 1);
+        assert_eq!(m.eta(Time::from_ticks(7)), 2); // (7+4)/10 -> ceil = 2
+        assert_eq!(m.min_inter_arrival(), Some(Time::from_ticks(6)));
+    }
+
+    #[test]
+    fn jitter_at_least_period_allows_bursts() {
+        let m = ArrivalModel::periodic_with_jitter(Time::from_ticks(10), Time::from_ticks(10));
+        assert_eq!(m.min_inter_arrival(), None);
+    }
+
+    #[test]
+    fn staircase_burst_then_rate() {
+        let c = StaircaseCurve::new(vec![(Time::TICK, 3)], Time::from_ticks(10));
+        assert_eq!(c.eta(Time::ZERO), 0);
+        assert_eq!(c.eta(Time::TICK), 3);
+        assert_eq!(c.eta(Time::from_ticks(5)), 3);
+        assert_eq!(c.eta(Time::from_ticks(11)), 4);
+        assert_eq!(c.eta(Time::from_ticks(21)), 5);
+    }
+
+    #[test]
+    fn staircase_without_steps_is_pure_rate() {
+        let c = StaircaseCurve::new(vec![], Time::from_ticks(5));
+        assert_eq!(c.eta(Time::from_ticks(12)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn staircase_rejects_non_monotone_steps() {
+        let _ = StaircaseCurve::new(
+            vec![(Time::from_ticks(5), 2), (Time::from_ticks(5), 3)],
+            Time::from_ticks(10),
+        );
+    }
+
+    #[test]
+    fn min_distance_inverts_eta() {
+        let m = ArrivalModel::sporadic(Time::from_ticks(10));
+        assert_eq!(m.min_distance(1), Time::ZERO);
+        assert_eq!(m.min_distance(2), Time::from_ticks(10));
+        assert_eq!(m.min_distance(4), Time::from_ticks(30));
+    }
+
+    #[test]
+    fn min_distance_for_bursty_curve() {
+        let c = StaircaseCurve::new(vec![(Time::TICK, 3)], Time::from_ticks(10));
+        let m = ArrivalModel::from(c);
+        // Two releases can be simultaneous (burst of 3 in a 1-tick window
+        // means distance 0 between consecutive releases).
+        assert_eq!(m.min_distance(2), Time::ZERO);
+        assert_eq!(m.min_distance(3), Time::ZERO);
+        // Fourth release needs the tail rate.
+        assert!(m.min_distance(4) > Time::ZERO);
+    }
+
+    #[test]
+    fn sporadic_constructor_display() {
+        let m = ArrivalModel::sporadic(Time::from_millis(10));
+        assert_eq!(m.to_string(), "sporadic(T=10ms)");
+        assert_eq!(m.min_inter_arrival(), Some(Time::from_millis(10)));
+    }
+}

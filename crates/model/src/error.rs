@@ -1,0 +1,104 @@
+//! Error types for model construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::task::TaskId;
+
+/// Errors produced when building or validating model entities.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_model::prelude::*;
+///
+/// let err = Task::builder(TaskId(0)).build().unwrap_err();
+/// assert!(matches!(err, ModelError::MissingField { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A required builder field was not provided.
+    MissingField {
+        /// Entity being built (e.g. `"Task"`).
+        entity: &'static str,
+        /// Name of the missing field.
+        field: &'static str,
+    },
+    /// A duration field was negative or otherwise out of range.
+    InvalidDuration {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Two tasks in the same task set share a priority level.
+    DuplicatePriority {
+        /// First task at this priority.
+        first: TaskId,
+        /// Second task at this priority.
+        second: TaskId,
+    },
+    /// Two tasks in the same task set share an identifier.
+    DuplicateTaskId(TaskId),
+    /// A referenced task does not exist in the task set.
+    UnknownTask(TaskId),
+    /// The task set is empty where at least one task is required.
+    EmptyTaskSet,
+    /// A platform was configured with no cores.
+    EmptyPlatform,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::MissingField { entity, field } => {
+                write!(f, "missing required field `{field}` while building {entity}")
+            }
+            ModelError::InvalidDuration { field, reason } => {
+                write!(f, "invalid duration for `{field}`: {reason}")
+            }
+            ModelError::DuplicatePriority { first, second } => {
+                write!(f, "tasks {first} and {second} share a priority level")
+            }
+            ModelError::DuplicateTaskId(id) => write!(f, "duplicate task id {id}"),
+            ModelError::UnknownTask(id) => write!(f, "unknown task id {id}"),
+            ModelError::EmptyTaskSet => write!(f, "task set must contain at least one task"),
+            ModelError::EmptyPlatform => write!(f, "platform must have at least one core"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let err = ModelError::MissingField {
+            entity: "Task",
+            field: "exec",
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("missing required field"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<ModelError>();
+    }
+
+    #[test]
+    fn duplicate_priority_mentions_both_tasks() {
+        let err = ModelError::DuplicatePriority {
+            first: TaskId(1),
+            second: TaskId(2),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("τ1") && msg.contains("τ2"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Job instances of tasks, shared between the simulator and the analyses.
+
+use std::fmt;
+
+use crate::task::TaskId;
+use crate::time::Time;
+
+/// Identifies one job: the releasing task plus a per-task sequence number.
+///
+/// ```
+/// # use pmcs_model::{JobId, TaskId};
+/// let j = JobId::new(TaskId(2), 5);
+/// assert_eq!(j.to_string(), "τ2#5");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId {
+    task: TaskId,
+    index: u64,
+}
+
+impl JobId {
+    /// Creates a job id for the `index`-th job (0-based) of `task`.
+    pub fn new(task: TaskId, index: u64) -> Self {
+        JobId { task, index }
+    }
+
+    /// The releasing task.
+    pub fn task(self) -> TaskId {
+        self.task
+    }
+
+    /// Zero-based job sequence number.
+    pub fn index(self) -> u64 {
+        self.index
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.task, self.index)
+    }
+}
+
+/// A released job instance.
+///
+/// A job is *ready* from its release until its copy-in starts, *pending*
+/// until its copy-out completes (Section II of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Job {
+    id: JobId,
+    release: Time,
+    absolute_deadline: Time,
+}
+
+impl Job {
+    /// Creates a job released at `release` with the given absolute deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deadline precedes the release.
+    pub fn new(id: JobId, release: Time, absolute_deadline: Time) -> Self {
+        assert!(
+            absolute_deadline >= release,
+            "job deadline must not precede its release"
+        );
+        Job {
+            id,
+            release,
+            absolute_deadline,
+        }
+    }
+
+    /// Job identifier.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Release instant.
+    pub fn release(&self) -> Time {
+        self.release
+    }
+
+    /// Absolute deadline.
+    pub fn absolute_deadline(&self) -> Time {
+        self.absolute_deadline
+    }
+
+    /// Response time if the job completes at `completion`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completion` precedes the release.
+    pub fn response_time(&self, completion: Time) -> Time {
+        assert!(
+            completion >= self.release,
+            "completion must not precede release"
+        );
+        completion - self.release
+    }
+
+    /// `true` iff completing at `completion` meets the deadline.
+    pub fn meets_deadline(&self, completion: Time) -> bool {
+        completion <= self.absolute_deadline
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} released@{} deadline@{}",
+            self.id, self.release, self.absolute_deadline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_accessors() {
+        let j = Job::new(
+            JobId::new(TaskId(1), 3),
+            Time::from_ticks(100),
+            Time::from_ticks(180),
+        );
+        assert_eq!(j.id().task(), TaskId(1));
+        assert_eq!(j.id().index(), 3);
+        assert_eq!(j.release(), Time::from_ticks(100));
+        assert_eq!(j.absolute_deadline(), Time::from_ticks(180));
+    }
+
+    #[test]
+    fn response_time_and_deadline_check() {
+        let j = Job::new(
+            JobId::new(TaskId(0), 0),
+            Time::from_ticks(10),
+            Time::from_ticks(60),
+        );
+        assert_eq!(j.response_time(Time::from_ticks(45)), Time::from_ticks(35));
+        assert!(j.meets_deadline(Time::from_ticks(60)));
+        assert!(!j.meets_deadline(Time::from_ticks(61)));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must not precede")]
+    fn deadline_before_release_panics() {
+        let _ = Job::new(JobId::new(TaskId(0), 0), Time::from_ticks(10), Time::ZERO);
+    }
+
+    #[test]
+    fn job_id_ordering_is_by_task_then_index() {
+        let a = JobId::new(TaskId(0), 5);
+        let b = JobId::new(TaskId(1), 0);
+        let c = JobId::new(TaskId(1), 1);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_formats() {
+        let j = Job::new(JobId::new(TaskId(4), 2), Time::ZERO, Time::from_ticks(5));
+        assert!(j.to_string().contains("τ4#2"));
+    }
+}

@@ -1,0 +1,68 @@
+//! # pmcs-model
+//!
+//! Task, time, and arrival-curve model shared by every crate in the `pmcs`
+//! workspace — a reproduction of *"Predictable Memory-CPU Co-Scheduling with
+//! Support for Latency-Sensitive Tasks"* (Casini, Pazzaglia, Biondi,
+//! Di Natale, Buttazzo — DAC 2020).
+//!
+//! The model follows Section II of the paper:
+//!
+//! * a platform of identical cores, each with a dual-ported local memory
+//!   (two partitions) and a private DMA engine ([`platform`]);
+//! * independent sporadic real-time tasks executing in **three phases**
+//!   (copy-in `l`, execution `C`, copy-out `u`) under non-preemptive
+//!   fixed-priority partitioned scheduling ([`task`]);
+//! * release events bounded by **arrival curves** `η(δ)` ([`curve`]);
+//! * per-core task sets with unique priorities ([`taskset`]).
+//!
+//! Time is modeled with an integer tick type ([`time::Time`], 1 tick = 1 µs)
+//! so that simulation and analysis are exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use pmcs_model::prelude::*;
+//!
+//! let task = Task::builder(TaskId(0))
+//!     .name("sensor-fusion")
+//!     .exec(Time::from_millis(2))
+//!     .copy_in(Time::from_micros(400))
+//!     .copy_out(Time::from_micros(400))
+//!     .sporadic(Time::from_millis(20))
+//!     .deadline(Time::from_millis(10))
+//!     .priority(Priority(1))
+//!     .build()?;
+//! assert_eq!(task.wcet_serialized(), Time::from_micros(2_800));
+//! # Ok::<(), pmcs_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod curve;
+pub mod error;
+pub mod job;
+pub mod platform;
+pub mod task;
+pub mod taskset;
+pub mod time;
+
+pub use curve::{ArrivalBound, ArrivalModel, StaircaseCurve};
+pub use error::ModelError;
+pub use job::{Job, JobId};
+pub use platform::{CoreId, Platform, PlatformBuilder};
+pub use task::{Phase, Priority, Sensitivity, Task, TaskBuilder, TaskId};
+pub use taskset::TaskSet;
+pub use time::Time;
+
+/// Commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::curve::{ArrivalBound, ArrivalModel};
+    pub use crate::error::ModelError;
+    pub use crate::job::{Job, JobId};
+    pub use crate::platform::{CoreId, Platform};
+    pub use crate::task::{Phase, Priority, Sensitivity, Task, TaskId};
+    pub use crate::taskset::TaskSet;
+    pub use crate::time::Time;
+}

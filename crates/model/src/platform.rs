@@ -1,0 +1,167 @@
+//! Platform model (Section II of the paper).
+//!
+//! The target platform has `P` identical cores; each core owns a private
+//! dual-ported local memory split into **two partitions** and a private DMA
+//! engine. A crossbar provides contention-free point-to-point paths, so all
+//! memory contention is folded into the `l_i`/`u_i` bounds of the tasks
+//! (computed with the techniques of references [7, 8] of the paper).
+//!
+//! Since scheduling and analysis are strictly per-core (partitioned), the
+//! platform type mainly documents the assumptions and carries per-core task
+//! assignments for multi-core experiments.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::taskset::TaskSet;
+
+/// Identifier of a core (`p_m` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u32);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A multicore platform with statically partitioned task sets.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_model::prelude::*;
+///
+/// let t = Task::builder(TaskId(0))
+///     .exec(Time::from_ticks(10))
+///     .sporadic(Time::from_ticks(100))
+///     .deadline(Time::from_ticks(100))
+///     .priority(Priority(0))
+///     .build()?;
+/// let platform = Platform::builder()
+///     .core(TaskSet::new(vec![t])?)
+///     .build()?;
+/// assert_eq!(platform.num_cores(), 1);
+/// # Ok::<(), pmcs_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    cores: Vec<TaskSet>,
+}
+
+impl Platform {
+    /// Starts building a platform.
+    pub fn builder() -> PlatformBuilder {
+        PlatformBuilder { cores: Vec::new() }
+    }
+
+    /// Number of cores `P`.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Task set partitioned to the given core.
+    pub fn core(&self, id: CoreId) -> Option<&TaskSet> {
+        self.cores.get(id.0 as usize)
+    }
+
+    /// Iterates over `(core, task set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (CoreId, &TaskSet)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .map(|(i, ts)| (CoreId(i as u32), ts))
+    }
+
+    /// Total utilization across all cores.
+    pub fn utilization(&self) -> f64 {
+        self.cores.iter().map(TaskSet::utilization).sum()
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "platform with {} core(s):", self.num_cores())?;
+        for (id, ts) in self.iter() {
+            writeln!(f, "{id}: {ts}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Platform`].
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    cores: Vec<TaskSet>,
+}
+
+impl PlatformBuilder {
+    /// Adds a core hosting the given task set.
+    pub fn core(mut self, tasks: TaskSet) -> Self {
+        self.cores.push(tasks);
+        self
+    }
+
+    /// Finalizes the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyPlatform`] if no core was added.
+    pub fn build(self) -> Result<Platform, ModelError> {
+        if self.cores.is_empty() {
+            return Err(ModelError::EmptyPlatform);
+        }
+        Ok(Platform { cores: self.cores })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{Priority, Task, TaskId};
+    use crate::time::Time;
+
+    fn ts(base: u32) -> TaskSet {
+        let t = Task::builder(TaskId(base))
+            .exec(Time::from_ticks(10))
+            .sporadic(Time::from_ticks(100))
+            .deadline(Time::from_ticks(100))
+            .priority(Priority(0))
+            .build()
+            .unwrap();
+        TaskSet::new(vec![t]).unwrap()
+    }
+
+    #[test]
+    fn empty_platform_is_rejected() {
+        assert_eq!(
+            Platform::builder().build().unwrap_err(),
+            ModelError::EmptyPlatform
+        );
+    }
+
+    #[test]
+    fn cores_are_indexed_in_insertion_order() {
+        let p = Platform::builder().core(ts(0)).core(ts(10)).build().unwrap();
+        assert_eq!(p.num_cores(), 2);
+        assert_eq!(
+            p.core(CoreId(1)).unwrap().tasks()[0].id(),
+            TaskId(10)
+        );
+        assert!(p.core(CoreId(2)).is_none());
+    }
+
+    #[test]
+    fn utilization_sums_over_cores() {
+        let p = Platform::builder().core(ts(0)).core(ts(1)).build().unwrap();
+        assert!((p.utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_core_ids() {
+        let p = Platform::builder().core(ts(0)).build().unwrap();
+        let ids: Vec<_> = p.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![CoreId(0)]);
+        assert_eq!(CoreId(0).to_string(), "p0");
+    }
+}

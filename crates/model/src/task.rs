@@ -1,0 +1,552 @@
+//! Three-phase real-time tasks (Section II of the paper).
+//!
+//! Each task executes in three non-preemptable phases: **copy-in** (`l_i`,
+//! load data/instructions from global to local memory), **execution**
+//! (`C_i`, contention-free on the core), and **copy-out** (`u_i`, write
+//! results back to global memory).
+
+use std::fmt;
+
+use crate::curve::{ArrivalBound, ArrivalModel};
+use crate::error::ModelError;
+use crate::time::Time;
+
+/// Unique task identifier within a task set.
+///
+/// ```
+/// # use pmcs_model::TaskId;
+/// assert_eq!(TaskId(3).to_string(), "τ3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// Fixed task priority. **Lower numeric value = higher priority** (as in
+/// most RTOS conventions). Priorities are unique within a task set.
+///
+/// ```
+/// # use pmcs_model::Priority;
+/// assert!(Priority(0).is_higher_than(Priority(5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Priority(pub u32);
+
+impl Priority {
+    /// `true` iff `self` denotes a strictly higher priority than `other`.
+    #[inline]
+    pub fn is_higher_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+
+    /// `true` iff `self` denotes a strictly lower priority than `other`.
+    #[inline]
+    pub fn is_lower_than(self, other: Priority) -> bool {
+        self.0 > other.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "π{}", self.0)
+    }
+}
+
+/// The three execution phases of the predictable execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Load of instructions and data into the local memory partition (`l_i`).
+    CopyIn,
+    /// Contention-free execution on the core (`C_i`).
+    Execute,
+    /// Unload of produced data back to global memory (`u_i`).
+    CopyOut,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::CopyIn => "copy-in",
+            Phase::Execute => "execute",
+            Phase::CopyOut => "copy-out",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a task is treated as latency-sensitive by the proposed protocol
+/// (Section IV of the paper).
+///
+/// Latency-sensitive (LS) tasks can be blocked by lower-priority tasks for
+/// at most **one** scheduling interval (Property 4); non-latency-sensitive
+/// (NLS) tasks for at most **two** (Property 3). The flip side: an LS task
+/// promoted to *urgent* performs its copy-in on the CPU, occupying the core
+/// for up to `l_i + C_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sensitivity {
+    /// Not latency-sensitive (the default under the greedy algorithm).
+    #[default]
+    Nls,
+    /// Latency-sensitive.
+    Ls,
+}
+
+impl Sensitivity {
+    /// `true` iff latency-sensitive.
+    #[inline]
+    pub fn is_ls(self) -> bool {
+        matches!(self, Sensitivity::Ls)
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sensitivity::Nls => "NLS",
+            Sensitivity::Ls => "LS",
+        })
+    }
+}
+
+/// A three-phase sporadic real-time task.
+///
+/// Construct with [`Task::builder`]. All timing parameters are immutable
+/// after construction except the [`Sensitivity`] marking, which the greedy
+/// algorithm of Section VI toggles via [`Task::set_sensitivity`].
+///
+/// # Example
+///
+/// ```
+/// use pmcs_model::prelude::*;
+///
+/// let t = Task::builder(TaskId(7))
+///     .exec(Time::from_millis(3))
+///     .copy_in(Time::from_millis(1))
+///     .copy_out(Time::from_millis(1))
+///     .sporadic(Time::from_millis(40))
+///     .deadline(Time::from_millis(20))
+///     .priority(Priority(2))
+///     .build()?;
+/// assert_eq!(t.utilization(), 3.0 / 40.0);
+/// # Ok::<(), pmcs_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    id: TaskId,
+    name: Option<String>,
+    exec: Time,
+    copy_in: Time,
+    copy_out: Time,
+    arrival: ArrivalModel,
+    deadline: Time,
+    priority: Priority,
+    sensitivity: Sensitivity,
+}
+
+impl Task {
+    /// Starts building a task with the given identifier.
+    pub fn builder(id: TaskId) -> TaskBuilder {
+        TaskBuilder::new(id)
+    }
+
+    /// Task identifier.
+    #[inline]
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Optional human-readable name.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Worst-case execution time of the execution phase (`C_i`).
+    #[inline]
+    pub fn exec(&self) -> Time {
+        self.exec
+    }
+
+    /// Worst-case copy-in duration (`l_i`).
+    #[inline]
+    pub fn copy_in(&self) -> Time {
+        self.copy_in
+    }
+
+    /// Worst-case copy-out duration (`u_i`).
+    #[inline]
+    pub fn copy_out(&self) -> Time {
+        self.copy_out
+    }
+
+    /// Arrival model bounding release events.
+    #[inline]
+    pub fn arrival(&self) -> &ArrivalModel {
+        &self.arrival
+    }
+
+    /// Relative deadline (`D_i`).
+    #[inline]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Unique fixed priority (`π_i`); lower value = higher priority.
+    #[inline]
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Current latency-sensitivity marking.
+    #[inline]
+    pub fn sensitivity(&self) -> Sensitivity {
+        self.sensitivity
+    }
+
+    /// `true` iff currently marked latency-sensitive.
+    #[inline]
+    pub fn is_ls(&self) -> bool {
+        self.sensitivity.is_ls()
+    }
+
+    /// Updates the latency-sensitivity marking (greedy algorithm, Sec. VI).
+    pub fn set_sensitivity(&mut self, sensitivity: Sensitivity) {
+        self.sensitivity = sensitivity;
+    }
+
+    /// Total serialized demand `l_i + C_i + u_i` — the WCET under classical
+    /// non-preemptive scheduling where memory phases run on the CPU.
+    #[inline]
+    pub fn wcet_serialized(&self) -> Time {
+        self.copy_in + self.exec + self.copy_out
+    }
+
+    /// CPU demand when executing as an *urgent* LS task (`l_i + C_i`,
+    /// rule R5).
+    #[inline]
+    pub fn urgent_demand(&self) -> Time {
+        self.copy_in + self.exec
+    }
+
+    /// Utilization `C_i / T_i`, using the model's minimum inter-arrival
+    /// time. Returns `f64::INFINITY` if the arrival model allows bursts.
+    pub fn utilization(&self) -> f64 {
+        match self.arrival.min_inter_arrival() {
+            Some(t) if t > Time::ZERO => self.exec.as_f64() / t.as_f64(),
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Maximum releases in any half-open window of length `delta`
+    /// (shorthand for `self.arrival().eta(delta)`).
+    #[inline]
+    pub fn eta(&self, delta: Time) -> u64 {
+        self.arrival.eta(delta)
+    }
+
+    /// `true` iff the relative deadline does not exceed the minimum
+    /// inter-arrival time (constrained deadline).
+    pub fn is_constrained_deadline(&self) -> bool {
+        match self.arrival.min_inter_arrival() {
+            Some(t) => self.deadline <= t,
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] C={} l={} u={} D={} {} {}",
+            self.id,
+            self.name.as_deref().unwrap_or("-"),
+            self.exec,
+            self.copy_in,
+            self.copy_out,
+            self.deadline,
+            self.arrival,
+            self.sensitivity,
+        )
+    }
+}
+
+/// Builder for [`Task`] (see [`Task::builder`]).
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    id: TaskId,
+    name: Option<String>,
+    exec: Option<Time>,
+    copy_in: Time,
+    copy_out: Time,
+    arrival: Option<ArrivalModel>,
+    deadline: Option<Time>,
+    priority: Option<Priority>,
+    sensitivity: Sensitivity,
+}
+
+impl TaskBuilder {
+    fn new(id: TaskId) -> Self {
+        TaskBuilder {
+            id,
+            name: None,
+            exec: None,
+            copy_in: Time::ZERO,
+            copy_out: Time::ZERO,
+            arrival: None,
+            deadline: None,
+            priority: None,
+            sensitivity: Sensitivity::Nls,
+        }
+    }
+
+    /// Sets a human-readable name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the worst-case execution time `C_i` (required, positive).
+    pub fn exec(mut self, exec: Time) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Sets the worst-case copy-in duration `l_i` (default 0).
+    pub fn copy_in(mut self, copy_in: Time) -> Self {
+        self.copy_in = copy_in;
+        self
+    }
+
+    /// Sets the worst-case copy-out duration `u_i` (default 0).
+    pub fn copy_out(mut self, copy_out: Time) -> Self {
+        self.copy_out = copy_out;
+        self
+    }
+
+    /// Sets a sporadic arrival model with the given minimum inter-arrival
+    /// time (shorthand for [`TaskBuilder::arrival`]).
+    pub fn sporadic(mut self, min_inter_arrival: Time) -> Self {
+        self.arrival = Some(ArrivalModel::sporadic(min_inter_arrival));
+        self
+    }
+
+    /// Sets an arbitrary arrival model (required unless
+    /// [`TaskBuilder::sporadic`] is used).
+    pub fn arrival(mut self, arrival: ArrivalModel) -> Self {
+        self.arrival = Some(arrival);
+        self
+    }
+
+    /// Sets the relative deadline `D_i` (required, positive).
+    pub fn deadline(mut self, deadline: Time) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the unique priority (required).
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Sets the initial latency-sensitivity marking (default NLS).
+    pub fn sensitivity(mut self, sensitivity: Sensitivity) -> Self {
+        self.sensitivity = sensitivity;
+        self
+    }
+
+    /// Finalizes the task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::MissingField`] if `exec`, `arrival`/`sporadic`,
+    /// `deadline` or `priority` were not provided, and
+    /// [`ModelError::InvalidDuration`] if any duration is negative, the
+    /// execution time is zero, or the deadline is non-positive.
+    pub fn build(self) -> Result<Task, ModelError> {
+        let exec = self.exec.ok_or(ModelError::MissingField {
+            entity: "Task",
+            field: "exec",
+        })?;
+        let arrival = self.arrival.ok_or(ModelError::MissingField {
+            entity: "Task",
+            field: "arrival",
+        })?;
+        let deadline = self.deadline.ok_or(ModelError::MissingField {
+            entity: "Task",
+            field: "deadline",
+        })?;
+        let priority = self.priority.ok_or(ModelError::MissingField {
+            entity: "Task",
+            field: "priority",
+        })?;
+        if exec <= Time::ZERO {
+            return Err(ModelError::InvalidDuration {
+                field: "exec",
+                reason: format!("execution time must be positive, got {exec}"),
+            });
+        }
+        for (field, value) in [("copy_in", self.copy_in), ("copy_out", self.copy_out)] {
+            if !value.is_duration() {
+                return Err(ModelError::InvalidDuration {
+                    field,
+                    reason: format!("must be non-negative, got {value}"),
+                });
+            }
+        }
+        if deadline <= Time::ZERO {
+            return Err(ModelError::InvalidDuration {
+                field: "deadline",
+                reason: format!("deadline must be positive, got {deadline}"),
+            });
+        }
+        Ok(Task {
+            id: self.id,
+            name: self.name,
+            exec,
+            copy_in: self.copy_in,
+            copy_out: self.copy_out,
+            arrival,
+            deadline,
+            priority,
+            sensitivity: self.sensitivity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> Task {
+        Task::builder(TaskId(1))
+            .name("t1")
+            .exec(Time::from_ticks(30))
+            .copy_in(Time::from_ticks(10))
+            .copy_out(Time::from_ticks(5))
+            .sporadic(Time::from_ticks(100))
+            .deadline(Time::from_ticks(80))
+            .priority(Priority(4))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_expected_task() {
+        let t = task();
+        assert_eq!(t.id(), TaskId(1));
+        assert_eq!(t.name(), Some("t1"));
+        assert_eq!(t.exec(), Time::from_ticks(30));
+        assert_eq!(t.copy_in(), Time::from_ticks(10));
+        assert_eq!(t.copy_out(), Time::from_ticks(5));
+        assert_eq!(t.deadline(), Time::from_ticks(80));
+        assert_eq!(t.priority(), Priority(4));
+        assert_eq!(t.sensitivity(), Sensitivity::Nls);
+        assert!(!t.is_ls());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let t = task();
+        assert_eq!(t.wcet_serialized(), Time::from_ticks(45));
+        assert_eq!(t.urgent_demand(), Time::from_ticks(40));
+        assert!((t.utilization() - 0.3).abs() < 1e-12);
+        assert!(t.is_constrained_deadline());
+        assert_eq!(t.eta(Time::from_ticks(250)), 3);
+    }
+
+    #[test]
+    fn sensitivity_toggle() {
+        let mut t = task();
+        t.set_sensitivity(Sensitivity::Ls);
+        assert!(t.is_ls());
+        assert_eq!(t.sensitivity().to_string(), "LS");
+    }
+
+    #[test]
+    fn missing_fields_are_reported() {
+        let err = Task::builder(TaskId(0))
+            .exec(Time::from_ticks(5))
+            .sporadic(Time::from_ticks(50))
+            .deadline(Time::from_ticks(50))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::MissingField {
+                entity: "Task",
+                field: "priority"
+            }
+        );
+    }
+
+    #[test]
+    fn zero_exec_is_rejected() {
+        let err = Task::builder(TaskId(0))
+            .exec(Time::ZERO)
+            .sporadic(Time::from_ticks(50))
+            .deadline(Time::from_ticks(50))
+            .priority(Priority(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidDuration { field: "exec", .. }));
+    }
+
+    #[test]
+    fn negative_copy_phase_is_rejected() {
+        let err = Task::builder(TaskId(0))
+            .exec(Time::from_ticks(5))
+            .copy_in(Time::from_ticks(-1))
+            .sporadic(Time::from_ticks(50))
+            .deadline(Time::from_ticks(50))
+            .priority(Priority(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ModelError::InvalidDuration { field: "copy_in", .. }
+        ));
+    }
+
+    #[test]
+    fn priority_ordering_helpers() {
+        assert!(Priority(0).is_higher_than(Priority(1)));
+        assert!(Priority(2).is_lower_than(Priority(1)));
+        assert!(!Priority(1).is_higher_than(Priority(1)));
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(Phase::CopyIn.to_string(), "copy-in");
+        assert_eq!(Phase::Execute.to_string(), "execute");
+        assert_eq!(Phase::CopyOut.to_string(), "copy-out");
+    }
+
+    #[test]
+    fn task_display_mentions_id_and_marking() {
+        let t = task();
+        let s = t.to_string();
+        assert!(s.contains("τ1"));
+        assert!(s.contains("NLS"));
+    }
+
+    #[test]
+    fn bursty_arrival_has_infinite_utilization() {
+        let t = Task::builder(TaskId(0))
+            .exec(Time::from_ticks(5))
+            .arrival(ArrivalModel::periodic_with_jitter(
+                Time::from_ticks(10),
+                Time::from_ticks(20),
+            ))
+            .deadline(Time::from_ticks(50))
+            .priority(Priority(0))
+            .build()
+            .unwrap();
+        assert!(t.utilization().is_infinite());
+        assert!(!t.is_constrained_deadline());
+    }
+}

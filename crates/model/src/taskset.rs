@@ -1,0 +1,320 @@
+//! Per-core task sets with unique fixed priorities.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::task::{Sensitivity, Task, TaskId};
+use crate::time::Time;
+
+/// A set of tasks statically partitioned to one core, ordered by decreasing
+/// priority (index 0 = highest priority).
+///
+/// Invariants enforced at construction:
+/// * at least one task;
+/// * unique task identifiers;
+/// * unique priorities.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_model::prelude::*;
+///
+/// let mk = |id: u32, c: i64, t: i64, p: u32| {
+///     Task::builder(TaskId(id))
+///         .exec(Time::from_ticks(c))
+///         .sporadic(Time::from_ticks(t))
+///         .deadline(Time::from_ticks(t))
+///         .priority(Priority(p))
+///         .build()
+///         .unwrap()
+/// };
+/// let set = TaskSet::new(vec![mk(0, 10, 100, 2), mk(1, 5, 50, 1)])?;
+/// // Sorted by priority: τ1 (π1) first.
+/// assert_eq!(set.tasks()[0].id(), TaskId(1));
+/// assert_eq!(set.higher_priority(TaskId(0)).count(), 1);
+/// # Ok::<(), pmcs_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSet {
+    tasks: Vec<Task>,
+}
+
+impl TaskSet {
+    /// Builds a task set, sorting by decreasing priority.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyTaskSet`], [`ModelError::DuplicateTaskId`]
+    /// or [`ModelError::DuplicatePriority`] when the respective invariant is
+    /// violated.
+    pub fn new(mut tasks: Vec<Task>) -> Result<Self, ModelError> {
+        if tasks.is_empty() {
+            return Err(ModelError::EmptyTaskSet);
+        }
+        tasks.sort_by_key(|t| t.priority());
+        for pair in tasks.windows(2) {
+            if pair[0].priority() == pair[1].priority() {
+                return Err(ModelError::DuplicatePriority {
+                    first: pair[0].id(),
+                    second: pair[1].id(),
+                });
+            }
+        }
+        let mut ids: Vec<TaskId> = tasks.iter().map(Task::id).collect();
+        ids.sort();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err(ModelError::DuplicateTaskId(pair[0]));
+            }
+        }
+        Ok(TaskSet { tasks })
+    }
+
+    /// Tasks in decreasing priority order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Always `false` (a valid set has ≥ 1 task); provided for API
+    /// completeness alongside [`TaskSet::len`].
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Looks up a task by id.
+    pub fn get(&self, id: TaskId) -> Option<&Task> {
+        self.tasks.iter().find(|t| t.id() == id)
+    }
+
+    /// Looks up a task by id, returning an error for unknown ids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownTask`] if the id is not in the set.
+    pub fn require(&self, id: TaskId) -> Result<&Task, ModelError> {
+        self.get(id).ok_or(ModelError::UnknownTask(id))
+    }
+
+    /// Iterates over tasks in decreasing priority order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Task> {
+        self.tasks.iter()
+    }
+
+    /// Tasks with strictly higher priority than `id` (`hp(τ_i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the set.
+    pub fn higher_priority(&self, id: TaskId) -> impl Iterator<Item = &Task> {
+        let pivot = self.require(id).expect("task must be in set").priority();
+        self.tasks.iter().filter(move |t| t.priority().is_higher_than(pivot))
+    }
+
+    /// Tasks with strictly lower priority than `id` (`lp(τ_i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the set.
+    pub fn lower_priority(&self, id: TaskId) -> impl Iterator<Item = &Task> {
+        let pivot = self.require(id).expect("task must be in set").priority();
+        self.tasks.iter().filter(move |t| t.priority().is_lower_than(pivot))
+    }
+
+    /// All latency-sensitive tasks (`Γ_LS`).
+    pub fn latency_sensitive(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| t.is_ls())
+    }
+
+    /// All non-latency-sensitive tasks (`Γ_NLS`).
+    pub fn non_latency_sensitive(&self) -> impl Iterator<Item = &Task> {
+        self.tasks.iter().filter(|t| !t.is_ls())
+    }
+
+    /// Total utilization `Σ C_i / T_i`.
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(Task::utilization).sum()
+    }
+
+    /// Largest copy-in duration over all tasks (`max_j l_j`), used by the
+    /// boundary constraints 12 and 15 of the analysis.
+    pub fn max_copy_in(&self) -> Time {
+        self.tasks
+            .iter()
+            .map(Task::copy_in)
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// Largest copy-out duration over all tasks (`max_j u_j`).
+    pub fn max_copy_out(&self) -> Time {
+        self.tasks
+            .iter()
+            .map(Task::copy_out)
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// Returns a copy of the set with the given task's sensitivity changed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::UnknownTask`] if the id is not in the set.
+    pub fn with_sensitivity(
+        &self,
+        id: TaskId,
+        sensitivity: Sensitivity,
+    ) -> Result<TaskSet, ModelError> {
+        let mut tasks = self.tasks.clone();
+        let task = tasks
+            .iter_mut()
+            .find(|t| t.id() == id)
+            .ok_or(ModelError::UnknownTask(id))?;
+        task.set_sensitivity(sensitivity);
+        Ok(TaskSet { tasks })
+    }
+
+    /// Returns a copy of the set with **all** tasks marked NLS (the starting
+    /// point of the greedy algorithm of Section VI).
+    pub fn all_nls(&self) -> TaskSet {
+        let mut tasks = self.tasks.clone();
+        for t in &mut tasks {
+            t.set_sensitivity(Sensitivity::Nls);
+        }
+        TaskSet { tasks }
+    }
+
+    /// `true` iff every task has a constrained deadline (`D_i ≤ T_i`).
+    pub fn has_constrained_deadlines(&self) -> bool {
+        self.tasks.iter().all(Task::is_constrained_deadline)
+    }
+}
+
+impl fmt::Display for TaskSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "task set (n={}, U={:.3}):", self.len(), self.utilization())?;
+        for t in &self.tasks {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a TaskSet {
+    type Item = &'a Task;
+    type IntoIter = std::slice::Iter<'a, Task>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.tasks.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Priority;
+
+    fn mk(id: u32, c: i64, t: i64, p: u32) -> Task {
+        Task::builder(TaskId(id))
+            .exec(Time::from_ticks(c))
+            .copy_in(Time::from_ticks(c / 10))
+            .copy_out(Time::from_ticks(c / 10))
+            .sporadic(Time::from_ticks(t))
+            .deadline(Time::from_ticks(t))
+            .priority(Priority(p))
+            .build()
+            .unwrap()
+    }
+
+    fn set() -> TaskSet {
+        TaskSet::new(vec![mk(0, 20, 100, 2), mk(1, 10, 50, 0), mk(2, 30, 200, 1)]).unwrap()
+    }
+
+    #[test]
+    fn tasks_are_sorted_by_priority() {
+        let s = set();
+        let ids: Vec<_> = s.iter().map(Task::id).collect();
+        assert_eq!(ids, vec![TaskId(1), TaskId(2), TaskId(0)]);
+    }
+
+    #[test]
+    fn hp_and_lp_partitions() {
+        let s = set();
+        let hp: Vec<_> = s.higher_priority(TaskId(2)).map(Task::id).collect();
+        let lp: Vec<_> = s.lower_priority(TaskId(2)).map(Task::id).collect();
+        assert_eq!(hp, vec![TaskId(1)]);
+        assert_eq!(lp, vec![TaskId(0)]);
+        assert_eq!(s.higher_priority(TaskId(1)).count(), 0);
+        assert_eq!(s.lower_priority(TaskId(0)).count(), 0);
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        assert_eq!(TaskSet::new(vec![]).unwrap_err(), ModelError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn duplicate_priority_is_rejected() {
+        let err = TaskSet::new(vec![mk(0, 10, 100, 1), mk(1, 10, 100, 1)]).unwrap_err();
+        assert!(matches!(err, ModelError::DuplicatePriority { .. }));
+    }
+
+    #[test]
+    fn duplicate_id_is_rejected() {
+        let err = TaskSet::new(vec![mk(3, 10, 100, 0), mk(3, 10, 100, 1)]).unwrap_err();
+        assert_eq!(err, ModelError::DuplicateTaskId(TaskId(3)));
+    }
+
+    #[test]
+    fn utilization_sums_task_utilizations() {
+        let s = set();
+        let expected = 20.0 / 100.0 + 10.0 / 50.0 + 30.0 / 200.0;
+        assert!((s.utilization() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_copy_phases() {
+        let s = set();
+        assert_eq!(s.max_copy_in(), Time::from_ticks(3));
+        assert_eq!(s.max_copy_out(), Time::from_ticks(3));
+    }
+
+    #[test]
+    fn sensitivity_update_is_persistent_and_pure() {
+        let s = set();
+        let s2 = s.with_sensitivity(TaskId(2), Sensitivity::Ls).unwrap();
+        assert!(!s.get(TaskId(2)).unwrap().is_ls());
+        assert!(s2.get(TaskId(2)).unwrap().is_ls());
+        assert_eq!(s2.latency_sensitive().count(), 1);
+        assert_eq!(s2.non_latency_sensitive().count(), 2);
+        let s3 = s2.all_nls();
+        assert_eq!(s3.latency_sensitive().count(), 0);
+    }
+
+    #[test]
+    fn unknown_task_errors() {
+        let s = set();
+        assert_eq!(
+            s.with_sensitivity(TaskId(99), Sensitivity::Ls).unwrap_err(),
+            ModelError::UnknownTask(TaskId(99))
+        );
+        assert!(s.require(TaskId(99)).is_err());
+        assert!(s.get(TaskId(99)).is_none());
+    }
+
+    #[test]
+    fn constrained_deadline_check() {
+        let s = set();
+        assert!(s.has_constrained_deadlines());
+    }
+
+    #[test]
+    fn into_iterator_and_display() {
+        let s = set();
+        let count = (&s).into_iter().count();
+        assert_eq!(count, 3);
+        assert!(s.to_string().contains("n=3"));
+    }
+}

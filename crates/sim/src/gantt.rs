@@ -1,0 +1,123 @@
+//! ASCII Gantt rendering of simulated schedules (Figure-1-style).
+
+use std::fmt::Write as _;
+
+use pmcs_model::{Phase, Time};
+
+use crate::trace::{SimResult, TraceUnit};
+
+/// Renders a two-row (CPU / DMA) ASCII Gantt chart of the first
+/// `window` time units, at one character per `scale` ticks.
+///
+/// Phase glyphs: execution uses the task's digit, copy-in `>`, copy-out
+/// `<`, canceled copy-in `x`, idle `.`; interval boundaries are marked
+/// with `|` on the ruler row.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_core::window::test_task;
+/// use pmcs_model::{TaskSet, Time};
+/// use pmcs_sim::{render_gantt, simulate, Policy, ReleasePlan};
+///
+/// let set = TaskSet::new(vec![test_task(0, 4, 2, 1, 50, 0, false)]).unwrap();
+/// let plan = ReleasePlan::periodic(&set, Time::from_ticks(50));
+/// let r = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(50));
+/// let chart = render_gantt(&r, Time::from_ticks(20), Time::TICK);
+/// assert!(chart.contains("CPU"));
+/// assert!(chart.contains("DMA"));
+/// ```
+pub fn render_gantt(result: &SimResult, window: Time, scale: Time) -> String {
+    assert!(scale > Time::ZERO, "scale must be positive");
+    let cols = (window.as_ticks() as usize).div_ceil(scale.as_ticks() as usize);
+    let mut cpu = vec!['.'; cols];
+    let mut dma = vec!['.'; cols];
+    let mut ruler = vec![' '; cols];
+
+    for &start in result.interval_starts() {
+        if start < window {
+            let c = (start.as_ticks() / scale.as_ticks()) as usize;
+            if c < cols {
+                ruler[c] = '|';
+            }
+        }
+    }
+
+    for e in result.events() {
+        if e.start >= window {
+            continue;
+        }
+        let glyph = match e.phase {
+            Phase::Execute => char::from_digit(e.job.task().0 % 10, 10).unwrap_or('#'),
+            Phase::CopyIn => {
+                if e.canceled {
+                    'x'
+                } else {
+                    '>'
+                }
+            }
+            Phase::CopyOut => '<',
+        };
+        let row = match e.unit {
+            TraceUnit::Cpu => &mut cpu,
+            TraceUnit::Dma => &mut dma,
+        };
+        let from = (e.start.as_ticks() / scale.as_ticks()) as usize;
+        let to = ((e.end.min(window).as_ticks() + scale.as_ticks() - 1) / scale.as_ticks())
+            as usize;
+        for cell in row.iter_mut().take(to.min(cols)).skip(from) {
+            *cell = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "CPU |{}|", cpu.iter().collect::<String>());
+    let _ = writeln!(out, "DMA |{}|", dma.iter().collect::<String>());
+    let _ = writeln!(out, "     {}", ruler.iter().collect::<String>());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, Policy, ReleasePlan};
+    use pmcs_core::window::test_task;
+    use pmcs_model::{TaskId, TaskSet};
+
+    #[test]
+    fn chart_shows_phases() {
+        let set = TaskSet::new(vec![
+            test_task(0, 4, 2, 1, 100, 0, false),
+            test_task(1, 6, 3, 2, 100, 1, false),
+        ])
+        .unwrap();
+        let plan = ReleasePlan::from_pairs(vec![
+            (TaskId(0), vec![Time::ZERO]),
+            (TaskId(1), vec![Time::ZERO]),
+        ]);
+        let r = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(100));
+        let chart = render_gantt(&r, Time::from_ticks(40), Time::TICK);
+        assert!(chart.contains('0'), "{chart}");
+        assert!(chart.contains('1'), "{chart}");
+        assert!(chart.contains('>'), "{chart}");
+        assert!(chart.contains('<'), "{chart}");
+        assert!(chart.contains('|'), "{chart}");
+    }
+
+    #[test]
+    fn scaling_reduces_width() {
+        let set = TaskSet::new(vec![test_task(0, 40, 20, 10, 1_000, 0, false)]).unwrap();
+        let plan = ReleasePlan::periodic(&set, Time::from_ticks(1_000));
+        let r = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(1_000));
+        let fine = render_gantt(&r, Time::from_ticks(100), Time::TICK);
+        let coarse = render_gantt(&r, Time::from_ticks(100), Time::from_ticks(10));
+        assert!(fine.len() > coarse.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let r = SimResult::default();
+        let _ = render_gantt(&r, Time::from_ticks(10), Time::ZERO);
+    }
+}

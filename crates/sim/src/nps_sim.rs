@@ -1,0 +1,204 @@
+//! Classical non-preemptive fixed-priority simulation (Figure 1(b)):
+//! the DMA is unused and all three phases run serialized on the CPU.
+
+use std::collections::VecDeque;
+
+use pmcs_model::{JobId, Phase, TaskSet, Time};
+
+use crate::release::ReleasePlan;
+use crate::trace::{JobRecord, SimResult, TraceEvent, TraceUnit};
+
+struct TaskRt {
+    releases: VecDeque<Time>,
+    next_index: u64,
+    last_completion: Time,
+    /// Activation time of the currently-ready (not yet started) job.
+    ready: Option<(JobId, Time)>,
+}
+
+pub(crate) fn run(set: &TaskSet, plan: &ReleasePlan, horizon: Time) -> SimResult {
+    let infos: Vec<_> = set.iter().collect();
+    let mut rt: Vec<TaskRt> = infos
+        .iter()
+        .map(|t| TaskRt {
+            releases: plan.releases(t.id()).iter().copied().collect(),
+            next_index: 0,
+            last_completion: Time::ZERO,
+            ready: None,
+        })
+        .collect();
+
+    let mut events = Vec::new();
+    let mut jobs: Vec<JobRecord> = Vec::new();
+    let mut now = Time::ZERO;
+
+    loop {
+        // Activate due releases.
+        for (i, t) in rt.iter_mut().enumerate() {
+            if t.ready.is_some() {
+                continue;
+            }
+            if let Some(&r) = t.releases.front() {
+                let activation = r.max(t.last_completion);
+                if activation <= now {
+                    t.releases.pop_front();
+                    let job = JobId::new(infos[i].id(), t.next_index);
+                    t.next_index += 1;
+                    t.ready = Some((job, activation));
+                    jobs.push(JobRecord {
+                        job,
+                        release: r,
+                        activation,
+                        absolute_deadline: r + infos[i].deadline(),
+                        exec_start: None,
+                        completion: None,
+                    });
+                }
+            }
+        }
+
+        // Dispatch the highest-priority ready job, non-preemptively.
+        let next = rt
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.ready.is_some())
+            .min_by_key(|(i, _)| infos[*i].priority())
+            .map(|(i, _)| i);
+        match next {
+            Some(i) => {
+                if now >= horizon {
+                    break;
+                }
+                let (job, _) = rt[i].ready.take().expect("ready job");
+                let (l, c, u) = (infos[i].copy_in(), infos[i].exec(), infos[i].copy_out());
+                let phases = [
+                    (Phase::CopyIn, now, now + l),
+                    (Phase::Execute, now + l, now + l + c),
+                    (Phase::CopyOut, now + l + c, now + l + c + u),
+                ];
+                for (phase, start, end) in phases {
+                    events.push(TraceEvent {
+                        start,
+                        end,
+                        unit: TraceUnit::Cpu,
+                        job,
+                        phase,
+                        canceled: false,
+                        interval: usize::MAX,
+                    });
+                }
+                let completion = now + l + c + u;
+                if let Some(r) = jobs.iter_mut().find(|r| r.job == job) {
+                    r.exec_start = Some(now + l);
+                    r.completion = Some(completion);
+                }
+                rt[i].last_completion = completion;
+                now = completion;
+            }
+            None => {
+                // Idle: jump to the next activation.
+                let next_t = rt
+                    .iter()
+                    .filter(|t| t.ready.is_none())
+                    .filter_map(|t| t.releases.front().map(|&r| r.max(t.last_completion)))
+                    .min();
+                match next_t {
+                    Some(t) if t < horizon => now = now.max(t),
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    jobs.sort_by_key(|j| (j.release, j.job));
+    SimResult::new(events, jobs, Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Policy;
+    use pmcs_core::window::test_task;
+    use pmcs_model::TaskId;
+
+    fn simulate(
+        tasks: Vec<pmcs_model::Task>,
+        plan: Vec<(u32, Vec<i64>)>,
+        horizon: i64,
+    ) -> SimResult {
+        let set = TaskSet::new(tasks).unwrap();
+        let plan = ReleasePlan::from_pairs(
+            plan.into_iter()
+                .map(|(t, v)| {
+                    (
+                        TaskId(t),
+                        v.into_iter().map(Time::from_ticks).collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+        );
+        crate::simulate(&set, &plan, Policy::Nps, Time::from_ticks(horizon))
+    }
+
+    #[test]
+    fn phases_are_serialized_on_cpu() {
+        let r = simulate(
+            vec![test_task(0, 10, 3, 2, 1_000, 0, false)],
+            vec![(0, vec![0])],
+            1_000,
+        );
+        assert_eq!(r.events().len(), 3);
+        assert!(r.events().iter().all(|e| e.unit == TraceUnit::Cpu));
+        assert_eq!(r.jobs()[0].completion, Some(Time::from_ticks(15)));
+        assert!(r.interval_starts().is_empty());
+    }
+
+    #[test]
+    fn non_preemptive_blocking() {
+        // lp τ1 starts at 0 (length 62); hp τ0 released at 1 must wait.
+        let r = simulate(
+            vec![
+                test_task(0, 10, 1, 1, 1_000, 0, false),
+                test_task(1, 60, 1, 1, 1_000, 1, false),
+            ],
+            vec![(0, vec![1]), (1, vec![0])],
+            1_000,
+        );
+        let t0 = r.jobs().iter().find(|j| j.job.task() == TaskId(0)).unwrap();
+        // τ1 occupies [0, 62); τ0 runs [62, 74).
+        assert_eq!(t0.exec_start, Some(Time::from_ticks(63)));
+        assert_eq!(t0.completion, Some(Time::from_ticks(74)));
+    }
+
+    #[test]
+    fn priority_wins_at_simultaneous_release() {
+        let r = simulate(
+            vec![
+                test_task(0, 10, 0, 0, 1_000, 0, false),
+                test_task(1, 20, 0, 0, 1_000, 1, false),
+            ],
+            vec![(0, vec![0]), (1, vec![0])],
+            1_000,
+        );
+        let t0 = r.jobs().iter().find(|j| j.job.task() == TaskId(0)).unwrap();
+        assert_eq!(t0.exec_start, Some(Time::ZERO));
+    }
+
+    #[test]
+    fn deferred_activation_under_overload() {
+        let r = simulate(
+            vec![test_task(0, 30, 0, 0, 1_000, 0, false)],
+            vec![(0, vec![0, 10, 20])],
+            1_000,
+        );
+        let completions: Vec<_> = r.jobs().iter().map(|j| j.completion.unwrap()).collect();
+        assert_eq!(
+            completions,
+            vec![
+                Time::from_ticks(30),
+                Time::from_ticks(60),
+                Time::from_ticks(90)
+            ]
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Job release plans: explicit, deterministic release instants per task.
+//!
+//! The simulator is driven by a fully explicit plan so runs are exactly
+//! reproducible; random or adversarial plans are built by the caller
+//! (e.g. `pmcs-workload`).
+
+use std::collections::BTreeMap;
+
+use pmcs_model::{ArrivalBound, TaskId, TaskSet, Time};
+
+/// Release instants for every task, each list sorted ascending.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_model::{TaskId, Time};
+/// use pmcs_sim::ReleasePlan;
+///
+/// let plan = ReleasePlan::from_pairs(vec![
+///     (TaskId(0), vec![Time::ZERO, Time::from_ticks(100)]),
+/// ]);
+/// assert_eq!(plan.releases(TaskId(0)).len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReleasePlan {
+    releases: BTreeMap<TaskId, Vec<Time>>,
+}
+
+impl ReleasePlan {
+    /// Builds a plan from explicit `(task, releases)` pairs; each list is
+    /// sorted internally.
+    pub fn from_pairs(pairs: Vec<(TaskId, Vec<Time>)>) -> Self {
+        let mut releases = BTreeMap::new();
+        for (task, mut times) in pairs {
+            times.sort();
+            releases.insert(task, times);
+        }
+        ReleasePlan { releases }
+    }
+
+    /// Strictly periodic releases at `0, T, 2T, …` up to (excluding)
+    /// `horizon`, using each task's minimum inter-arrival time (tasks with
+    /// bursty models release at their minimum distances).
+    pub fn periodic(set: &TaskSet, horizon: Time) -> Self {
+        Self::periodic_with_offsets(set, horizon, |_| Time::ZERO)
+    }
+
+    /// Periodic releases with a per-task offset.
+    pub fn periodic_with_offsets(
+        set: &TaskSet,
+        horizon: Time,
+        offset: impl Fn(TaskId) -> Time,
+    ) -> Self {
+        let mut releases = BTreeMap::new();
+        for task in set.iter() {
+            let mut times = Vec::new();
+            let start = offset(task.id());
+            let mut n = 1u64;
+            loop {
+                let t = start + task.arrival().min_distance(n);
+                if t >= horizon {
+                    break;
+                }
+                times.push(t);
+                n += 1;
+                if n > 10_000_000 {
+                    break; // runaway guard for degenerate models
+                }
+            }
+            releases.insert(task.id(), times);
+        }
+        ReleasePlan { releases }
+    }
+
+    /// The (sorted) release instants of a task; empty if absent.
+    pub fn releases(&self, task: TaskId) -> &[Time] {
+        self.releases.get(&task).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates `(task, releases)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TaskId, &[Time])> {
+        self.releases.iter().map(|(t, v)| (*t, v.as_slice()))
+    }
+
+    /// Total number of releases in the plan.
+    pub fn total_releases(&self) -> usize {
+        self.releases.values().map(Vec::len).sum()
+    }
+
+    /// Latest release instant in the plan (`Time::ZERO` when empty).
+    pub fn last_release(&self) -> Time {
+        self.releases
+            .values()
+            .filter_map(|v| v.last().copied())
+            .fold(Time::ZERO, Time::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcs_core::window::test_task;
+    use pmcs_model::TaskSet;
+
+    #[test]
+    fn periodic_plan_releases_on_the_grid() {
+        let set = TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).unwrap();
+        let plan = ReleasePlan::periodic(&set, Time::from_ticks(350));
+        assert_eq!(
+            plan.releases(TaskId(0)),
+            &[
+                Time::ZERO,
+                Time::from_ticks(100),
+                Time::from_ticks(200),
+                Time::from_ticks(300)
+            ]
+        );
+        assert_eq!(plan.total_releases(), 4);
+        assert_eq!(plan.last_release(), Time::from_ticks(300));
+    }
+
+    #[test]
+    fn offsets_shift_the_grid() {
+        let set = TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).unwrap();
+        let plan =
+            ReleasePlan::periodic_with_offsets(&set, Time::from_ticks(250), |_| Time::from_ticks(30));
+        assert_eq!(
+            plan.releases(TaskId(0)),
+            &[Time::from_ticks(30), Time::from_ticks(130), Time::from_ticks(230)]
+        );
+    }
+
+    #[test]
+    fn explicit_pairs_are_sorted() {
+        let plan = ReleasePlan::from_pairs(vec![(
+            TaskId(3),
+            vec![Time::from_ticks(50), Time::ZERO],
+        )]);
+        assert_eq!(plan.releases(TaskId(3))[0], Time::ZERO);
+        assert!(plan.releases(TaskId(9)).is_empty());
+    }
+
+    #[test]
+    fn iter_covers_all_tasks() {
+        let set = TaskSet::new(vec![
+            test_task(0, 5, 1, 1, 100, 0, false),
+            test_task(1, 5, 1, 1, 60, 1, false),
+        ])
+        .unwrap();
+        let plan = ReleasePlan::periodic(&set, Time::from_ticks(120));
+        assert_eq!(plan.iter().count(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Summary statistics over simulation traces: unit utilization, interval
+//! lengths, per-task response-time distributions, and protocol-event
+//! counters (cancellations, urgent executions).
+
+use std::collections::BTreeMap;
+
+use pmcs_model::{Phase, TaskId, Time};
+
+use crate::trace::{SimResult, TraceUnit};
+
+/// Minimum / average / maximum of a sample of durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurationStats {
+    /// Samples observed.
+    pub count: usize,
+    /// Smallest sample (zero when empty).
+    pub min: Time,
+    /// Largest sample (zero when empty).
+    pub max: Time,
+    /// Sum of samples (for averaging without float loss).
+    pub total: Time,
+}
+
+impl DurationStats {
+    fn from_samples(samples: impl IntoIterator<Item = Time>) -> Self {
+        let mut s = DurationStats::default();
+        for t in samples {
+            if s.count == 0 {
+                s.min = t;
+                s.max = t;
+            } else {
+                s.min = s.min.min(t);
+                s.max = s.max.max(t);
+            }
+            s.total += t;
+            s.count += 1;
+        }
+        s
+    }
+
+    /// Arithmetic mean in fractional ticks (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total.as_f64() / self.count as f64
+        }
+    }
+}
+
+/// Aggregated metrics of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total busy time of the CPU (execution + urgent copy-ins).
+    pub cpu_busy: Time,
+    /// Total busy time of the DMA engine (copy-ins incl. canceled,
+    /// copy-outs).
+    pub dma_busy: Time,
+    /// DMA time thrown away by rule R3 cancellations.
+    pub canceled_dma: Time,
+    /// Number of canceled copy-ins.
+    pub cancellations: usize,
+    /// Number of urgent executions (CPU-side copy-ins, rule R5).
+    pub urgent_executions: usize,
+    /// Scheduling-interval length distribution (empty under NPS).
+    pub interval_lengths: DurationStats,
+    /// Per-task response-time distributions over completed jobs.
+    pub responses: BTreeMap<TaskId, DurationStats>,
+    /// Completed jobs.
+    pub completed_jobs: usize,
+}
+
+impl TraceStats {
+    /// CPU utilization over `[0, horizon)`.
+    pub fn cpu_utilization(&self, horizon: Time) -> f64 {
+        self.cpu_busy.as_f64() / horizon.as_f64().max(1.0)
+    }
+
+    /// DMA utilization over `[0, horizon)`.
+    pub fn dma_utilization(&self, horizon: Time) -> f64 {
+        self.dma_busy.as_f64() / horizon.as_f64().max(1.0)
+    }
+}
+
+/// Computes summary statistics for a simulation result.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_core::window::test_task;
+/// use pmcs_model::{TaskSet, Time};
+/// use pmcs_sim::{simulate, trace_stats, Policy, ReleasePlan};
+///
+/// let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 50, 0, false)]).unwrap();
+/// let plan = ReleasePlan::periodic(&set, Time::from_ticks(500));
+/// let run = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(500));
+/// let stats = trace_stats(&run);
+/// assert_eq!(stats.cancellations, 0);
+/// assert!(stats.cpu_busy > Time::ZERO);
+/// ```
+pub fn trace_stats(result: &SimResult) -> TraceStats {
+    let mut cpu_busy = Time::ZERO;
+    let mut dma_busy = Time::ZERO;
+    let mut canceled_dma = Time::ZERO;
+    let mut cancellations = 0usize;
+    let mut urgent_executions = 0usize;
+
+    for e in result.events() {
+        match e.unit {
+            TraceUnit::Cpu => {
+                cpu_busy += e.duration();
+                if e.phase == Phase::CopyIn {
+                    urgent_executions += 1;
+                }
+            }
+            TraceUnit::Dma => {
+                dma_busy += e.duration();
+                if e.canceled {
+                    cancellations += 1;
+                    canceled_dma += e.duration();
+                }
+            }
+        }
+    }
+
+    let starts = result.interval_starts();
+    let interval_lengths = DurationStats::from_samples(
+        starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .filter(|d| *d > Time::ZERO),
+    );
+
+    let mut responses: BTreeMap<TaskId, Vec<Time>> = BTreeMap::new();
+    let mut completed_jobs = 0usize;
+    for job in result.jobs() {
+        if let Some(r) = job.response() {
+            completed_jobs += 1;
+            responses.entry(job.job.task()).or_default().push(r);
+        }
+    }
+
+    TraceStats {
+        cpu_busy,
+        dma_busy,
+        canceled_dma,
+        cancellations,
+        urgent_executions,
+        interval_lengths,
+        responses: responses
+            .into_iter()
+            .map(|(t, v)| (t, DurationStats::from_samples(v)))
+            .collect(),
+        completed_jobs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, Policy, ReleasePlan};
+    use pmcs_core::window::test_task;
+    use pmcs_model::TaskSet;
+
+    fn run(policy: Policy) -> (TraceStats, Time) {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 4, 1, 100, 0, true),
+            test_task(1, 50, 10, 3, 200, 1, false),
+        ])
+        .unwrap();
+        let plan = ReleasePlan::from_pairs(vec![
+            (pmcs_model::TaskId(0), vec![Time::from_ticks(5), Time::from_ticks(105)]),
+            (pmcs_model::TaskId(1), vec![Time::ZERO, Time::from_ticks(200)]),
+        ]);
+        let horizon = Time::from_ticks(400);
+        (trace_stats(&simulate(&set, &plan, policy, horizon)), horizon)
+    }
+
+    #[test]
+    fn proposed_counts_cancellations_and_urgency() {
+        let (stats, horizon) = run(Policy::Proposed);
+        assert!(stats.cancellations >= 1, "LS release must cancel τ1's load");
+        assert!(stats.urgent_executions >= 1);
+        assert!(stats.cpu_utilization(horizon) > 0.0);
+        assert!(stats.dma_utilization(horizon) > 0.0);
+        assert!(stats.completed_jobs >= 3);
+        assert!(stats.interval_lengths.count > 0);
+        assert!(stats.interval_lengths.mean() > 0.0);
+    }
+
+    #[test]
+    fn wp_has_no_protocol_events() {
+        let (stats, _) = run(Policy::WaslyPellizzoni);
+        assert_eq!(stats.cancellations, 0);
+        assert_eq!(stats.urgent_executions, 0);
+        assert_eq!(stats.canceled_dma, Time::ZERO);
+    }
+
+    #[test]
+    fn nps_uses_no_dma() {
+        let (stats, _) = run(Policy::Nps);
+        assert_eq!(stats.dma_busy, Time::ZERO);
+        assert_eq!(stats.interval_lengths.count, 0);
+        assert!(stats.cpu_busy > Time::ZERO);
+    }
+
+    #[test]
+    fn per_task_response_stats_cover_all_tasks() {
+        let (stats, _) = run(Policy::Proposed);
+        assert!(stats.responses.contains_key(&pmcs_model::TaskId(0)));
+        assert!(stats.responses.contains_key(&pmcs_model::TaskId(1)));
+        for s in stats.responses.values() {
+            assert!(s.min <= s.max);
+            assert!(s.mean() >= s.min.as_f64());
+            assert!(s.mean() <= s.max.as_f64());
+        }
+    }
+
+    #[test]
+    fn empty_stats_are_well_defined() {
+        let s = DurationStats::default();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Trace records produced by the simulator.
+
+use std::fmt;
+
+use pmcs_model::{JobId, Phase, Time};
+
+/// Execution unit that performed a traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceUnit {
+    /// The processor core.
+    Cpu,
+    /// The per-core DMA engine.
+    Dma,
+}
+
+impl fmt::Display for TraceUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceUnit::Cpu => "CPU",
+            TraceUnit::Dma => "DMA",
+        })
+    }
+}
+
+/// One contiguous operation on a unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Start instant (inclusive).
+    pub start: Time,
+    /// End instant (exclusive).
+    pub end: Time,
+    /// Unit that performed the operation.
+    pub unit: TraceUnit,
+    /// The job the operation belongs to.
+    pub job: JobId,
+    /// Which phase the operation implements.
+    pub phase: Phase,
+    /// `true` iff the operation was aborted (rule R3 cancellation).
+    pub canceled: bool,
+    /// Index of the scheduling interval containing the operation
+    /// (`usize::MAX` for NPS, which has no intervals).
+    pub interval: usize,
+}
+
+impl TraceEvent {
+    /// Operation duration.
+    pub fn duration(&self) -> Time {
+        self.end - self.start
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}) {} {} {}{}",
+            self.start,
+            self.end,
+            self.unit,
+            self.job,
+            self.phase,
+            if self.canceled { " (canceled)" } else { "" }
+        )
+    }
+}
+
+/// Lifecycle record of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// The job.
+    pub job: JobId,
+    /// Release instant.
+    pub release: Time,
+    /// When the job became visible to the scheduler: `max(release,
+    /// completion of the previous job)` — inter-job precedence defers
+    /// activation (Section II of the paper).
+    pub activation: Time,
+    /// Absolute deadline.
+    pub absolute_deadline: Time,
+    /// Start of the execution phase, if reached.
+    pub exec_start: Option<Time>,
+    /// Completion (end of copy-out), if reached within the horizon.
+    pub completion: Option<Time>,
+}
+
+impl JobRecord {
+    /// Response time, if the job completed.
+    pub fn response(&self) -> Option<Time> {
+        self.completion.map(|c| c - self.release)
+    }
+
+    /// `true` iff the job completed by its deadline. Incomplete jobs count
+    /// as meeting the deadline only if the deadline lies beyond the last
+    /// observed instant — callers should bound horizons accordingly; here
+    /// incomplete jobs are conservatively reported as *not* meeting it.
+    pub fn met_deadline(&self) -> bool {
+        match self.completion {
+            Some(c) => c <= self.absolute_deadline,
+            None => false,
+        }
+    }
+}
+
+/// Complete result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimResult {
+    events: Vec<TraceEvent>,
+    jobs: Vec<JobRecord>,
+    /// Start instants of scheduling intervals (empty for NPS).
+    interval_starts: Vec<Time>,
+}
+
+impl SimResult {
+    pub(crate) fn new(
+        events: Vec<TraceEvent>,
+        jobs: Vec<JobRecord>,
+        interval_starts: Vec<Time>,
+    ) -> Self {
+        SimResult {
+            events,
+            jobs,
+            interval_starts,
+        }
+    }
+
+    /// All traced operations, in chronological order of start.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Per-job lifecycle records (order of first release).
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Interval start instants (empty under NPS).
+    pub fn interval_starts(&self) -> &[Time] {
+        &self.interval_starts
+    }
+
+    /// The record of a specific job.
+    pub fn job(&self, job: JobId) -> Option<&JobRecord> {
+        self.jobs.iter().find(|j| j.job == job)
+    }
+
+    /// Worst observed response time of a task across completed jobs.
+    pub fn worst_response(&self, task: pmcs_model::TaskId) -> Option<Time> {
+        self.jobs
+            .iter()
+            .filter(|j| j.job.task() == task)
+            .filter_map(JobRecord::response)
+            .max()
+    }
+
+    /// `true` iff every completed job met its deadline and no job was left
+    /// incomplete with a deadline inside the horizon.
+    pub fn all_deadlines_met(&self, horizon: Time) -> bool {
+        self.jobs.iter().all(|j| match j.completion {
+            Some(c) => c <= j.absolute_deadline,
+            None => j.absolute_deadline >= horizon,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcs_model::TaskId;
+
+    fn job(t: u32, i: u64) -> JobId {
+        JobId::new(TaskId(t), i)
+    }
+
+    #[test]
+    fn event_duration_and_display() {
+        let e = TraceEvent {
+            start: Time::from_ticks(3),
+            end: Time::from_ticks(8),
+            unit: TraceUnit::Dma,
+            job: job(1, 0),
+            phase: Phase::CopyIn,
+            canceled: true,
+            interval: 2,
+        };
+        assert_eq!(e.duration(), Time::from_ticks(5));
+        let s = e.to_string();
+        assert!(s.contains("DMA") && s.contains("canceled"));
+    }
+
+    #[test]
+    fn job_record_metrics() {
+        let r = JobRecord {
+            job: job(0, 0),
+            release: Time::from_ticks(10),
+            activation: Time::from_ticks(10),
+            absolute_deadline: Time::from_ticks(60),
+            exec_start: Some(Time::from_ticks(20)),
+            completion: Some(Time::from_ticks(45)),
+        };
+        assert_eq!(r.response(), Some(Time::from_ticks(35)));
+        assert!(r.met_deadline());
+        let incomplete = JobRecord {
+            completion: None,
+            ..r
+        };
+        assert_eq!(incomplete.response(), None);
+        assert!(!incomplete.met_deadline());
+    }
+
+    #[test]
+    fn result_queries() {
+        let jobs = vec![
+            JobRecord {
+                job: job(0, 0),
+                release: Time::ZERO,
+                activation: Time::ZERO,
+                absolute_deadline: Time::from_ticks(100),
+                exec_start: Some(Time::from_ticks(5)),
+                completion: Some(Time::from_ticks(30)),
+            },
+            JobRecord {
+                job: job(0, 1),
+                release: Time::from_ticks(50),
+                activation: Time::from_ticks(50),
+                absolute_deadline: Time::from_ticks(150),
+                exec_start: None,
+                completion: Some(Time::from_ticks(110)),
+            },
+        ];
+        let r = SimResult::new(vec![], jobs, vec![Time::ZERO]);
+        assert_eq!(r.worst_response(TaskId(0)), Some(Time::from_ticks(60)));
+        assert!(r.all_deadlines_met(Time::from_ticks(200)));
+        assert!(r.job(job(0, 1)).is_some());
+        assert_eq!(r.interval_starts().len(), 1);
+    }
+
+    #[test]
+    fn incomplete_job_with_passed_deadline_fails() {
+        let jobs = vec![JobRecord {
+            job: job(0, 0),
+            release: Time::ZERO,
+            activation: Time::ZERO,
+            absolute_deadline: Time::from_ticks(50),
+            exec_start: None,
+            completion: None,
+        }];
+        let r = SimResult::new(vec![], jobs, vec![]);
+        assert!(!r.all_deadlines_met(Time::from_ticks(100)));
+        // Deadline beyond horizon: tolerated.
+        assert!(r.all_deadlines_met(Time::from_ticks(40)));
+    }
+}

@@ -1,0 +1,258 @@
+//! Trace validators re-checking the paper's Properties 1–4 on simulated
+//! schedules.
+//!
+//! These run over every trace in tests and integration suites: a violation
+//! means either the simulator or the protocol reasoning is wrong.
+
+use std::fmt;
+
+use pmcs_model::{JobId, Phase, TaskSet, Time};
+
+use crate::trace::{SimResult, TraceEvent, TraceUnit};
+
+/// A property violation found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which property was violated (1–4, or 0 for structural checks).
+    pub property: u8,
+    /// Offending job.
+    pub job: JobId,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "property {} violated by {}: {}", self.property, self.job, self.detail)
+    }
+}
+
+/// Validates a trace produced by one of the interval policies
+/// (`Proposed` or `WaslyPellizzoni`) against:
+///
+/// * **Structure** — phases of each job appear in copy-in → execute →
+///   copy-out order; units never overlap themselves.
+/// * **Property 1/2** — a task executing in interval `I_k` has its
+///   (DMA) copy-in in `I_{k−1}` (NLS, non-urgent) and its copy-out in
+///   `I_{k+1}`.
+/// * **Property 3/4** — a job is blocked by lower-priority executions in
+///   at most 2 intervals (NLS) / 1 interval (LS). For WP traces, pass
+///   `ls_rules = false` and the NLS bound applies to every job.
+///
+/// Returns all violations found (empty = clean).
+pub fn validate_trace(set: &TaskSet, result: &SimResult, ls_rules: bool) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    check_unit_serialization(result, &mut violations);
+    check_phase_order(result, &mut violations);
+    check_copy_placement(result, &mut violations);
+    check_blocking_bounds(set, result, ls_rules, &mut violations);
+    violations
+}
+
+fn events_of(result: &SimResult, job: JobId) -> Vec<&TraceEvent> {
+    result.events().iter().filter(|e| e.job == job).collect()
+}
+
+/// No unit executes two operations at once.
+fn check_unit_serialization(result: &SimResult, out: &mut Vec<Violation>) {
+    for unit in [TraceUnit::Cpu, TraceUnit::Dma] {
+        let mut ops: Vec<_> = result
+            .events()
+            .iter()
+            .filter(|e| e.unit == unit && e.duration() > Time::ZERO)
+            .collect();
+        ops.sort_by_key(|e| e.start);
+        for w in ops.windows(2) {
+            if w[1].start < w[0].end {
+                out.push(Violation {
+                    property: 0,
+                    job: w[1].job,
+                    detail: format!("{unit} overlap: {} then {}", w[0], w[1]),
+                });
+            }
+        }
+    }
+}
+
+/// Copy-in (completed) strictly before execute strictly before copy-out.
+fn check_phase_order(result: &SimResult, out: &mut Vec<Violation>) {
+    for rec in result.jobs() {
+        let evs = events_of(result, rec.job);
+        let copyin_end = evs
+            .iter()
+            .filter(|e| e.phase == Phase::CopyIn && !e.canceled)
+            .map(|e| e.end)
+            .max();
+        let exec = evs.iter().find(|e| e.phase == Phase::Execute);
+        let copyout = evs.iter().find(|e| e.phase == Phase::CopyOut);
+        if let (Some(ci), Some(ex)) = (copyin_end, exec) {
+            if ex.start < ci {
+                out.push(Violation {
+                    property: 0,
+                    job: rec.job,
+                    detail: format!("execute at {} before copy-in end {}", ex.start, ci),
+                });
+            }
+        }
+        if let (Some(ex), Some(co)) = (exec, copyout) {
+            if co.start < ex.end {
+                out.push(Violation {
+                    property: 0,
+                    job: rec.job,
+                    detail: format!("copy-out at {} before execute end {}", co.start, ex.end),
+                });
+            }
+        }
+    }
+}
+
+/// Properties 1 and 2: DMA copy-in in `I_{k−1}`, copy-out in `I_{k+1}`
+/// relative to an execution in `I_k` (urgent executions carry their
+/// copy-in inside `I_k` on the CPU).
+fn check_copy_placement(result: &SimResult, out: &mut Vec<Violation>) {
+    for rec in result.jobs() {
+        let evs = events_of(result, rec.job);
+        let Some(exec) = evs.iter().find(|e| e.phase == Phase::Execute) else {
+            continue;
+        };
+        let k = exec.interval;
+        if let Some(ci) = evs
+            .iter()
+            .find(|e| e.phase == Phase::CopyIn && !e.canceled)
+        {
+            let expected = if ci.unit == TraceUnit::Cpu { k } else { k.wrapping_sub(1) };
+            if ci.interval != expected {
+                out.push(Violation {
+                    property: 1,
+                    job: rec.job,
+                    detail: format!(
+                        "copy-in in interval {} but execution in {k}",
+                        ci.interval
+                    ),
+                });
+            }
+        }
+        if let Some(co) = evs.iter().find(|e| e.phase == Phase::CopyOut) {
+            if co.interval != k + 1 {
+                out.push(Violation {
+                    property: 2,
+                    job: rec.job,
+                    detail: format!(
+                        "copy-out in interval {} but execution in {k}",
+                        co.interval
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Properties 3 and 4: blocking-interval bounds.
+fn check_blocking_bounds(
+    set: &TaskSet,
+    result: &SimResult,
+    ls_rules: bool,
+    out: &mut Vec<Violation>,
+) {
+    let starts = result.interval_starts();
+    if starts.is_empty() {
+        return;
+    }
+    for rec in result.jobs() {
+        let Some(exec_start) = rec.exec_start else {
+            continue;
+        };
+        let task = set.get(rec.job.task()).expect("job task in set");
+        // Count intervals overlapping [activation, exec_start) in which a
+        // lower-priority task occupies the CPU (a job deferred by
+        // inter-job precedence is not in the ready queue before its
+        // activation, so it cannot be "blocked" yet).
+        let mut blocked_intervals = 0usize;
+        for (k, &istart) in starts.iter().enumerate() {
+            let iend = starts.get(k + 1).copied().unwrap_or(Time::MAX);
+            if iend <= rec.activation || istart >= exec_start {
+                continue;
+            }
+            let lp_on_cpu = result.events().iter().any(|e| {
+                e.interval == k
+                    && e.unit == TraceUnit::Cpu
+                    && e.phase == Phase::Execute
+                    && set
+                        .get(e.job.task())
+                        .is_some_and(|t| t.priority().is_lower_than(task.priority()))
+            });
+            if lp_on_cpu {
+                blocked_intervals += 1;
+            }
+        }
+        let limit = if ls_rules && task.is_ls() { 1 } else { 2 };
+        if blocked_intervals > limit {
+            out.push(Violation {
+                property: if ls_rules && task.is_ls() { 4 } else { 3 },
+                job: rec.job,
+                detail: format!("blocked in {blocked_intervals} intervals (limit {limit})"),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{simulate, Policy, ReleasePlan};
+    use pmcs_core::window::test_task;
+    use pmcs_model::{TaskId, TaskSet};
+
+    fn check(tasks: Vec<pmcs_model::Task>, plan: Vec<(u32, Vec<i64>)>, policy: Policy) {
+        let set = TaskSet::new(tasks).unwrap();
+        let plan = ReleasePlan::from_pairs(
+            plan.into_iter()
+                .map(|(t, v)| {
+                    (
+                        TaskId(t),
+                        v.into_iter().map(Time::from_ticks).collect::<Vec<_>>(),
+                    )
+                })
+                .collect(),
+        );
+        let r = simulate(&set, &plan, policy, Time::from_secs(1));
+        let ls_rules = policy == Policy::Proposed;
+        let violations = validate_trace(&set, &r, ls_rules);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn clean_proposed_trace_validates() {
+        check(
+            vec![
+                test_task(0, 10, 4, 1, 100, 0, true),
+                test_task(1, 20, 10, 3, 200, 1, false),
+                test_task(2, 30, 5, 5, 300, 2, false),
+            ],
+            vec![(0, vec![5, 105]), (1, vec![0, 90]), (2, vec![0])],
+            Policy::Proposed,
+        );
+    }
+
+    #[test]
+    fn clean_wp_trace_validates() {
+        check(
+            vec![
+                test_task(0, 10, 4, 1, 100, 0, false),
+                test_task(1, 20, 10, 3, 200, 1, false),
+            ],
+            vec![(0, vec![5, 100]), (1, vec![0])],
+            Policy::WaslyPellizzoni,
+        );
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation {
+            property: 3,
+            job: pmcs_model::JobId::new(TaskId(1), 0),
+            detail: "example".into(),
+        };
+        assert!(v.to_string().contains("property 3"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Task-set generation per Section VII of the paper.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pmcs_model::{Priority, Task, TaskId, TaskSet, Time};
+
+use crate::uunifast::uunifast;
+
+/// Parameters of the Section VII generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSetConfig {
+    /// Number of tasks per core.
+    pub n: usize,
+    /// Total utilization `U = Σ C_i / T_i`.
+    pub utilization: f64,
+    /// Memory-intensity factor: `u_i = l_i = γ · C_i`.
+    pub gamma: f64,
+    /// Deadline-tightness: `D_i ~ U[C_i + β(T_i − C_i), T_i]`.
+    pub beta: f64,
+    /// Minimum inter-arrival lower bound (paper: 10 ms).
+    pub period_min: Time,
+    /// Minimum inter-arrival upper bound (paper: 100 ms).
+    pub period_max: Time,
+}
+
+impl Default for TaskSetConfig {
+    fn default() -> Self {
+        TaskSetConfig {
+            n: 6,
+            utilization: 0.5,
+            gamma: 0.3,
+            beta: 0.4,
+            period_min: Time::from_millis(10),
+            period_max: Time::from_millis(100),
+        }
+    }
+}
+
+/// Seeded generator of random task sets.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
+///
+/// let mut g = TaskSetGenerator::new(TaskSetConfig::default(), 1234);
+/// let set = g.generate();
+/// assert_eq!(set.len(), 6);
+/// assert!((set.utilization() - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskSetGenerator {
+    config: TaskSetConfig,
+    rng: StdRng,
+}
+
+impl TaskSetGenerator {
+    /// Creates a generator with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical configurations (zero tasks, non-positive
+    /// utilization, `γ < 0`, `β ∉ [0, 1]`, inverted period range).
+    pub fn new(config: TaskSetConfig, seed: u64) -> Self {
+        assert!(config.n > 0, "need at least one task");
+        assert!(config.utilization > 0.0, "utilization must be positive");
+        assert!(config.gamma >= 0.0, "gamma must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&config.beta),
+            "beta must be within [0, 1]"
+        );
+        assert!(
+            Time::ZERO < config.period_min && config.period_min <= config.period_max,
+            "period range must be positive and ordered"
+        );
+        TaskSetGenerator {
+            config,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &TaskSetConfig {
+        &self.config
+    }
+
+    /// Generates the next random task set.
+    pub fn generate(&mut self) -> TaskSet {
+        let c = &self.config;
+        let utils = uunifast(c.n, c.utilization, &mut self.rng);
+        let mut drafts: Vec<(Time, Time, Time, Time)> = Vec::with_capacity(c.n);
+        for &u in &utils {
+            // Log-uniform minimum inter-arrival time.
+            let (lo, hi) = (c.period_min.as_f64().ln(), c.period_max.as_f64().ln());
+            let t = Time::from_f64_round(self.rng.gen_range(lo..=hi).exp())
+                .max(Time::TICK);
+            // C_i = U_i · T_i, at least one tick.
+            let exec = Time::from_f64_round(u * t.as_f64()).max(Time::TICK);
+            // u_i = l_i = γ · C_i.
+            let mem = Time::from_f64_round(c.gamma * exec.as_f64());
+            // D_i ~ U[C_i + β(T_i − C_i), T_i].
+            let dmin =
+                exec + Time::from_f64_round(c.beta * (t - exec).as_f64());
+            let dmin = dmin.min(t);
+            let deadline = if dmin >= t {
+                t
+            } else {
+                Time::from_ticks(self.rng.gen_range(dmin.as_ticks()..=t.as_ticks()))
+            };
+            drafts.push((t, exec, mem, deadline));
+        }
+        // Deadline-monotonic priority order (ties broken by index).
+        let mut order: Vec<usize> = (0..c.n).collect();
+        order.sort_by_key(|&i| (drafts[i].3, i));
+        let mut tasks = Vec::with_capacity(c.n);
+        for (prio, &i) in order.iter().enumerate() {
+            let (t, exec, mem, deadline) = drafts[i];
+            tasks.push(
+                Task::builder(TaskId(i as u32))
+                    .exec(exec)
+                    .copy_in(mem)
+                    .copy_out(mem)
+                    .sporadic(t)
+                    .deadline(deadline)
+                    .priority(Priority(prio as u32))
+                    .build()
+                    .expect("generated parameters are valid"),
+            );
+        }
+        TaskSet::new(tasks).expect("generated set is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_one(config: TaskSetConfig, seed: u64) -> TaskSet {
+        TaskSetGenerator::new(config, seed).generate()
+    }
+
+    #[test]
+    fn respects_scale_parameters() {
+        let cfg = TaskSetConfig {
+            n: 8,
+            utilization: 0.6,
+            gamma: 0.5,
+            beta: 0.0,
+            ..TaskSetConfig::default()
+        };
+        let set = gen_one(cfg, 99);
+        assert_eq!(set.len(), 8);
+        assert!((set.utilization() - 0.6).abs() < 0.05);
+        for t in set.iter() {
+            let tt = t.arrival().min_inter_arrival().unwrap();
+            assert!(tt >= Time::from_millis(10) && tt <= Time::from_millis(100));
+            assert!(t.deadline() <= tt);
+            assert!(t.deadline() >= t.exec());
+            // γ = 0.5: memory phases about half the execution.
+            let ratio = t.copy_in().as_f64() / t.exec().as_f64();
+            assert!((ratio - 0.5).abs() < 0.51, "ratio {ratio}"); // rounding on tiny C
+            assert_eq!(t.copy_in(), t.copy_out());
+        }
+    }
+
+    #[test]
+    fn priorities_are_deadline_monotonic() {
+        let set = gen_one(TaskSetConfig::default(), 5);
+        let deadlines: Vec<_> = set.iter().map(|t| t.deadline()).collect();
+        let mut sorted = deadlines.clone();
+        sorted.sort();
+        assert_eq!(deadlines, sorted);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let a = gen_one(TaskSetConfig::default(), 11);
+        let b = gen_one(TaskSetConfig::default(), 11);
+        let c = gen_one(TaskSetConfig::default(), 12);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn beta_one_pins_deadline_to_period() {
+        let cfg = TaskSetConfig {
+            beta: 1.0,
+            ..TaskSetConfig::default()
+        };
+        let set = gen_one(cfg, 3);
+        for t in set.iter() {
+            assert_eq!(
+                t.deadline(),
+                t.arrival().min_inter_arrival().unwrap(),
+                "β=1 must give implicit deadlines"
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_zero_gives_pure_compute_tasks() {
+        let cfg = TaskSetConfig {
+            gamma: 0.0,
+            ..TaskSetConfig::default()
+        };
+        let set = gen_one(cfg, 4);
+        assert!(set.iter().all(|t| t.copy_in().is_zero() && t.copy_out().is_zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be within")]
+    fn invalid_beta_rejected() {
+        let _ = TaskSetGenerator::new(
+            TaskSetConfig {
+                beta: 1.5,
+                ..TaskSetConfig::default()
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn successive_sets_differ() {
+        let mut g = TaskSetGenerator::new(TaskSetConfig::default(), 0);
+        let a = g.generate();
+        let b = g.generate();
+        assert_ne!(a, b);
+    }
+}

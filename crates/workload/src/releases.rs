@@ -1,0 +1,111 @@
+//! Random sporadic release plans for simulation cross-checks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pmcs_model::TaskSet;
+use pmcs_model::Time;
+use pmcs_sim::ReleasePlan;
+
+/// Builds a random sporadic release plan: consecutive releases of each
+/// task are separated by `T_i · (1 + slack)` with `slack` uniform in
+/// `[0, max_slack]`; the first release is uniform in `[0, T_i]`.
+///
+/// With `max_slack = 0` the plan is periodic with a random phase.
+///
+/// # Panics
+///
+/// Panics if `max_slack` is negative or a task's arrival model admits
+/// simultaneous releases (no positive minimum inter-arrival time).
+///
+/// # Example
+///
+/// ```
+/// use pmcs_core::window::test_task;
+/// use pmcs_model::{TaskSet, Time};
+/// use pmcs_workload::random_sporadic_plan;
+///
+/// let set = TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).unwrap();
+/// let plan = random_sporadic_plan(&set, Time::from_ticks(1_000), 0.2, 7);
+/// assert!(plan.total_releases() >= 8);
+/// ```
+pub fn random_sporadic_plan(
+    set: &TaskSet,
+    horizon: Time,
+    max_slack: f64,
+    seed: u64,
+) -> ReleasePlan {
+    assert!(max_slack >= 0.0, "slack must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pairs = Vec::with_capacity(set.len());
+    for task in set.iter() {
+        let t = task
+            .arrival()
+            .min_inter_arrival()
+            .expect("sporadic plan needs a positive minimum inter-arrival time");
+        assert!(t > Time::ZERO);
+        let mut times = Vec::new();
+        let mut now = Time::from_ticks(rng.gen_range(0..=t.as_ticks()));
+        while now < horizon {
+            times.push(now);
+            let slack = rng.gen_range(0.0..=max_slack.max(f64::MIN_POSITIVE));
+            let gap = Time::from_f64_ceil(t.as_f64() * (1.0 + slack)).max(t);
+            now += gap;
+        }
+        pairs.push((task.id(), times));
+    }
+    ReleasePlan::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcs_core::window::test_task;
+    use pmcs_model::TaskId;
+
+    fn set() -> TaskSet {
+        TaskSet::new(vec![
+            test_task(0, 5, 1, 1, 100, 0, false),
+            test_task(1, 5, 1, 1, 70, 1, false),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn gaps_respect_min_inter_arrival() {
+        let plan = random_sporadic_plan(&set(), Time::from_ticks(5_000), 0.5, 3);
+        for (task, releases) in plan.iter() {
+            let t = set()
+                .get(task)
+                .unwrap()
+                .arrival()
+                .min_inter_arrival()
+                .unwrap();
+            for w in releases.windows(2) {
+                assert!(w[1] - w[0] >= t, "{task}: gap {} < T {}", w[1] - w[0], t);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_sporadic_plan(&set(), Time::from_ticks(2_000), 0.3, 9);
+        let b = random_sporadic_plan(&set(), Time::from_ticks(2_000), 0.3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_slack_is_periodic_with_phase() {
+        let plan = random_sporadic_plan(&set(), Time::from_ticks(1_000), 0.0, 1);
+        let r = plan.releases(TaskId(0));
+        for w in r.windows(2) {
+            assert_eq!(w[1] - w[0], Time::from_ticks(100));
+        }
+    }
+
+    #[test]
+    fn all_tasks_present() {
+        let plan = random_sporadic_plan(&set(), Time::from_ticks(500), 0.2, 5);
+        assert_eq!(plan.iter().count(), 2);
+    }
+}

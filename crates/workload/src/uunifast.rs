@@ -1,0 +1,89 @@
+//! The UUniFast algorithm (Bini & Buttazzo, reference \[18\] of the paper).
+
+use rand::Rng;
+
+/// Draws `n` task utilizations summing exactly to `total`, uniformly over
+/// the standard simplex (UUniFast).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is not positive and finite.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let us = pmcs_workload::uunifast(4, 0.8, &mut rng);
+/// assert_eq!(us.len(), 4);
+/// let sum: f64 = us.iter().sum();
+/// assert!((sum - 0.8).abs() < 1e-12);
+/// ```
+pub fn uunifast(n: usize, total: f64, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "total utilization must be positive and finite"
+    );
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let exp = 1.0 / (n - i) as f64;
+        let next = sum * rng.gen::<f64>().powf(exp);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sums_to_total_and_all_positive() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in 1..=12 {
+            for &u in &[0.1, 0.5, 0.95] {
+                let us = uunifast(n, u, &mut rng);
+                assert_eq!(us.len(), n);
+                let sum: f64 = us.iter().sum();
+                assert!((sum - u).abs() < 1e-12, "n={n} u={u} sum={sum}");
+                assert!(us.iter().all(|&x| x > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uunifast(5, 0.7, &mut StdRng::seed_from_u64(1));
+        let b = uunifast(5, 0.7, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_task_gets_everything() {
+        let us = uunifast(1, 0.42, &mut StdRng::seed_from_u64(0));
+        assert_eq!(us, vec![0.42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn zero_tasks_panics() {
+        let _ = uunifast(0, 0.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        // Spot-check that the spread across tasks varies (no uniform
+        // splitting artifact).
+        let mut rng = StdRng::seed_from_u64(9);
+        let us = uunifast(8, 0.8, &mut rng);
+        let min = us.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = us.iter().cloned().fold(0.0, f64::max);
+        assert!(max / min > 1.5, "suspiciously uniform: {us:?}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Multicore partitioning: pack a workload onto the fewest cores that the
+//! proposed protocol can schedule, comparing bin-packing heuristics
+//! (the paper analyzes each core in isolation — Section II).
+//!
+//! Run with: `cargo run --release --example multicore_partitioning`
+
+use pmcs::core::{partition, Heuristic};
+use pmcs::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10-task workload too heavy for one core.
+    let mut generator = TaskSetGenerator::new(
+        TaskSetConfig {
+            n: 10,
+            utilization: 0.9,
+            gamma: 0.3,
+            beta: 0.6,
+            ..TaskSetConfig::default()
+        },
+        0x5EED,
+    );
+    let tasks: Vec<Task> = generator.generate().tasks().to_vec();
+    let engine = ExactEngine::default();
+
+    for heuristic in [Heuristic::FirstFit, Heuristic::BestFit, Heuristic::WorstFit] {
+        match partition(tasks.clone(), 4, heuristic, &engine)? {
+            Ok(result) => {
+                println!(
+                    "{heuristic}: {} core(s), schedulable = {}",
+                    result.platform.num_cores(),
+                    result.schedulable()
+                );
+                for (core, set) in result.platform.iter() {
+                    let ls: Vec<String> = result.reports[core.0 as usize]
+                        .assignment()
+                        .promoted
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect();
+                    println!(
+                        "  {core}: {} tasks, U = {:.2}, LS = [{}]",
+                        set.len(),
+                        set.utilization(),
+                        ls.join(", ")
+                    );
+                }
+            }
+            Err(e) => println!("{heuristic}: {e}"),
+        }
+    }
+    Ok(())
+}

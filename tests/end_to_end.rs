@@ -1,0 +1,177 @@
+//! End-to-end pipeline test: generate Section-VII workloads, analyze them
+//! under every approach, and cross-check each claimed-schedulable verdict
+//! against the discrete-event simulator (analysis soundness: no simulated
+//! response may exceed its analyzed bound, and no deadline may be missed).
+
+use pmcs::prelude::*;
+use pmcs_baselines::WpAnalysis;
+
+fn marked_set(set: &TaskSet, report: &SchedulabilityReport) -> TaskSet {
+    report
+        .assignment()
+        .promoted
+        .iter()
+        .fold(set.all_nls(), |s, &t| {
+            s.with_sensitivity(t, Sensitivity::Ls).expect("task exists")
+        })
+}
+
+#[test]
+fn proposed_analysis_is_sound_against_simulation() {
+    let engine = ExactEngine::default();
+    let mut checked_schedulable = 0;
+    for seed in 0..12u64 {
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 4,
+                utilization: 0.25 + 0.02 * seed as f64,
+                gamma: 0.3,
+                beta: 0.6,
+                ..TaskSetConfig::default()
+            },
+            seed,
+        );
+        let set = generator.generate();
+        let report = analyze_task_set(&set, &engine).expect("analysis");
+        if !report.schedulable() {
+            continue;
+        }
+        checked_schedulable += 1;
+        let marked = marked_set(&set, &report);
+        let horizon = Time::from_secs(2);
+        for plan_seed in 0..3u64 {
+            let plan = random_sporadic_plan(&marked, horizon, 0.4, plan_seed);
+            let result = simulate(&marked, &plan, Policy::Proposed, horizon);
+            assert!(
+                result.all_deadlines_met(horizon),
+                "seed {seed}/{plan_seed}: a deadline was missed in a set the \
+                 analysis declared schedulable"
+            );
+            for v in report.verdicts() {
+                if let Some(observed) = result.worst_response(v.task) {
+                    assert!(
+                        observed <= v.wcrt,
+                        "seed {seed}/{plan_seed} {}: simulated {} > bound {}",
+                        v.task,
+                        observed,
+                        v.wcrt
+                    );
+                }
+            }
+            // The trace must satisfy the protocol properties as well.
+            let violations = validate_trace(&marked, &result, true);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+    assert!(
+        checked_schedulable >= 3,
+        "test vacuous: only {checked_schedulable} schedulable sets"
+    );
+}
+
+#[test]
+fn wp_analysis_is_sound_against_simulation() {
+    let wp = WpAnalysis::default();
+    let mut checked = 0;
+    for seed in 100..112u64 {
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 4,
+                utilization: 0.2,
+                gamma: 0.3,
+                beta: 0.8,
+                ..TaskSetConfig::default()
+            },
+            seed,
+        );
+        let set = generator.generate();
+        let results = wp.analyze(&set);
+        if results.iter().any(|r| !r.schedulable) {
+            continue;
+        }
+        checked += 1;
+        let horizon = Time::from_secs(2);
+        let plan = random_sporadic_plan(&set, horizon, 0.3, seed);
+        let result = simulate(&set, &plan, Policy::WaslyPellizzoni, horizon);
+        assert!(result.all_deadlines_met(horizon), "seed {seed}");
+        for r in &results {
+            if let Some(observed) = result.worst_response(r.task) {
+                assert!(
+                    observed <= r.wcrt,
+                    "seed {seed} {}: simulated {} > WP bound {}",
+                    r.task,
+                    observed,
+                    r.wcrt
+                );
+            }
+        }
+    }
+    assert!(checked >= 3, "test vacuous: only {checked} schedulable sets");
+}
+
+#[test]
+fn nps_analysis_is_sound_against_simulation() {
+    let nps = NpsAnalysis::default();
+    let mut checked = 0;
+    for seed in 200..212u64 {
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 5,
+                utilization: 0.3,
+                gamma: 0.3,
+                beta: 0.8,
+                ..TaskSetConfig::default()
+            },
+            seed,
+        );
+        let set = generator.generate();
+        let results = nps.analyze(&set);
+        if results.iter().any(|r| !r.schedulable) {
+            continue;
+        }
+        checked += 1;
+        let horizon = Time::from_secs(2);
+        let plan = random_sporadic_plan(&set, horizon, 0.2, seed);
+        let result = simulate(&set, &plan, Policy::Nps, horizon);
+        assert!(result.all_deadlines_met(horizon), "seed {seed}");
+        for r in &results {
+            if let Some(observed) = result.worst_response(r.task) {
+                assert!(
+                    observed <= r.wcrt,
+                    "seed {seed} {}: simulated {} > NPS bound {}",
+                    r.task,
+                    observed,
+                    r.wcrt
+                );
+            }
+        }
+    }
+    assert!(checked >= 3, "test vacuous: only {checked} schedulable sets");
+}
+
+#[test]
+fn greedy_never_loses_to_fixed_all_nls() {
+    // The greedy algorithm starts all-NLS: whenever the all-NLS marking is
+    // schedulable, the greedy must agree (it terminates in round 1).
+    let engine = ExactEngine::default();
+    for seed in 300..310u64 {
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 4,
+                utilization: 0.3,
+                gamma: 0.2,
+                beta: 0.6,
+                ..TaskSetConfig::default()
+            },
+            seed,
+        );
+        let set = generator.generate();
+        let all_nls = pmcs::core::schedulability::analyze_fixed_marking(&set.all_nls(), &engine)
+            .expect("analysis");
+        let greedy = analyze_task_set(&set, &engine).expect("analysis");
+        if all_nls.schedulable() {
+            assert!(greedy.schedulable(), "seed {seed}");
+            assert!(greedy.assignment().promoted.is_empty(), "seed {seed}");
+        }
+    }
+}

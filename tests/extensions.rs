@@ -1,0 +1,113 @@
+//! Cross-feature integration: partitioning, task chains, exhaustive LS
+//! search and trace statistics working together on one workload.
+
+use pmcs::core::{
+    chain_latency, exhaustive_ls_assignment, partition, ChainActivation, Heuristic, TaskChain,
+};
+use pmcs::prelude::*;
+use pmcs_sim::trace_stats;
+
+fn workload() -> Vec<Task> {
+    let mut generator = TaskSetGenerator::new(
+        TaskSetConfig {
+            n: 8,
+            utilization: 0.8,
+            gamma: 0.3,
+            beta: 0.7,
+            ..TaskSetConfig::default()
+        },
+        0xFACADE,
+    );
+    generator.generate().tasks().to_vec()
+}
+
+#[test]
+fn partition_then_chain_latency() {
+    let engine = ExactEngine::default();
+    let result = partition(workload(), 4, Heuristic::WorstFit, &engine)
+        .expect("analysis")
+        .expect("packable");
+    assert!(result.schedulable());
+
+    // A chain across the first task of each non-empty core.
+    let stages: Vec<TaskId> = result
+        .platform
+        .iter()
+        .take(3)
+        .map(|(_, set)| set.tasks()[0].id())
+        .collect();
+    assert!(stages.len() >= 2, "need a cross-core chain");
+    let chain = TaskChain::new(stages.clone());
+    let cores: Vec<TaskSet> = result.platform.iter().map(|(_, s)| s.clone()).collect();
+    let triggered = chain_latency(&chain, &cores, ChainActivation::Triggered, &engine)
+        .expect("latency");
+    let sampling = chain_latency(&chain, &cores, ChainActivation::Sampling, &engine)
+        .expect("latency");
+    assert!(triggered > Time::ZERO);
+    assert!(sampling > triggered, "sampling adds downstream periods");
+
+    // Chain latency must dominate the sum of stage execution times.
+    let floor: Time = stages
+        .iter()
+        .map(|id| {
+            cores
+                .iter()
+                .find_map(|s| s.get(*id))
+                .expect("stage placed")
+                .exec()
+        })
+        .sum();
+    assert!(triggered >= floor);
+}
+
+#[test]
+fn per_core_simulation_respects_partitioned_bounds() {
+    let engine = ExactEngine::default();
+    let result = partition(workload(), 4, Heuristic::FirstFit, &engine)
+        .expect("analysis")
+        .expect("packable");
+    let horizon = Time::from_secs(1);
+    for (core, set) in result.platform.iter() {
+        let report = &result.reports[core.0 as usize];
+        // Re-mark the set per the final LS assignment before simulating.
+        let marked = report
+            .assignment()
+            .promoted
+            .iter()
+            .fold(set.all_nls(), |s, &t| {
+                s.with_sensitivity(t, Sensitivity::Ls).expect("task")
+            });
+        let plan = random_sporadic_plan(&marked, horizon, 0.25, 0xC0DE + u64::from(core.0));
+        let run = simulate(&marked, &plan, Policy::Proposed, horizon);
+        assert!(validate_trace(&marked, &run, true).is_empty());
+        assert!(run.all_deadlines_met(horizon), "{core}");
+        for v in report.verdicts() {
+            if let Some(observed) = run.worst_response(v.task) {
+                assert!(observed <= v.wcrt, "{core} {}: {observed} > {}", v.task, v.wcrt);
+            }
+        }
+        let stats = trace_stats(&run);
+        assert!(stats.cpu_utilization(horizon) <= 1.0 + f64::EPSILON);
+        assert!(stats.dma_utilization(horizon) <= 1.0 + f64::EPSILON);
+    }
+}
+
+#[test]
+fn exhaustive_search_validates_partitioned_cores() {
+    // On small cores the exhaustive LS search must agree with the greedy
+    // verdict used by the partitioner.
+    let engine = ExactEngine::default();
+    let result = partition(workload(), 4, Heuristic::WorstFit, &engine)
+        .expect("analysis")
+        .expect("packable");
+    for (_, set) in result.platform.iter() {
+        if set.len() > 5 {
+            continue;
+        }
+        let exhaustive = exhaustive_ls_assignment(set, &engine).expect("search");
+        assert!(
+            exhaustive.best.is_some(),
+            "partitioner admitted an unschedulable core?!"
+        );
+    }
+}

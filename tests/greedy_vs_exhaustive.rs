@@ -1,0 +1,108 @@
+//! Measures the greedy LS-marking algorithm (Section VI) against the
+//! exhaustive ground truth over all `2^n` markings.
+//!
+//! Two facts are asserted:
+//!
+//! * **Agreement on success**: when the greedy finds a schedulable
+//!   marking, some marking is schedulable (trivially — its own), and when
+//!   the exhaustive search proves *no* marking works, the greedy must
+//!   also have failed.
+//! * **The greedy can be suboptimal** is *allowed* (it is a heuristic);
+//!   the test reports sets where the exhaustive search succeeds and the
+//!   greedy fails, and only requires this to be rare on the evaluation
+//!   workloads.
+
+use pmcs::prelude::*;
+use pmcs_core::exhaustive_ls_assignment;
+
+#[test]
+fn greedy_matches_exhaustive_on_most_sets() {
+    let engine = ExactEngine::default();
+    let mut greedy_wins = 0usize;
+    let mut exhaustive_wins = 0usize;
+    let mut greedy_missed = 0usize;
+    const SETS: u64 = 30;
+    for seed in 0..SETS {
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 4,
+                utilization: 0.3,
+                gamma: 0.3,
+                beta: 0.4,
+                ..TaskSetConfig::default()
+            },
+            seed.wrapping_mul(0x9E37),
+        );
+        let set = generator.generate();
+        let greedy = analyze_task_set(&set, &engine).expect("greedy analysis");
+        let exhaustive = exhaustive_ls_assignment(&set, &engine).expect("exhaustive");
+        match (greedy.schedulable(), exhaustive.best.is_some()) {
+            (true, true) => greedy_wins += 1,
+            (false, false) => {}
+            (false, true) => greedy_missed += 1,
+            (true, false) => panic!(
+                "seed {seed}: greedy schedulable but exhaustive says impossible — \
+                 the greedy found a marking the exhaustive search missed?!"
+            ),
+        }
+        if exhaustive.best.is_some() {
+            exhaustive_wins += 1;
+        }
+    }
+    assert!(
+        greedy_wins >= 1 && exhaustive_wins >= greedy_wins,
+        "vacuous test: {greedy_wins}/{exhaustive_wins}"
+    );
+    // The greedy is a heuristic; allow a small optimality gap.
+    assert!(
+        greedy_missed * 5 <= exhaustive_wins,
+        "greedy missed {greedy_missed} of {exhaustive_wins} feasible sets (> 20%)"
+    );
+    println!("greedy: {greedy_wins}/{exhaustive_wins} feasible sets, missed {greedy_missed}");
+}
+
+#[test]
+fn exhaustive_minimality() {
+    // The exhaustive search returns a minimal-cardinality marking: any
+    // strictly smaller subset of it must be unschedulable.
+    let engine = ExactEngine::default();
+    let mut verified = 0usize;
+    for seed in 100..115u64 {
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig {
+                n: 3,
+                utilization: 0.35,
+                gamma: 0.3,
+                beta: 0.3,
+                ..TaskSetConfig::default()
+            },
+            seed,
+        );
+        let set = generator.generate();
+        let result = exhaustive_ls_assignment(&set, &engine).expect("exhaustive");
+        let Some((ls, report)) = result.best else {
+            continue;
+        };
+        assert!(report.schedulable());
+        if ls.is_empty() {
+            continue;
+        }
+        verified += 1;
+        // Remove each marked task in turn: the reduced marking must fail
+        // (otherwise the popcount-ordered search would have found it).
+        for skip in &ls {
+            let mut marked = set.all_nls();
+            for id in ls.iter().filter(|id| *id != skip) {
+                marked = marked.with_sensitivity(*id, Sensitivity::Ls).unwrap();
+            }
+            let reduced = pmcs::core::schedulability::analyze_fixed_marking(&marked, &engine)
+                .expect("analysis");
+            assert!(
+                !reduced.schedulable(),
+                "seed {seed}: dropping {skip} from {ls:?} still schedulable — not minimal"
+            );
+        }
+    }
+    // It is fine if few sets needed promotions; just ensure the check ran.
+    println!("verified minimality on {verified} sets");
+}

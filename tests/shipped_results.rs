@@ -1,0 +1,138 @@
+//! Guards the paper's qualitative claims against the shipped experiment
+//! results (`results/fig2*.csv`): if a code change regenerates the CSVs
+//! with shapes that no longer match the paper, these tests fail.
+
+use std::fs;
+use std::path::Path;
+
+struct Row {
+    x: f64,
+    proposed: f64,
+    wp: f64,
+    nps: f64,
+}
+
+fn load(name: &str) -> Vec<Row> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("results")
+        .join(name);
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing shipped result {}: {e}", path.display()));
+    text.lines()
+        .skip(1)
+        .map(|line| {
+            let cols: Vec<f64> = line
+                .split(',')
+                .take(4)
+                .map(|v| v.parse().expect("numeric csv"))
+                .collect();
+            Row {
+                x: cols[0],
+                proposed: cols[1],
+                wp: cols[2],
+                nps: cols[3],
+            }
+        })
+        .collect()
+}
+
+/// Proposed ≥ WP at every point of every inset (the paper's central
+/// comparison; small sampling noise tolerated).
+#[test]
+fn proposed_dominates_wp_everywhere() {
+    for inset in ["fig2a.csv", "fig2b.csv", "fig2c.csv", "fig2d.csv", "fig2e.csv", "fig2f.csv"] {
+        for row in load(inset) {
+            assert!(
+                row.proposed >= row.wp - 0.021,
+                "{inset} x={}: proposed {} < wp {}",
+                row.x,
+                row.proposed,
+                row.wp
+            );
+        }
+    }
+}
+
+/// Proposed ≥ carry-convention NPS at every point (the paper claims the
+/// proposed protocol beats NPS in all tested configurations).
+#[test]
+fn proposed_dominates_carry_nps_everywhere() {
+    for inset in ["fig2a.csv", "fig2b.csv", "fig2c.csv", "fig2d.csv", "fig2e.csv", "fig2f.csv"] {
+        for row in load(inset) {
+            assert!(
+                row.proposed >= row.nps - 0.021,
+                "{inset} x={}: proposed {} < nps {}",
+                row.x,
+                row.proposed,
+                row.nps
+            );
+        }
+    }
+}
+
+/// At low memory intensity (inset a, γ=0.1) WP falls *below* NPS at some
+/// mid utilization — the paper's motivating observation (Figure 1 /
+/// Section I).
+#[test]
+fn wp_worse_than_nps_at_low_gamma() {
+    let rows = load("fig2a.csv");
+    assert!(
+        rows.iter()
+            .any(|r| r.nps >= r.wp + 0.10 && r.x >= 0.2 && r.x <= 0.5),
+        "expected a mid-U point where NPS clearly beats WP at γ=0.1"
+    );
+}
+
+/// Inset (e): the proposed protocol's margin over NPS persists as γ
+/// grows, while NPS collapses first (DMA advantage grows with memory
+/// intensity).
+#[test]
+fn dma_advantage_grows_with_gamma() {
+    let rows = load("fig2e.csv");
+    let first = rows.first().expect("rows");
+    let last = rows.last().expect("rows");
+    assert!(first.x < last.x);
+    // At the largest γ, NPS is (near-)dead while proposed still schedules.
+    assert!(last.nps <= 0.05, "nps at γ=0.5 should be ~0, got {}", last.nps);
+    assert!(
+        last.proposed >= last.nps,
+        "proposed must outlive nps at high γ"
+    );
+    // Proposed declines more slowly than NPS in absolute terms.
+    let prop_drop = first.proposed - last.proposed;
+    let nps_drop = first.nps - last.nps;
+    assert!(
+        nps_drop >= prop_drop - 0.15,
+        "NPS should collapse at least as fast as proposed"
+    );
+}
+
+/// Inset (f): the relative improvement of proposed over WP shrinks as
+/// deadlines relax (the paper: the improvement is higher for tight
+/// deadlines).
+#[test]
+fn relative_improvement_larger_for_tight_deadlines() {
+    let rows = load("fig2f.csv");
+    let ratio = |r: &Row| {
+        if r.wp <= 0.0 {
+            f64::INFINITY
+        } else {
+            r.proposed / r.wp
+        }
+    };
+    // Compare a tight-deadline point (smallest β with nonzero wp) against
+    // the implicit-deadline point (β = 1).
+    let tight = rows
+        .iter()
+        .find(|r| r.wp > 0.0)
+        .expect("some tight point with wp > 0");
+    let relaxed = rows.last().expect("β = 1 row");
+    assert!(
+        ratio(tight) >= ratio(relaxed),
+        "proposed/wp at β={} ({:.2}) should exceed that at β={} ({:.2})",
+        tight.x,
+        ratio(tight),
+        relaxed.x,
+        ratio(relaxed)
+    );
+}
