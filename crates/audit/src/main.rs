@@ -1,0 +1,356 @@
+//! The `pmcs-audit` command-line driver.
+//!
+//! Three subcommands, one per analysis pass:
+//!
+//! * `trace` — generate a workload, simulate it, run the R1–R6
+//!   conformance analyzer on the clean trace, then corrupt the trace and
+//!   show the resulting diagnostics;
+//! * `milp` — build the WCRT window formulations for every task and
+//!   solve them with [`pmcs_milp::Solver::solve_audited`], printing the
+//!   exact-arithmetic audit verdicts;
+//! * `lint` — run the formulation linter over the same problems, plus a
+//!   deliberately sloppy demo problem that trips every lint code.
+//!
+//! The process exits non-zero when any analysis finds a real problem in
+//! the *clean* artifacts (the deliberately corrupted demo inputs are
+//! expected to produce diagnostics and do not fail the run).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use pmcs_audit::{check_conformance, lint, Severity, LINT_CODES};
+use pmcs_core::window::case_for;
+use pmcs_core::{MilpEngine, WindowModel};
+use pmcs_milp::{AuditedOutcome, Cmp, Problem, Solver};
+use pmcs_model::{Sensitivity, TaskSet, Time};
+use pmcs_sim::{simulate, Policy, SimResult, TraceUnit};
+use pmcs_workload::{random_sporadic_plan, TaskSetConfig, TaskSetGenerator};
+
+const USAGE: &str = "\
+pmcs-audit — static analysis over the pmcs analysis pipeline
+
+USAGE:
+    pmcs-audit <COMMAND> [OPTIONS]
+
+COMMANDS:
+    trace    simulate a workload and conformance-check the trace (R1-R6)
+    milp     solve the WCRT window formulations with exact-arithmetic audits
+    lint     lint the window formulations (codes A001-A006)
+
+OPTIONS:
+    --seed <N>     RNG seed for workload generation      [default: 42]
+    --tasks <N>    number of tasks in the generated set  [default: 5]
+    --util <X>     total utilization of the set          [default: 0.5]
+    -h, --help     print this help
+";
+
+struct Options {
+    seed: u64,
+    tasks: usize,
+    util: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            seed: 42,
+            tasks: 5,
+            util: 0.5,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command: Option<String> = None;
+    let mut opts = Options::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--seed" | "--tasks" | "--util" => {
+                let Some(value) = it.next() else {
+                    eprintln!("error: {arg} requires a value");
+                    return ExitCode::FAILURE;
+                };
+                let ok = match arg.as_str() {
+                    "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
+                    "--tasks" => value.parse().map(|v| opts.tasks = v).is_ok(),
+                    _ => value.parse().map(|v| opts.util = v).is_ok(),
+                };
+                if !ok {
+                    eprintln!("error: invalid value {value:?} for {arg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other if command.is_none() && !other.starts_with('-') => {
+                command = Some(other.to_string());
+            }
+            other => {
+                eprintln!("error: unexpected argument {other:?}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if opts.tasks == 0 {
+        eprintln!("error: --tasks must be at least 1");
+        return ExitCode::FAILURE;
+    }
+    if !(opts.util > 0.0 && opts.util < 1.0) {
+        eprintln!("error: --util must be in (0, 1), got {}", opts.util);
+        return ExitCode::FAILURE;
+    }
+
+    match command.as_deref() {
+        Some("trace") => cmd_trace(&opts),
+        Some("milp") => cmd_milp(&opts),
+        Some("lint") => cmd_lint(&opts),
+        Some(other) => {
+            eprintln!("error: unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            print!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Generates the demo task set: `opts.tasks` tasks at `opts.util`, with
+/// the lowest-priority task promoted to latency-sensitive so the LS rules
+/// (R3, R4) have something to act on.
+fn demo_set(opts: &Options) -> TaskSet {
+    let config = TaskSetConfig {
+        n: opts.tasks,
+        utilization: opts.util,
+        ..TaskSetConfig::default()
+    };
+    let set = TaskSetGenerator::new(config, opts.seed).generate();
+    let lowest = set
+        .iter()
+        .max_by_key(|t| t.priority().0)
+        .map(|t| t.id())
+        .expect("generated set is non-empty");
+    set.with_sensitivity(lowest, Sensitivity::Ls)
+        .expect("task id comes from the set itself")
+}
+
+// --- trace --------------------------------------------------------------
+
+fn cmd_trace(opts: &Options) -> ExitCode {
+    let set = demo_set(opts);
+    let horizon = Time::from_millis(300);
+    let plan = random_sporadic_plan(&set, horizon, 0.5, opts.seed.wrapping_add(1));
+
+    let mut failed = false;
+    for (policy, ls_rules) in [(Policy::Proposed, true), (Policy::WaslyPellizzoni, false)] {
+        let result = simulate(&set, &plan, policy, horizon);
+        let report = check_conformance(&set, &result, ls_rules);
+        println!(
+            "{policy:?}: {} intervals, {} events — {}",
+            report.intervals_checked,
+            report.events_checked,
+            if report.is_conformant() {
+                "conformant (R1-R6 hold)".to_string()
+            } else {
+                format!("{} VIOLATION(S)", report.diagnostics.len())
+            }
+        );
+        for d in &report.diagnostics {
+            println!("  {d}");
+            failed = true;
+        }
+    }
+
+    // Corruption demo: flip a cancellation flag on a committed copy-in and
+    // show that the analyzer localizes the damage to a protocol rule.
+    let result = simulate(&set, &plan, Policy::Proposed, horizon);
+    match corrupt_copy_in(&result) {
+        Some((corrupted, victim)) => {
+            let report = check_conformance(&set, &corrupted, true);
+            println!("\ncorruption demo: marked the copy-in of {victim} as canceled");
+            if report.is_conformant() {
+                println!("  analyzer missed the corruption — this is a bug");
+                failed = true;
+            }
+            for d in &report.diagnostics {
+                println!("  {d}");
+            }
+        }
+        None => println!("\ncorruption demo skipped: trace has no committed DMA copy-in"),
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Returns a copy of `result` with the first committed (non-canceled) DMA
+/// copy-in flagged as canceled, plus the job it belonged to.
+fn corrupt_copy_in(result: &SimResult) -> Option<(SimResult, pmcs_model::JobId)> {
+    let mut events = result.events().to_vec();
+    let target = events.iter().position(|e| {
+        e.unit == TraceUnit::Dma && e.phase == pmcs_model::Phase::CopyIn && !e.canceled
+    })?;
+    events[target].canceled = true;
+    let victim = events[target].job;
+    Some((
+        SimResult::from_parts(
+            events,
+            result.jobs().to_vec(),
+            result.interval_starts().to_vec(),
+        ),
+        victim,
+    ))
+}
+
+// --- milp ---------------------------------------------------------------
+
+fn cmd_milp(opts: &Options) -> ExitCode {
+    let set = demo_set(opts);
+    let engine = MilpEngine::new();
+    let solver = Solver::new();
+    let mut failed = false;
+
+    for task in set.iter() {
+        let case = case_for(task.sensitivity());
+        let window = match WindowModel::build(&set, task.id(), case, task.deadline()) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{}: window construction failed: {e}", task.id());
+                failed = true;
+                continue;
+            }
+        };
+        let problem = engine.build_problem(&window);
+        match solver.solve_audited(&problem) {
+            Ok(audited) => {
+                let verdict = if audited.report.certified() {
+                    "CERTIFIED"
+                } else if audited.report.failed() {
+                    failed = true;
+                    "FAILED"
+                } else {
+                    "inconclusive"
+                };
+                match &audited.outcome {
+                    AuditedOutcome::Solved(sol) => println!(
+                        "{} ({case:?}): {} vars, {} constraints, objective {:.1}, \
+                         status {:?} — audit {verdict}",
+                        task.id(),
+                        problem.num_vars(),
+                        problem.num_constraints(),
+                        sol.objective(),
+                        sol.status(),
+                    ),
+                    AuditedOutcome::Infeasible => {
+                        println!("{} ({case:?}): infeasible — audit {verdict}", task.id())
+                    }
+                }
+                for check in audited.report.problems() {
+                    println!("    {} [{:?}]: {}", check.name, check.status, check.detail);
+                }
+            }
+            Err(e) => {
+                eprintln!("{}: solve failed: {e}", task.id());
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// --- lint ---------------------------------------------------------------
+
+fn cmd_lint(opts: &Options) -> ExitCode {
+    let set = demo_set(opts);
+    let engine = MilpEngine::new();
+    let mut failed = false;
+
+    println!("linting the WCRT window formulations:");
+    for task in set.iter() {
+        let case = case_for(task.sensitivity());
+        let window = match WindowModel::build(&set, task.id(), case, task.deadline()) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{}: window construction failed: {e}", task.id());
+                failed = true;
+                continue;
+            }
+        };
+        let problem = engine.build_problem(&window);
+        let report = lint(&problem);
+        let non_info = report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.severity() > Severity::Info)
+            .count();
+        println!(
+            "  {} ({case:?}): {} vars, {} constraints — {} finding(s), {} above info",
+            task.id(),
+            problem.num_vars(),
+            problem.num_constraints(),
+            report.diagnostics().len(),
+            non_info,
+        );
+        for d in report.diagnostics() {
+            if d.severity() > Severity::Info {
+                println!("    {d}");
+            }
+        }
+        if report.has_errors() {
+            failed = true;
+        }
+    }
+
+    println!("\nlint demo (deliberately sloppy problem, every code fires):");
+    let demo = sloppy_demo_problem();
+    let report = lint(&demo);
+    for d in report.diagnostics() {
+        println!("  {d}");
+    }
+    for code in LINT_CODES {
+        if report.with_code(code).next().is_none() {
+            println!("  demo failed to trigger {code} — this is a bug");
+            failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// A small problem that trips all six lint codes at once.
+fn sloppy_demo_problem() -> Problem {
+    let mut p = Problem::maximize();
+    let x = p.continuous("x", 0.0, 10.0);
+    let y = p.continuous("y", 0.0, 10.0);
+    let _dead = p.continuous("dead", 0.0, 1.0); // A001
+    let inverted = p.continuous("inverted", 5.0, 1.0); // A002 (bounds)
+    let free = p.continuous("free", 0.0, f64::INFINITY); // A003
+    let gate = p.binary("gate");
+    p.constrain(x + y, Cmp::Le, 4.0);
+    p.constrain(2.0 * x + 2.0 * y, Cmp::Le, 8.0); // A004 (scaled duplicate)
+    p.constrain(x + -1e9 * gate, Cmp::Le, 0.0); // A005 (big-M spread)
+    p.constrain(x, Cmp::Le, 1e4); // A006 (never binds)
+    p.constrain(x + inverted, Cmp::Ge, 100.0); // A002 (unachievable)
+    p.set_objective(x + y + free);
+    p
+}

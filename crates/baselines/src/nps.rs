@@ -137,8 +137,7 @@ impl NpsAnalysis {
         let mut period_len = blocking + c_own;
         let mut diverged = true;
         for _ in 0..self.max_iterations {
-            let mut next = blocking
-                + c_own * (task.arrival().eta_closed(period_len) as i64);
+            let mut next = blocking + c_own * (task.arrival().eta_closed(period_len) as i64);
             for j in &hp {
                 next += j.wcet_serialized() * (self.interference_count(j, period_len) as i64);
             }

@@ -85,7 +85,8 @@ impl WpAnalysis {
 
     /// `true` iff all tasks meet their deadlines.
     pub fn is_schedulable(&self, set: &TaskSet) -> bool {
-        set.iter().all(|t| self.analyze_task(set, t.id()).schedulable)
+        set.iter()
+            .all(|t| self.analyze_task(set, t.id()).schedulable)
     }
 
     /// Analyzes one task.
@@ -101,10 +102,7 @@ impl WpAnalysis {
         let interval = |c: Time| c.max(dma);
         // Up to two blocking intervals, each hosting a *distinct*
         // lower-priority task: charge the two largest lp interval bounds.
-        let mut lp_bounds: Vec<Time> = set
-            .lower_priority(id)
-            .map(|j| interval(j.exec()))
-            .collect();
+        let mut lp_bounds: Vec<Time> = set.lower_priority(id).map(|j| interval(j.exec())).collect();
         lp_bounds.sort_unstable_by(|a, b| b.cmp(a));
         let blocking: Time = lp_bounds.iter().take(2).copied().sum();
         let hp: Vec<_> = set.higher_priority(id).collect();

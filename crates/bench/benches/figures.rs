@@ -11,7 +11,13 @@ use pmcs_sim::{simulate, Policy, ReleasePlan};
 fn bench_fig2_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_point");
     group.sample_size(10);
-    for inset in [Fig2Inset::A, Fig2Inset::B, Fig2Inset::C, Fig2Inset::E, Fig2Inset::F] {
+    for inset in [
+        Fig2Inset::A,
+        Fig2Inset::B,
+        Fig2Inset::C,
+        Fig2Inset::E,
+        Fig2Inset::F,
+    ] {
         let points = fig2_inset(inset);
         // A representative mid-sweep point.
         let mid = points[points.len() / 2].clone();

@@ -55,7 +55,11 @@ fn main() {
             );
             // Identical to analyze_task_set when all-NLS already passes;
             // the greedy adds LS promotions on top.
-            greedy += usize::from(analyze_task_set(&set, &engine).expect("analysis").schedulable());
+            greedy += usize::from(
+                analyze_task_set(&set, &engine)
+                    .expect("analysis")
+                    .schedulable(),
+            );
             // analyze_fixed_marking is exercised in tests; keep the import
             // honest here by using it for the sanity check below.
             debug_assert!(

@@ -30,7 +30,10 @@ fn main() {
     for (policy, label) in [
         (Policy::WaslyPellizzoni, "(a) Wasly-Pellizzoni [3]"),
         (Policy::Nps, "(b) non-preemptive scheduling"),
-        (Policy::Proposed, "(c) proposed protocol (τ_i latency-sensitive)"),
+        (
+            Policy::Proposed,
+            "(c) proposed protocol (τ_i latency-sensitive)",
+        ),
     ] {
         let result = simulate(&set, &plan, policy, horizon);
         let record = result
@@ -39,14 +42,19 @@ fn main() {
             .find(|j| j.job.task() == tau_i)
             .expect("τ_i released");
         let completion = record.completion.expect("τ_i completes within horizon");
-        let verdict = if record.met_deadline() { "MEETS" } else { "MISSES" };
+        let verdict = if record.met_deadline() {
+            "MEETS"
+        } else {
+            "MISSES"
+        };
         println!("--- {label} ---");
-        print!("{}", render_gantt(&result, Time::from_ticks(26), Time::TICK));
+        print!(
+            "{}",
+            render_gantt(&result, Time::from_ticks(26), Time::TICK)
+        );
         println!(
             "τ_i: release={} completion={} (absolute deadline {}) → {verdict}\n",
-            record.release,
-            completion,
-            record.absolute_deadline
+            record.release, completion, record.absolute_deadline
         );
         if policy != Policy::Nps {
             let violations = validate_trace(&set, &result, policy == Policy::Proposed);

@@ -216,9 +216,13 @@ mod tests {
     #[test]
     fn parameter_sweeps_vary_the_right_knob() {
         let gammas = fig2_inset(Fig2Inset::E);
-        assert!(gammas.windows(2).all(|w| w[0].config.gamma < w[1].config.gamma));
+        assert!(gammas
+            .windows(2)
+            .all(|w| w[0].config.gamma < w[1].config.gamma));
         let betas = fig2_inset(Fig2Inset::F);
-        assert!(betas.windows(2).all(|w| w[0].config.beta < w[1].config.beta));
+        assert!(betas
+            .windows(2)
+            .all(|w| w[0].config.beta < w[1].config.beta));
         assert_eq!(Fig2Inset::E.x_label(), "gamma");
         assert_eq!(Fig2Inset::F.x_label(), "beta");
     }

@@ -81,9 +81,12 @@ impl TaskChain {
     ) -> Result<Time, CoreError> {
         let mut latency = Time::ZERO;
         for (idx, stage) in self.stages.iter().enumerate() {
-            let r = *wcrts
-                .get(stage)
-                .ok_or(CoreError::Model(pmcs_model::ModelError::UnknownTask(*stage)))?;
+            let r =
+                *wcrts
+                    .get(stage)
+                    .ok_or(CoreError::Model(pmcs_model::ModelError::UnknownTask(
+                        *stage,
+                    )))?;
             latency += r;
             if idx > 0 && activation == ChainActivation::Sampling {
                 let t = tasks
@@ -160,8 +163,7 @@ mod tests {
         // Both stages are analyzed in their own cores; latency = R0 + R2.
         let ra = analyze_task_set(&core_a(), &engine).unwrap();
         let rb = analyze_task_set(&core_b(), &engine).unwrap();
-        let expected =
-            ra.verdict(TaskId(0)).unwrap().wcrt + rb.verdict(TaskId(2)).unwrap().wcrt;
+        let expected = ra.verdict(TaskId(0)).unwrap().wcrt + rb.verdict(TaskId(2)).unwrap().wcrt;
         assert_eq!(l, expected);
     }
 

@@ -270,7 +270,10 @@ impl Search {
     #[inline]
     fn in_at(&self, k: usize, next: Choice) -> Option<i64> {
         match next {
-            Choice::Run { task, urgent: false } => Some(self.cin[task]),
+            Choice::Run {
+                task,
+                urgent: false,
+            } => Some(self.cin[task]),
             Choice::Run { task, urgent: true } => self.urgent_cancel(k, task),
             Choice::Idle => Some(self.free_cancel(k)),
         }
@@ -318,7 +321,9 @@ impl Search {
             // Terminal: Δ_{N-2} (τ_i's copy-in rides this interval's DMA)
             // and Δ_{N-1} (τ_i executes; DMA may copy out `prev` and load
             // a future task).
-            let d_nm2 = self.cpu(prev).max(self.l_i + self.out_at(self.n - 2, prev2));
+            let d_nm2 = self
+                .cpu(prev)
+                .max(self.l_i + self.out_at(self.n - 2, prev2));
             let d_nm1 = self.c_i.max(self.max_l + self.out_of(prev));
             return d_nm2 + d_nm1;
         }
@@ -363,8 +368,8 @@ impl Search {
         // placement region (Constraint 3), so an idle slot genuinely
         // remains and its position matters for the pairing.
         let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
-        let stranded_lp = k > self.last_lp_exec
-            && (0..m).any(|j| !self.hp[j] && self.budget[j] > 0);
+        let stranded_lp =
+            k > self.last_lp_exec && (0..m).any(|j| !self.hp[j] && self.budget[j] > 0);
         if !any_candidate || idle_useful || stranded_lp {
             if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
                 let v = d + self.dp(k + 1, Choice::Idle, prev);
@@ -427,7 +432,13 @@ impl Search {
     fn fallback_bound(&self) -> i64 {
         let m = self.exec.len();
         let max_demand = (0..m)
-            .map(|j| if self.ls[j] { self.cin[j] + self.exec[j] } else { self.exec[j] })
+            .map(|j| {
+                if self.ls[j] {
+                    self.cin[j] + self.exec[j]
+                } else {
+                    self.exec[j]
+                }
+            })
             .max()
             .unwrap_or(0);
         let slot_cap = max_demand.max(self.max_l + self.max_u);
@@ -441,7 +452,11 @@ impl Search {
         let mut dma_sum = 0i64;
         for j in 0..m {
             let b = self.budget[j] as i64;
-            cpu_sum += b * if self.ls[j] { self.cin[j] + self.exec[j] } else { self.exec[j] };
+            cpu_sum += b * if self.ls[j] {
+                self.cin[j] + self.exec[j]
+            } else {
+                self.exec[j]
+            };
             dma_sum += b * (self.cin[j] + self.cout[j]);
         }
         // Cancellation charges can fill slots without executions and slots
@@ -452,13 +467,8 @@ impl Search {
             .sum();
         let free_slots = (slots - total_jobs as i64).max(0) + ls_jobs;
         let cancel_extra = free_slots * self.max_cancel_i0;
-        let decoupled = cpu_sum
-            + self.c_i
-            + dma_sum
-            + cancel_extra
-            + self.l_i
-            + self.max_l
-            + self.max_u;
+        let decoupled =
+            cpu_sum + self.c_i + dma_sum + cancel_extra + self.l_i + self.max_l + self.max_u;
 
         per_slot.min(decoupled)
     }
@@ -471,8 +481,11 @@ mod tests {
     use pmcs_model::{TaskId, TaskSet, Time};
 
     fn bound(set: &TaskSet, id: u32, case: WindowCase, t: i64) -> i64 {
-        let w = WindowModel::build(set, TaskId(id), case, Time::from_ticks(t)).unwrap();
-        let b = ExactEngine::default().max_total_delay(&w).unwrap();
+        let w = WindowModel::build(set, TaskId(id), case, Time::from_ticks(t))
+            .expect("task id is in the set");
+        let b = ExactEngine::default()
+            .max_total_delay(&w)
+            .expect("default budget suffices for the test windows");
         assert!(b.exact);
         b.delay.as_ticks()
     }
@@ -480,7 +493,8 @@ mod tests {
     #[test]
     fn singleton_task_window() {
         // Only τ_0: N = 2 intervals (copy-in, then execution).
-        let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, false)]).unwrap();
+        let set =
+            TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, false)]).expect("valid task set");
         // Δ_0 = max(0, l_i + max_u) = 5; Δ_1 = max(10, max_l + 0) = 10.
         assert_eq!(bound(&set, 0, WindowCase::Nls, 3), 15);
     }
@@ -491,7 +505,7 @@ mod tests {
             test_task(0, 10, 2, 2, 1_000, 0, false),
             test_task(1, 20, 5, 5, 1_000, 1, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         // τ1 under analysis; hp τ0 budget = η(10)+1 = 2; no lp → N = 3.
         let d = bound(&set, 1, WindowCase::Nls, 10);
         // Must cover the interference-free minimum …
@@ -507,7 +521,7 @@ mod tests {
             test_task(0, 10, 1, 1, 10_000, 0, false),
             test_task(1, 500, 1, 1, 10_000, 1, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         let d = bound(&set, 0, WindowCase::Nls, 12);
         // N = 2 (no hp jobs, one lp task → one blocking interval).
         // Δ_0 = max(C_lp = 500, l_i + max_u = 2) = 500 (its copy-in is
@@ -521,7 +535,7 @@ mod tests {
             test_task(0, 10, 1, 1, 10_000, 0, true),
             test_task(1, 500, 1, 1, 10_000, 1, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         let d = bound(&set, 0, WindowCase::LsCaseA, 12);
         // N = 2. Δ_0 = max(500, l_i + max_u) = 500; Δ_1 = max(10, 2) = 10.
         assert_eq!(d, 510);
@@ -535,7 +549,7 @@ mod tests {
             test_task(1, 300, 2, 2, 100_000, 1, false),
             test_task(2, 400, 2, 2, 100_000, 2, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         let nls = bound(&set, 0, WindowCase::Nls, 20);
         let ls = bound(&set, 0, WindowCase::LsCaseA, 20);
         assert!(
@@ -554,7 +568,7 @@ mod tests {
             test_task(1, 10, 1, 1, 100_000, 1, false),
             test_task(2, 10, 1, 1, 100_000, 2, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         let d = bound(&set, 2, WindowCase::Nls, 5);
         assert!(d >= 60, "bound {d} must include an urgent execution");
     }
@@ -566,12 +580,16 @@ mod tests {
             test_task(1, 10, 2, 2, 100, 1, false),
             test_task(2, 10, 2, 2, 100, 2, false),
         ])
-        .unwrap();
-        let w =
-            WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(150)).unwrap();
-        let exact = ExactEngine::default().max_total_delay(&w).unwrap();
+        .expect("valid task set");
+        let w = WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(150))
+            .expect("τ2 is in the set");
+        let exact = ExactEngine::default()
+            .max_total_delay(&w)
+            .expect("default budget suffices");
         assert!(exact.exact);
-        let starved = ExactEngine { max_states: 1 }.max_total_delay(&w).unwrap();
+        let starved = ExactEngine { max_states: 1 }
+            .max_total_delay(&w)
+            .expect("budget exhaustion falls back to a safe bound, not an error");
         assert!(!starved.exact);
         assert!(
             starved.delay >= exact.delay,
@@ -583,7 +601,7 @@ mod tests {
 
     #[test]
     fn empty_competitors_ls_case() {
-        let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, true)]).unwrap();
+        let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, true)]).expect("valid task set");
         let d = bound(&set, 0, WindowCase::LsCaseA, 3);
         // N = 2: Δ_0 = max(0, l_i + max_u) = 5, Δ_1 = max(10, 3 + 0) = 10.
         assert_eq!(d, 15);
@@ -600,15 +618,12 @@ mod tests {
             test_task(4, 2_000, 600, 600, 40_000, 4, false),
             test_task(5, 1_000, 300, 300, 60_000, 5, false),
         ])
-        .unwrap();
-        let w = WindowModel::build(
-            &set,
-            TaskId(5),
-            WindowCase::Nls,
-            Time::from_ticks(28_000),
-        )
-        .unwrap();
-        let b = ExactEngine::default().max_total_delay(&w).unwrap();
+        .expect("valid task set");
+        let w = WindowModel::build(&set, TaskId(5), WindowCase::Nls, Time::from_ticks(28_000))
+            .expect("τ5 is in the set");
+        let b = ExactEngine::default()
+            .max_total_delay(&w)
+            .expect("memoized DP finishes within the default budget");
         assert!(b.exact, "DP must finish on a 15+-interval window");
         assert!(b.nodes < 2_000_000, "nodes={}", b.nodes);
     }

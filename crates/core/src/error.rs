@@ -29,6 +29,15 @@ pub enum CoreError {
         /// Nodes explored before giving up.
         nodes: u64,
     },
+    /// The exact-arithmetic audit refuted a MILP solver answer
+    /// (see [`pmcs_milp::audit`]): the floating-point result is provably
+    /// wrong and must not be used as a WCRT bound.
+    AuditFailed {
+        /// Name of the first audit check that failed.
+        check: &'static str,
+        /// Explanation produced by the audit layer.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +51,12 @@ impl fmt::Display for CoreError {
             ),
             CoreError::BudgetExhausted { nodes } => {
                 write!(f, "search budget exhausted after {nodes} nodes")
+            }
+            CoreError::AuditFailed { check, detail } => {
+                write!(
+                    f,
+                    "milp audit refuted the solver answer ({check}): {detail}"
+                )
             }
         }
     }
@@ -85,6 +100,13 @@ mod tests {
         };
         assert!(e.to_string().contains("τ3"));
         assert!(Error::source(&e).is_none());
+
+        let e = CoreError::AuditFailed {
+            check: "primal-feasibility",
+            detail: "constraint #2 violated".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("refuted") && text.contains("primal-feasibility"));
     }
 
     #[test]

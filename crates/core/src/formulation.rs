@@ -24,12 +24,30 @@
 //! * The task under analysis never appears as a cancellation victim: its
 //!   copy-in is pinned to `I_{N−2}` by Constraint 12.
 
-use pmcs_milp::{Cmp, LinExpr, Limits, Problem, Solver, Var};
+use pmcs_milp::{
+    AuditReport, AuditedOutcome, Cmp, Limits, LinExpr, MilpError, MilpSolution, Problem, Solver,
+    Var,
+};
 use pmcs_model::Time;
 
 use crate::error::CoreError;
 use crate::wcrt::{DelayBound, DelayEngine};
 use crate::window::WindowModel;
+
+/// Environment variable that switches [`MilpEngine`] into audited mode:
+/// set `PMCS_AUDIT=1` (or `true`) and every solve of the WCRT fixed-point
+/// iteration is re-verified with exact rational arithmetic
+/// ([`pmcs_milp::audit`]). A refuted answer surfaces as
+/// [`CoreError::AuditFailed`] instead of silently feeding a wrong bound
+/// into the iteration.
+pub const AUDIT_ENV_VAR: &str = "PMCS_AUDIT";
+
+/// `true` iff [`AUDIT_ENV_VAR`] requests audited solves.
+fn audit_from_env() -> bool {
+    std::env::var(AUDIT_ENV_VAR)
+        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        .unwrap_or(false)
+}
 
 /// Delay engine backed by the faithful MILP formulation.
 ///
@@ -37,29 +55,85 @@ use crate::window::WindowModel;
 /// windows; intended for validation, small task sets, and benchmarking the
 /// formulation itself (as the paper does with CPLEX).
 #[derive(Debug, Clone)]
-#[derive(Default)]
 pub struct MilpEngine {
     /// Branch-and-bound limits handed to the solver.
     pub limits: Limits,
+    /// When `true`, every solve is re-verified with exact rational
+    /// arithmetic and a refuted answer is an error. Initialized from
+    /// [`AUDIT_ENV_VAR`] by the constructors; override freely.
+    pub audit: bool,
 }
 
+impl Default for MilpEngine {
+    fn default() -> Self {
+        MilpEngine {
+            limits: Limits::default(),
+            audit: audit_from_env(),
+        }
+    }
+}
 
 impl MilpEngine {
-    /// Creates an engine with default solver limits.
+    /// Creates an engine with default solver limits. Audited mode is
+    /// taken from [`AUDIT_ENV_VAR`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an engine that audits every solve regardless of the
+    /// environment.
+    pub fn audited() -> Self {
+        MilpEngine {
+            audit: true,
+            ..Self::default()
+        }
     }
 
     /// Builds the MILP for a window (exposed for inspection and tests).
     pub fn build_problem(&self, w: &WindowModel) -> Problem {
         Formulation::build(w).problem
     }
+
+    fn solve(&self, problem: &Problem) -> Result<MilpSolution, CoreError> {
+        let solver = Solver::with_limits(self.limits.clone());
+        if !self.audit {
+            return Ok(solver.solve(problem)?);
+        }
+        let audited = solver.solve_audited(problem)?;
+        if audited.report.failed() {
+            return Err(audit_error(&audited.report));
+        }
+        match audited.outcome {
+            AuditedOutcome::Solved(sol) => Ok(sol),
+            // The WCRT windows always admit the all-idle schedule, so an
+            // infeasibility verdict — even an audited one — means the
+            // formulation itself is broken; keep the solver's error.
+            AuditedOutcome::Infeasible => Err(MilpError::Infeasible.into()),
+        }
+    }
+}
+
+/// Maps the first failed check of `report` to [`CoreError::AuditFailed`].
+fn audit_error(report: &AuditReport) -> CoreError {
+    let failed = report
+        .problems()
+        .find(|c| c.status == pmcs_milp::CheckStatus::Failed);
+    match failed {
+        Some(check) => CoreError::AuditFailed {
+            check: check.name,
+            detail: check.detail.clone(),
+        },
+        None => CoreError::AuditFailed {
+            check: "unknown",
+            detail: "audit reported failure without a failed check".to_string(),
+        },
+    }
 }
 
 impl DelayEngine for MilpEngine {
     fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
         let f = Formulation::build(w);
-        let sol = Solver::with_limits(self.limits.clone()).solve(&f.problem)?;
+        let sol = self.solve(&f.problem)?;
         let (value, exact) = if sol.is_optimal() {
             (sol.objective(), true)
         } else {
@@ -137,10 +211,18 @@ impl Formulation {
                 }
             }
         }
-        let delta: Vec<Var> = (0..n).map(|k| p.continuous(format!("delta_{k}"), 0.0, big_m)).collect();
-        let dcpu: Vec<Var> = (0..n).map(|k| p.continuous(format!("dcpu_{k}"), 0.0, big_m)).collect();
-        let din: Vec<Var> = (0..n).map(|k| p.continuous(format!("din_{k}"), 0.0, big_m)).collect();
-        let dout: Vec<Var> = (0..n).map(|k| p.continuous(format!("dout_{k}"), 0.0, big_m)).collect();
+        let delta: Vec<Var> = (0..n)
+            .map(|k| p.continuous(format!("delta_{k}"), 0.0, big_m))
+            .collect();
+        let dcpu: Vec<Var> = (0..n)
+            .map(|k| p.continuous(format!("dcpu_{k}"), 0.0, big_m))
+            .collect();
+        let din: Vec<Var> = (0..n)
+            .map(|k| p.continuous(format!("din_{k}"), 0.0, big_m))
+            .collect();
+        let dout: Vec<Var> = (0..n)
+            .map(|k| p.continuous(format!("dout_{k}"), 0.0, big_m))
+            .collect();
         let alpha: Vec<Var> = (0..n).map(|k| p.binary(format!("alpha_{k}"))).collect();
 
         // --- Constraint 1: L_j^k = E_j^{k+1} ------------------------------
@@ -225,10 +307,7 @@ impl Formulation {
                 continue;
             }
             for k in 0..copyin_slots {
-                let Some(le_next) = (k < exec_slots - 1)
-                    .then(|| le[j][k + 1])
-                    .flatten()
-                else {
+                let Some(le_next) = (k < exec_slots - 1).then(|| le[j][k + 1]).flatten() else {
                     continue;
                 };
                 let mut victims = LinExpr::zero();
@@ -239,12 +318,7 @@ impl Formulation {
                         }
                     }
                 }
-                p.constrain_named(
-                    Some(format!("C8_{j}_{k}")),
-                    victims - le_next,
-                    Cmp::Ge,
-                    0.0,
-                );
+                p.constrain_named(Some(format!("C8_{j}_{k}")), victims - le_next, Cmp::Ge, 0.0);
             }
         }
 
@@ -391,6 +465,37 @@ mod tests {
             12,
         );
         assert_eq!(milp_delay(&w), 510);
+    }
+
+    #[test]
+    fn audited_engine_agrees_with_unaudited() {
+        let w = window(
+            vec![
+                test_task(0, 10, 2, 2, 100, 0, false),
+                test_task(1, 20, 4, 4, 200, 1, false),
+                test_task(2, 30, 5, 5, 300, 2, true),
+            ],
+            0,
+            WindowCase::Nls,
+            50,
+        );
+        let plain = MilpEngine {
+            audit: false,
+            ..MilpEngine::default()
+        };
+        let audited = MilpEngine {
+            audit: true,
+            ..MilpEngine::default()
+        };
+        let a = plain.max_total_delay(&w).unwrap();
+        let b = audited.max_total_delay(&w).unwrap();
+        assert_eq!(a.delay, b.delay);
+        assert_eq!(a.exact, b.exact);
+    }
+
+    #[test]
+    fn audited_constructor_forces_audit_on() {
+        assert!(MilpEngine::audited().audit);
     }
 
     #[test]

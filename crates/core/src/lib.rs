@@ -59,7 +59,7 @@ pub mod window;
 pub use chains::{chain_latency, ChainActivation, TaskChain};
 pub use engine::ExactEngine;
 pub use error::CoreError;
-pub use formulation::MilpEngine;
+pub use formulation::{MilpEngine, AUDIT_ENV_VAR};
 pub use ls_search::{exhaustive_ls_assignment, ExhaustiveResult};
 pub use partitioning::{analyze_platform, partition, Heuristic, Partitioning};
 pub use protocol::{ProtocolRule, RULES};

@@ -169,10 +169,7 @@ pub fn analyze_task_set(
                 });
             }
             Some(task) => {
-                let is_ls = current
-                    .get(task)
-                    .map(|t| t.is_ls())
-                    .unwrap_or(false);
+                let is_ls = current.get(task).map(|t| t.is_ls()).unwrap_or(false);
                 if is_ls {
                     // Already LS and still missing: unschedulable.
                     return Ok(SchedulabilityReport {
@@ -279,10 +276,7 @@ mod tests {
         assert!(r.schedulable(), "{r}");
         assert_eq!(r.assignment().promoted, vec![TaskId(0)]);
         assert!(r.rounds() > 1);
-        assert_eq!(
-            r.verdict(TaskId(0)).unwrap().sensitivity,
-            Sensitivity::Ls
-        );
+        assert_eq!(r.verdict(TaskId(0)).unwrap().sensitivity, Sensitivity::Ls);
     }
 
     #[test]
@@ -294,10 +288,7 @@ mod tests {
         .unwrap();
         let r = analyze_fixed_marking(&set, &ExactEngine::default()).unwrap();
         assert_eq!(r.assignment().promoted, vec![TaskId(0)]);
-        assert_eq!(
-            r.verdict(TaskId(0)).unwrap().sensitivity,
-            Sensitivity::Ls
-        );
+        assert_eq!(r.verdict(TaskId(0)).unwrap().sensitivity, Sensitivity::Ls);
     }
 
     #[test]

@@ -70,7 +70,7 @@ pub struct TaskAnalysis {
 /// let set = TaskSet::new(vec![
 ///     test_task(0, 10, 2, 2, 100, 0, false),
 ///     test_task(1, 20, 4, 4, 200, 1, false),
-/// ]).unwrap();
+/// ]).expect("valid task set");
 /// let analyzer = WcrtAnalyzer::default();
 /// let a = analyzer.analyze_task(&set, TaskId(1), &ExactEngine::default())?;
 /// assert!(a.schedulable);
@@ -212,10 +212,11 @@ mod tests {
 
     #[test]
     fn isolated_task_gets_structural_minimum() {
-        let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, false)]).unwrap();
+        let set =
+            TaskSet::new(vec![test_task(0, 10, 3, 2, 100, 0, false)]).expect("valid task set");
         let a = WcrtAnalyzer::default()
             .analyze_task(&set, TaskId(0), &ExactEngine::default())
-            .unwrap();
+            .expect("analysis of an isolated task cannot fail");
         // From the engine test: Σ Δ = 15 → R = 15 + u = 17.
         assert_eq!(a.wcrt, Time::from_ticks(17));
         assert!(a.schedulable);
@@ -229,12 +230,12 @@ mod tests {
             test_task(0, 10, 2, 2, 100, 0, false),
             test_task(1, 20, 4, 4, 200, 1, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         for id in [0u32, 1] {
             let a = WcrtAnalyzer::default()
                 .analyze_task(&set, TaskId(id), &ExactEngine::default())
-                .unwrap();
-            let t = set.get(TaskId(id)).unwrap();
+                .expect("two-task analysis converges");
+            let t = set.get(TaskId(id)).expect("task id is in the set");
             assert!(a.wcrt >= t.copy_in() + t.exec() + t.copy_out());
         }
     }
@@ -249,15 +250,15 @@ mod tests {
                 test_task(0, 10, 2, 2, 10_000, 0, false),
                 test_task(1, c_lp, 2, 2, 10_000, 1, false),
             ])
-            .unwrap()
+            .expect("valid task set")
         };
         let engine = ExactEngine::default();
         let a100 = WcrtAnalyzer::default()
             .analyze_task(&mk(100), TaskId(0), &engine)
-            .unwrap();
+            .expect("analysis converges for C_lp = 100");
         let a200 = WcrtAnalyzer::default()
             .analyze_task(&mk(200), TaskId(0), &engine)
-            .unwrap();
+            .expect("analysis converges for C_lp = 200");
         // One extra blocking execution of +100.
         assert_eq!(a200.wcrt - a100.wcrt, Time::from_ticks(100));
     }
@@ -269,17 +270,17 @@ mod tests {
             test_task(1, 300, 2, 2, 10_000, 1, false),
             test_task(2, 400, 2, 2, 10_000, 2, false),
         ];
-        let nls_set = TaskSet::new(base.clone()).unwrap();
+        let nls_set = TaskSet::new(base.clone()).expect("valid task set");
         let ls_set = nls_set
             .with_sensitivity(TaskId(0), Sensitivity::Ls)
-            .unwrap();
+            .expect("τ0 is in the set");
         let engine = ExactEngine::default();
         let nls = WcrtAnalyzer::default()
             .analyze_task(&nls_set, TaskId(0), &engine)
-            .unwrap();
+            .expect("NLS analysis converges");
         let ls = WcrtAnalyzer::default()
             .analyze_task(&ls_set, TaskId(0), &engine)
-            .unwrap();
+            .expect("LS analysis converges");
         assert!(ls.case_b_response.is_some());
         assert!(
             ls.wcrt < nls.wcrt,
@@ -296,12 +297,18 @@ mod tests {
             test_task(0, 90, 5, 5, 100, 0, false),
             test_task(1, 90, 5, 5, 100, 1, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         let a = WcrtAnalyzer::default()
             .analyze_task(&set, TaskId(1), &ExactEngine::default())
-            .unwrap();
+            .expect("a deadline miss is a result, not an error");
         assert!(!a.schedulable);
-        assert!(a.wcrt > set.get(TaskId(1)).unwrap().deadline());
+        assert!(
+            a.wcrt
+                > set
+                    .get(TaskId(1))
+                    .expect("task id is in the set")
+                    .deadline()
+        );
     }
 
     #[test]
@@ -310,10 +317,10 @@ mod tests {
             test_task(0, 10, 2, 2, 100, 0, false),
             test_task(1, 20, 4, 4, 400, 1, false),
         ])
-        .unwrap();
+        .expect("valid task set");
         let a = WcrtAnalyzer::default()
             .analyze_task(&set, TaskId(1), &ExactEngine::default())
-            .unwrap();
+            .expect("two-task analysis converges");
         assert!(a.iterations >= 1);
     }
 }

@@ -283,7 +283,11 @@ pub fn test_task(id: u32, c: i64, l: i64, u: i64, t: i64, prio: u32, ls: bool) -
         .sporadic(Time::from_ticks(t))
         .deadline(Time::from_ticks(t))
         .priority(Priority(prio))
-        .sensitivity(if ls { Sensitivity::Ls } else { Sensitivity::Nls })
+        .sensitivity(if ls {
+            Sensitivity::Ls
+        } else {
+            Sensitivity::Nls
+        })
         .build()
         .expect("valid test task")
 }
@@ -305,8 +309,8 @@ mod tests {
     fn nls_window_counts_intervals_per_theorem_1() {
         let set = set3();
         // τ2 under analysis, t = 250: η_0(250) = 3, η_1(250) = 2.
-        let w = WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(250))
-            .unwrap();
+        let w =
+            WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(250)).unwrap();
         // N = (3+1) + (2+1) + min(2, 0 lp) + 1 = 8.
         assert_eq!(w.n(), 8);
         assert_eq!(w.tasks.len(), 2);
@@ -320,8 +324,8 @@ mod tests {
         let set = set3();
         // τ0 (highest priority) has two lp tasks: NLS gets 2 blocking
         // intervals, LS case (a) only 1.
-        let wn = WindowModel::build(&set, TaskId(0), WindowCase::Nls, Time::from_ticks(250))
-            .unwrap();
+        let wn =
+            WindowModel::build(&set, TaskId(0), WindowCase::Nls, Time::from_ticks(250)).unwrap();
         let wa = WindowModel::build(&set, TaskId(0), WindowCase::LsCaseA, Time::from_ticks(250))
             .unwrap();
         assert_eq!(wn.n(), 3); // 0 hp jobs + 2 blocking + 1
@@ -337,8 +341,8 @@ mod tests {
         let set = set3();
         // τ2 (lowest priority) has no lp tasks: no blocking intervals in
         // either case.
-        let wn = WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(250))
-            .unwrap();
+        let wn =
+            WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(250)).unwrap();
         let wa = WindowModel::build(&set, TaskId(2), WindowCase::LsCaseA, Time::from_ticks(250))
             .unwrap();
         assert_eq!(wn.n(), wa.n());
@@ -347,8 +351,8 @@ mod tests {
     #[test]
     fn budgets_follow_arrival_curves() {
         let set = set3();
-        let w = WindowModel::build(&set, TaskId(1), WindowCase::Nls, Time::from_ticks(150))
-            .unwrap();
+        let w =
+            WindowModel::build(&set, TaskId(1), WindowCase::Nls, Time::from_ticks(150)).unwrap();
         // hp = τ0 with η(150) = 2 → budget 3; lp = τ2 budget 1.
         let hp: Vec<_> = w.hp_indices().collect();
         assert_eq!(hp.len(), 1);
@@ -362,8 +366,7 @@ mod tests {
     #[test]
     fn max_copy_phases_span_whole_set() {
         let set = set3();
-        let w =
-            WindowModel::build(&set, TaskId(0), WindowCase::Nls, Time::from_ticks(50)).unwrap();
+        let w = WindowModel::build(&set, TaskId(0), WindowCase::Nls, Time::from_ticks(50)).unwrap();
         assert_eq!(w.max_l, Time::from_ticks(6));
         assert_eq!(w.max_u, Time::from_ticks(6));
     }
@@ -371,8 +374,8 @@ mod tests {
     #[test]
     fn cancellable_set_respects_interval_zero_rule() {
         let set = set3();
-        let w = WindowModel::build(&set, TaskId(1), WindowCase::Nls, Time::from_ticks(100))
-            .unwrap();
+        let w =
+            WindowModel::build(&set, TaskId(1), WindowCase::Nls, Time::from_ticks(100)).unwrap();
         // In I_0 both the hp task and the lp task are cancellable.
         assert_eq!(w.cancellable_indices(0).count(), 2);
         // Later only hp tasks.
@@ -382,8 +385,8 @@ mod tests {
     #[test]
     fn cancellation_requires_priority_gap() {
         let set = set3();
-        let w = WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(100))
-            .unwrap();
+        let w =
+            WindowModel::build(&set, TaskId(2), WindowCase::Nls, Time::from_ticks(100)).unwrap();
         // tasks: idx of τ0 (prio 0) and τ1 (prio 1).
         let i0 = w.tasks.iter().position(|t| t.id == TaskId(0)).unwrap();
         let i1 = w.tasks.iter().position(|t| t.id == TaskId(1)).unwrap();

@@ -44,7 +44,11 @@ fn build_set(specs: &[RandTask]) -> TaskSet {
                 .sporadic(Time::from_ticks(s.period))
                 .deadline(Time::from_ticks(s.period))
                 .priority(Priority(i as u32))
-                .sensitivity(if s.ls { Sensitivity::Ls } else { Sensitivity::Nls })
+                .sensitivity(if s.ls {
+                    Sensitivity::Ls
+                } else {
+                    Sensitivity::Nls
+                })
                 .build()
                 .unwrap()
         })
@@ -101,9 +105,27 @@ proptest! {
 #[test]
 fn deterministic_regression_windows() {
     let specs = vec![
-        RandTask { exec: 12, copy_in: 4, copy_out: 6, period: 60, ls: true },
-        RandTask { exec: 25, copy_in: 9, copy_out: 2, period: 90, ls: false },
-        RandTask { exec: 7, copy_in: 1, copy_out: 10, period: 45, ls: true },
+        RandTask {
+            exec: 12,
+            copy_in: 4,
+            copy_out: 6,
+            period: 60,
+            ls: true,
+        },
+        RandTask {
+            exec: 25,
+            copy_in: 9,
+            copy_out: 2,
+            period: 90,
+            ls: false,
+        },
+        RandTask {
+            exec: 7,
+            copy_in: 1,
+            copy_out: 10,
+            period: 45,
+            ls: true,
+        },
     ];
     let set = build_set(&specs);
     for under in 0..3u32 {

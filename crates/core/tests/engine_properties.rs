@@ -19,7 +19,11 @@ fn build_set(params: &[(i64, i64, i64, bool)]) -> TaskSet {
                 .sporadic(Time::from_ticks(t))
                 .deadline(Time::from_ticks(t))
                 .priority(Priority(i as u32))
-                .sensitivity(if ls { Sensitivity::Ls } else { Sensitivity::Nls })
+                .sensitivity(if ls {
+                    Sensitivity::Ls
+                } else {
+                    Sensitivity::Nls
+                })
                 .build()
                 .unwrap()
         })

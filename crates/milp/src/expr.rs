@@ -106,12 +106,7 @@ impl LinExpr {
     ///
     /// Panics if a referenced variable index is out of range of `values`.
     pub fn evaluate(&self, values: &[f64]) -> f64 {
-        self.constant
-            + self
-                .terms
-                .iter()
-                .map(|(&i, &c)| c * values[i])
-                .sum::<f64>()
+        self.constant + self.terms.iter().map(|(&i, &c)| c * values[i]).sum::<f64>()
     }
 
     /// Sum of expressions (convenience for folds).

@@ -38,17 +38,23 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod branch;
 pub mod error;
 pub mod expr;
 pub mod problem;
+pub mod rational;
 pub mod simplex;
 pub mod solution;
 
+pub use audit::{
+    AuditCheck, AuditReport, AuditedOutcome, AuditedSolve, CheckStatus, InfeasibilityCertificate,
+};
 pub use branch::{BranchAndBound, Limits};
 pub use error::MilpError;
 pub use expr::{LinExpr, Var};
-pub use problem::{Cmp, Objective, Problem, VarKind};
+pub use problem::{Cmp, ConstraintRef, Objective, Problem, VarKind};
+pub use rational::Rational;
 pub use simplex::{LpOutcome, LpSolution, Simplex};
 pub use solution::{MilpSolution, SolveStatus};
 
@@ -82,5 +88,35 @@ impl Solver {
     /// together with the best proven bound.
     pub fn solve(&self, problem: &Problem) -> Result<MilpSolution, MilpError> {
         BranchAndBound::new(self.limits.clone()).solve(problem)
+    }
+
+    /// Solves the problem and re-verifies the solver's answer with exact
+    /// rational arithmetic (see [`audit`]).
+    ///
+    /// An `Infeasible` verdict is *not* an error here: the auditor turns
+    /// it into an [`AuditedOutcome::Infeasible`] with a checked
+    /// infeasibility certificate (or an inconclusive report when no LP
+    /// certificate exists).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError`] only for failures the audit layer cannot
+    /// re-verify independently (unboundedness, numerical breakdown,
+    /// malformed problems).
+    pub fn solve_audited(&self, problem: &Problem) -> Result<AuditedSolve, MilpError> {
+        match self.solve(problem) {
+            Ok(solution) => {
+                let report = audit::audit_solution(problem, &solution);
+                Ok(AuditedSolve {
+                    outcome: AuditedOutcome::Solved(solution),
+                    report,
+                })
+            }
+            Err(MilpError::Infeasible) => Ok(AuditedSolve {
+                outcome: AuditedOutcome::Infeasible,
+                report: audit::audit_infeasibility(problem),
+            }),
+            Err(e) => Err(e),
+        }
     }
 }

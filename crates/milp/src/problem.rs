@@ -69,6 +69,44 @@ pub(crate) struct Constraint {
     pub name: Option<String>,
 }
 
+/// Read-only view of one constraint of a [`Problem`].
+///
+/// Obtained from [`Problem::constraints`]; used by the audit and lint
+/// layers, which need to inspect constraints without mutating them.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstraintRef<'a> {
+    index: usize,
+    inner: &'a Constraint,
+}
+
+impl<'a> ConstraintRef<'a> {
+    /// Position of this constraint in insertion order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Left-hand-side expression (its constant is always zero; see
+    /// [`Problem::constrain`]).
+    pub fn expr(&self) -> &'a LinExpr {
+        &self.inner.expr
+    }
+
+    /// Comparison sense.
+    pub fn cmp(&self) -> Cmp {
+        self.inner.cmp
+    }
+
+    /// Right-hand side.
+    pub fn rhs(&self) -> f64 {
+        self.inner.rhs
+    }
+
+    /// Optional name given at construction time.
+    pub fn name(&self) -> Option<&'a str> {
+        self.inner.name.as_deref()
+    }
+}
+
 /// A mixed-integer linear program under construction.
 ///
 /// See the [crate-level example](crate).
@@ -185,6 +223,20 @@ impl Problem {
     /// Number of constraints.
     pub fn num_constraints(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// Iterator over all variable handles, in index order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        (0..self.vars.len()).map(Var)
+    }
+
+    /// Iterator over read-only views of all constraints, in insertion
+    /// order.
+    pub fn constraints(&self) -> impl Iterator<Item = ConstraintRef<'_>> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .map(|(index, inner)| ConstraintRef { index, inner })
     }
 
     /// Variable kind of `var`.

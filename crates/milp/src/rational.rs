@@ -1,0 +1,358 @@
+//! Exact rational arithmetic over `i128` for solution auditing.
+//!
+//! The solver works in `f64`; the audit layer ([`crate::audit`]) re-checks
+//! its answers in exact arithmetic. Every finite `f64` is exactly
+//! representable as `mantissa · 2^exponent`, so converting solver data to
+//! [`Rational`] is lossless ([`Rational::from_f64`]). All operations are
+//! *checked*: an `i128` overflow yields `None` instead of a silently wrong
+//! verdict, and the auditor reports the check as inconclusive.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(num, den) = 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+/// Greatest common divisor (binary-free Euclid is fine at this scale).
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Full 128×128 → 256-bit unsigned product as `(hi, lo)`.
+fn mul_u256(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+impl Rational {
+    /// Zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// One.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates `num / den` in reduced form.
+    ///
+    /// Returns `None` when `den == 0` or the reduction cannot be
+    /// represented (`num == i128::MIN` edge cases).
+    pub fn new(num: i128, den: i128) -> Option<Rational> {
+        if den == 0 || num == i128::MIN || den == i128::MIN {
+            return None;
+        }
+        let sign = if (num < 0) != (den < 0) { -1 } else { 1 };
+        let (n, d) = (num.unsigned_abs(), den.unsigned_abs());
+        let g = gcd(n, d).max(1);
+        let (n, d) = (n / g, d / g);
+        if n > i128::MAX as u128 || d > i128::MAX as u128 {
+            return None;
+        }
+        Some(Rational {
+            num: sign * n as i128,
+            den: d as i128,
+        })
+    }
+
+    /// Creates an integer rational.
+    pub fn from_int(v: i128) -> Rational {
+        Rational { num: v, den: 1 }
+    }
+
+    /// Exact conversion from a finite `f64` (every finite double is a
+    /// dyadic rational). Returns `None` for non-finite inputs and for
+    /// magnitudes whose exact form does not fit `i128` (|exponent| too
+    /// large — e.g. subnormals or values beyond ~2⁷⁴).
+    pub fn from_f64(x: f64) -> Option<Rational> {
+        if !x.is_finite() {
+            return None;
+        }
+        if x == 0.0 {
+            return Some(Rational::ZERO);
+        }
+        let bits = x.to_bits();
+        let negative = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mut mantissa, mut exp) = if biased == 0 {
+            (frac as u128, -1074)
+        } else {
+            ((frac | (1 << 52)) as u128, biased - 1075)
+        };
+        // Strip trailing zero bits so the exponent range check is as
+        // permissive as possible.
+        while mantissa & 1 == 0 && exp < 0 {
+            mantissa >>= 1;
+            exp += 1;
+        }
+        let (num, den): (u128, u128) = if exp >= 0 {
+            let shift = exp as u32;
+            // Shifting past the leading zeros would drop mantissa bits.
+            if shift > mantissa.leading_zeros() {
+                return None;
+            }
+            (mantissa << shift, 1)
+        } else {
+            let shift = (-exp) as u32;
+            if shift >= 127 {
+                return None;
+            }
+            (mantissa, 1u128 << shift)
+        };
+        if num > i128::MAX as u128 || den > i128::MAX as u128 {
+            return None;
+        }
+        let sign = if negative { -1 } else { 1 };
+        Rational::new(sign * num as i128, den as i128)
+    }
+
+    /// Approximate `f64` value (for display and diagnostics only).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Numerator (reduced form).
+    pub fn numer(self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (reduced form, always positive).
+    pub fn denom(self) -> i128 {
+        self.den
+    }
+
+    /// `true` iff the value is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// `true` iff the value is strictly positive.
+    pub fn is_positive(self) -> bool {
+        self.num > 0
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(self) -> bool {
+        self.num < 0
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Rational) -> Option<Rational> {
+        // num1/den1 + num2/den2, reducing by gcd(den1, den2) first.
+        let g = gcd(self.den.unsigned_abs(), rhs.den.unsigned_abs()) as i128;
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Rational) -> Option<Rational> {
+        self.checked_add(-rhs)
+    }
+
+    /// Checked multiplication.
+    pub fn checked_mul(self, rhs: Rational) -> Option<Rational> {
+        // Cross-reduce before multiplying to keep magnitudes small.
+        let g1 = gcd(self.num.unsigned_abs(), rhs.den.unsigned_abs()).max(1) as i128;
+        let g2 = gcd(rhs.num.unsigned_abs(), self.den.unsigned_abs()).max(1) as i128;
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked division. `None` on division by zero or overflow.
+    pub fn checked_div(self, rhs: Rational) -> Option<Rational> {
+        if rhs.num == 0 {
+            return None;
+        }
+        self.checked_mul(Rational::new(rhs.den, rhs.num)?)
+    }
+
+    /// Exact floor.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Exact ceiling.
+    pub fn ceil(self) -> i128 {
+        -(-self.num).div_euclid(self.den)
+    }
+
+    /// Exact distance to the nearest integer (always in `[0, 1/2]`).
+    pub fn dist_to_nearest_int(self) -> Rational {
+        let r = self.num.rem_euclid(self.den); // 0 <= r < den
+        let d = r.min(self.den - r);
+        Rational::new(d, self.den).unwrap_or(Rational::ZERO)
+    }
+}
+
+impl std::ops::Neg for Rational {
+    type Output = Rational;
+
+    /// Exact negation.
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Exact comparison via 256-bit cross products: num1·den2 vs
+        // num2·den1 (denominators positive, so the sense is preserved).
+        let ls = self.num.signum();
+        let rs = other.num.signum();
+        if ls != rs {
+            return ls.cmp(&rs);
+        }
+        if ls == 0 {
+            return Ordering::Equal;
+        }
+        let l = mul_u256(self.num.unsigned_abs(), other.den.unsigned_abs());
+        let r = mul_u256(other.num.unsigned_abs(), self.den.unsigned_abs());
+        if ls > 0 {
+            l.cmp(&r)
+        } else {
+            r.cmp(&l)
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i128, d: i128) -> Rational {
+        Rational::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn construction_reduces() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-3, -9), r(1, 3));
+        assert_eq!(r(3, -9), r(-1, 3));
+        assert!(Rational::new(1, 0).is_none());
+        assert_eq!(r(5, 1).to_string(), "5");
+        assert_eq!(r(-1, 3).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for x in [0.0, 1.0, -2.5, 0.1, 1e-9, 12345.6789, -3.0 / 7.0, 1e18] {
+            let q = Rational::from_f64(x).unwrap();
+            assert_eq!(q.to_f64(), x, "{x} must convert exactly");
+        }
+        // 0.1 is NOT 1/10 in binary; the conversion must reflect that.
+        assert_ne!(Rational::from_f64(0.1).unwrap(), r(1, 10));
+        assert!(Rational::from_f64(f64::NAN).is_none());
+        assert!(Rational::from_f64(f64::INFINITY).is_none());
+        assert!(Rational::from_f64(f64::MIN_POSITIVE / 2.0).is_none()); // subnormal
+    }
+
+    #[test]
+    fn arithmetic_is_exact() {
+        assert_eq!(r(1, 3).checked_add(r(1, 6)).unwrap(), r(1, 2));
+        assert_eq!(r(1, 2).checked_sub(r(2, 3)).unwrap(), r(-1, 6));
+        assert_eq!(r(2, 3).checked_mul(r(9, 4)).unwrap(), r(3, 2));
+        assert_eq!(r(1, 2).checked_div(r(1, 4)).unwrap(), r(2, 1));
+        assert!(r(1, 2).checked_div(Rational::ZERO).is_none());
+        // The classic float failure 0.1 + 0.2 != 0.3 stays exact here.
+        let sum = r(1, 10).checked_add(r(2, 10)).unwrap();
+        assert_eq!(sum, r(3, 10));
+    }
+
+    #[test]
+    fn overflow_is_reported_not_wrapped() {
+        let big = Rational::from_int(i128::MAX / 2);
+        assert!(big.checked_mul(big).is_none());
+        assert!(big.checked_add(big).is_some()); // exactly representable
+        assert!(Rational::from_int(i128::MAX)
+            .checked_add(Rational::ONE)
+            .is_none());
+    }
+
+    #[test]
+    fn comparison_is_exact_even_when_products_overflow() {
+        // Cross products num·den exceed i128 here; mul_u256 keeps it exact.
+        let a = r(i128::MAX - 1, i128::MAX);
+        let b = Rational::ONE;
+        assert!(a < b);
+        assert!(-a > -b);
+        assert_eq!(r(10, 20).cmp(&r(1, 2)), Ordering::Equal);
+        assert!(r(-1, 3) < r(1, 1_000_000_000));
+    }
+
+    #[test]
+    fn floor_ceil_and_nearest() {
+        assert_eq!(r(7, 2).floor(), 3);
+        assert_eq!(r(7, 2).ceil(), 4);
+        assert_eq!(r(-7, 2).floor(), -4);
+        assert_eq!(r(-7, 2).ceil(), -3);
+        assert_eq!(r(5, 1).floor(), 5);
+        assert_eq!(r(9, 4).dist_to_nearest_int(), r(1, 4));
+        assert_eq!(r(-9, 4).dist_to_nearest_int(), r(1, 4));
+        assert_eq!(r(3, 1).dist_to_nearest_int(), Rational::ZERO);
+        assert_eq!(r(1, 2).dist_to_nearest_int(), r(1, 2));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(r(0, 5).is_zero() && !r(0, 5).is_positive());
+        assert!(r(3, 2).is_positive() && !r(3, 2).is_integer());
+        assert!(r(-3, 2).is_negative());
+        assert!(r(4, 2).is_integer());
+        assert_eq!(r(-3, 4).abs(), r(3, 4));
+    }
+}

@@ -744,9 +744,7 @@ mod tests {
         let x = p.continuous("x", 0.0, 10.0);
         p.set_objective(1.0 * x);
         assert!(Simplex::new().solve_with_bounds(&p, &[]).is_err());
-        assert!(Simplex::new()
-            .solve_with_bounds(&p, &[(5.0, 1.0)])
-            .is_err());
+        assert!(Simplex::new().solve_with_bounds(&p, &[(5.0, 1.0)]).is_err());
     }
 
     #[test]

@@ -35,7 +35,9 @@ fn brute_force(objective: &[i32], constraints: &[(Vec<i32>, i32)]) -> f64 {
     let mut best = f64::NEG_INFINITY;
     for mask in 0u32..(1 << n) {
         let feasible = constraints.iter().all(|(w, cap)| {
-            let lhs: i32 = (0..n).map(|i| if mask >> i & 1 == 1 { w[i] } else { 0 }).sum();
+            let lhs: i32 = (0..n)
+                .map(|i| if mask >> i & 1 == 1 { w[i] } else { 0 })
+                .sum();
             lhs <= *cap
         });
         if feasible {

@@ -141,15 +141,16 @@ impl ArrivalModel {
 
 impl ArrivalBound for ArrivalModel {
     fn eta(&self, delta: Time) -> u64 {
-        assert!(delta.is_duration(), "eta: window length must be non-negative");
+        assert!(
+            delta.is_duration(),
+            "eta: window length must be non-negative"
+        );
         if delta.is_zero() {
             return 0;
         }
         match self {
             ArrivalModel::Sporadic { min_inter_arrival } => delta.div_ceil(*min_inter_arrival),
-            ArrivalModel::PeriodicJitter { period, jitter } => {
-                (delta + *jitter).div_ceil(*period)
-            }
+            ArrivalModel::PeriodicJitter { period, jitter } => (delta + *jitter).div_ceil(*period),
             ArrivalModel::Staircase(c) => c.eta(delta),
         }
     }
@@ -213,7 +214,10 @@ impl StaircaseCurve {
 
 impl ArrivalBound for StaircaseCurve {
     fn eta(&self, delta: Time) -> u64 {
-        assert!(delta.is_duration(), "eta: window length must be non-negative");
+        assert!(
+            delta.is_duration(),
+            "eta: window length must be non-negative"
+        );
         if delta.is_zero() {
             return 0;
         }

@@ -53,7 +53,10 @@ impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ModelError::MissingField { entity, field } => {
-                write!(f, "missing required field `{field}` while building {entity}")
+                write!(
+                    f,
+                    "missing required field `{field}` while building {entity}"
+                )
             }
             ModelError::InvalidDuration { field, reason } => {
                 write!(f, "invalid duration for `{field}`: {reason}")

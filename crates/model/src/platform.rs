@@ -142,12 +142,13 @@ mod tests {
 
     #[test]
     fn cores_are_indexed_in_insertion_order() {
-        let p = Platform::builder().core(ts(0)).core(ts(10)).build().unwrap();
+        let p = Platform::builder()
+            .core(ts(0))
+            .core(ts(10))
+            .build()
+            .unwrap();
         assert_eq!(p.num_cores(), 2);
-        assert_eq!(
-            p.core(CoreId(1)).unwrap().tasks()[0].id(),
-            TaskId(10)
-        );
+        assert_eq!(p.core(CoreId(1)).unwrap().tasks()[0].id(), TaskId(10));
         assert!(p.core(CoreId(2)).is_none());
     }
 

@@ -493,7 +493,10 @@ mod tests {
             .priority(Priority(0))
             .build()
             .unwrap_err();
-        assert!(matches!(err, ModelError::InvalidDuration { field: "exec", .. }));
+        assert!(matches!(
+            err,
+            ModelError::InvalidDuration { field: "exec", .. }
+        ));
     }
 
     #[test]
@@ -508,7 +511,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(
             err,
-            ModelError::InvalidDuration { field: "copy_in", .. }
+            ModelError::InvalidDuration {
+                field: "copy_in",
+                ..
+            }
         ));
     }
 

@@ -112,7 +112,9 @@ impl TaskSet {
     /// Panics if `id` is not in the set.
     pub fn higher_priority(&self, id: TaskId) -> impl Iterator<Item = &Task> {
         let pivot = self.require(id).expect("task must be in set").priority();
-        self.tasks.iter().filter(move |t| t.priority().is_higher_than(pivot))
+        self.tasks
+            .iter()
+            .filter(move |t| t.priority().is_higher_than(pivot))
     }
 
     /// Tasks with strictly lower priority than `id` (`lp(τ_i)`).
@@ -122,7 +124,9 @@ impl TaskSet {
     /// Panics if `id` is not in the set.
     pub fn lower_priority(&self, id: TaskId) -> impl Iterator<Item = &Task> {
         let pivot = self.require(id).expect("task must be in set").priority();
-        self.tasks.iter().filter(move |t| t.priority().is_lower_than(pivot))
+        self.tasks
+            .iter()
+            .filter(move |t| t.priority().is_lower_than(pivot))
     }
 
     /// All latency-sensitive tasks (`Γ_LS`).
@@ -194,7 +198,12 @@ impl TaskSet {
 
 impl fmt::Display for TaskSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "task set (n={}, U={:.3}):", self.len(), self.utilization())?;
+        writeln!(
+            f,
+            "task set (n={}, U={:.3}):",
+            self.len(),
+            self.utilization()
+        )?;
         for t in &self.tasks {
             writeln!(f, "  {t}")?;
         }

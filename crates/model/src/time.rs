@@ -346,7 +346,11 @@ mod tests {
 
     #[test]
     fn sum_of_times() {
-        let v = [Time::from_ticks(1), Time::from_ticks(2), Time::from_ticks(3)];
+        let v = [
+            Time::from_ticks(1),
+            Time::from_ticks(2),
+            Time::from_ticks(3),
+        ];
         let s: Time = v.iter().sum();
         assert_eq!(s, Time::from_ticks(6));
         let s2: Time = v.into_iter().sum();

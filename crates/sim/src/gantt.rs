@@ -63,8 +63,8 @@ pub fn render_gantt(result: &SimResult, window: Time, scale: Time) -> String {
             TraceUnit::Dma => &mut dma,
         };
         let from = (e.start.as_ticks() / scale.as_ticks()) as usize;
-        let to = ((e.end.min(window).as_ticks() + scale.as_ticks() - 1) / scale.as_ticks())
-            as usize;
+        let to =
+            ((e.end.min(window).as_ticks() + scale.as_ticks() - 1) / scale.as_ticks()) as usize;
         for cell in row.iter_mut().take(to.min(cols)).skip(from) {
             *cell = glyph;
         }

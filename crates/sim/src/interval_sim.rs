@@ -327,11 +327,7 @@ fn next_activation(tasks: &[TaskRt]) -> Option<Time> {
     tasks
         .iter()
         .filter(|t| t.current.is_none())
-        .filter_map(|t| {
-            t.releases
-                .front()
-                .map(|&r| r.max(t.last_completion))
-        })
+        .filter_map(|t| t.releases.front().map(|&r| r.max(t.last_completion)))
         .min()
 }
 
@@ -487,7 +483,11 @@ mod tests {
             Policy::Proposed,
             1_000,
         );
-        let cancel = r.events().iter().find(|e| e.canceled).expect("a cancellation");
+        let cancel = r
+            .events()
+            .iter()
+            .find(|e| e.canceled)
+            .expect("a cancellation");
         assert_eq!(cancel.job.task(), TaskId(1));
         assert_eq!(cancel.end, Time::from_ticks(5));
         // Urgent CPU copy-in of τ0 right at the next interval.

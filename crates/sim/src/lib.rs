@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod conformance;
 pub mod gantt;
 pub mod interval_sim;
 pub mod nps_sim;
@@ -48,6 +49,7 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
+pub use conformance::{check_conformance, ConformanceReport, RuleDiagnostic, RuleTag};
 pub use gantt::render_gantt;
 pub use release::ReleasePlan;
 pub use stats::{trace_stats, DurationStats, TraceStats};

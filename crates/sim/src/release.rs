@@ -122,20 +122,23 @@ mod tests {
     #[test]
     fn offsets_shift_the_grid() {
         let set = TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).unwrap();
-        let plan =
-            ReleasePlan::periodic_with_offsets(&set, Time::from_ticks(250), |_| Time::from_ticks(30));
+        let plan = ReleasePlan::periodic_with_offsets(&set, Time::from_ticks(250), |_| {
+            Time::from_ticks(30)
+        });
         assert_eq!(
             plan.releases(TaskId(0)),
-            &[Time::from_ticks(30), Time::from_ticks(130), Time::from_ticks(230)]
+            &[
+                Time::from_ticks(30),
+                Time::from_ticks(130),
+                Time::from_ticks(230)
+            ]
         );
     }
 
     #[test]
     fn explicit_pairs_are_sorted() {
-        let plan = ReleasePlan::from_pairs(vec![(
-            TaskId(3),
-            vec![Time::from_ticks(50), Time::ZERO],
-        )]);
+        let plan =
+            ReleasePlan::from_pairs(vec![(TaskId(3), vec![Time::from_ticks(50), Time::ZERO])]);
         assert_eq!(plan.releases(TaskId(3))[0], Time::ZERO);
         assert!(plan.releases(TaskId(9)).is_empty());
     }

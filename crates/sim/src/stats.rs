@@ -169,11 +169,20 @@ mod tests {
         ])
         .unwrap();
         let plan = ReleasePlan::from_pairs(vec![
-            (pmcs_model::TaskId(0), vec![Time::from_ticks(5), Time::from_ticks(105)]),
-            (pmcs_model::TaskId(1), vec![Time::ZERO, Time::from_ticks(200)]),
+            (
+                pmcs_model::TaskId(0),
+                vec![Time::from_ticks(5), Time::from_ticks(105)],
+            ),
+            (
+                pmcs_model::TaskId(1),
+                vec![Time::ZERO, Time::from_ticks(200)],
+            ),
         ]);
         let horizon = Time::from_ticks(400);
-        (trace_stats(&simulate(&set, &plan, policy, horizon)), horizon)
+        (
+            trace_stats(&simulate(&set, &plan, policy, horizon)),
+            horizon,
+        )
     }
 
     #[test]

@@ -123,6 +123,22 @@ impl SimResult {
         }
     }
 
+    /// Assembles a result from raw parts.
+    ///
+    /// Intended for tooling that replays or deliberately corrupts traces
+    /// (e.g. the `pmcs-audit` conformance demos and negative tests); the
+    /// simulator itself never goes through this constructor. No invariants
+    /// are enforced — feed the result to
+    /// [`conformance::check_conformance`](crate::conformance::check_conformance)
+    /// to find out what is wrong with it.
+    pub fn from_parts(
+        events: Vec<TraceEvent>,
+        jobs: Vec<JobRecord>,
+        interval_starts: Vec<Time>,
+    ) -> Self {
+        SimResult::new(events, jobs, interval_starts)
+    }
+
     /// All traced operations, in chronological order of start.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events

@@ -23,7 +23,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "property {} violated by {}: {}", self.property, self.job, self.detail)
+        write!(
+            f,
+            "property {} violated by {}: {}",
+            self.property, self.job, self.detail
+        )
     }
 }
 
@@ -116,19 +120,17 @@ fn check_copy_placement(result: &SimResult, out: &mut Vec<Violation>) {
             continue;
         };
         let k = exec.interval;
-        if let Some(ci) = evs
-            .iter()
-            .find(|e| e.phase == Phase::CopyIn && !e.canceled)
-        {
-            let expected = if ci.unit == TraceUnit::Cpu { k } else { k.wrapping_sub(1) };
+        if let Some(ci) = evs.iter().find(|e| e.phase == Phase::CopyIn && !e.canceled) {
+            let expected = if ci.unit == TraceUnit::Cpu {
+                k
+            } else {
+                k.wrapping_sub(1)
+            };
             if ci.interval != expected {
                 out.push(Violation {
                     property: 1,
                     job: rec.job,
-                    detail: format!(
-                        "copy-in in interval {} but execution in {k}",
-                        ci.interval
-                    ),
+                    detail: format!("copy-in in interval {} but execution in {k}", ci.interval),
                 });
             }
         }
@@ -137,10 +139,7 @@ fn check_copy_placement(result: &SimResult, out: &mut Vec<Violation>) {
                 out.push(Violation {
                     property: 2,
                     job: rec.job,
-                    detail: format!(
-                        "copy-out in interval {} but execution in {k}",
-                        co.interval
-                    ),
+                    detail: format!("copy-out in interval {} but execution in {k}", co.interval),
                 });
             }
         }

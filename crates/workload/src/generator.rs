@@ -93,15 +93,13 @@ impl TaskSetGenerator {
         for &u in &utils {
             // Log-uniform minimum inter-arrival time.
             let (lo, hi) = (c.period_min.as_f64().ln(), c.period_max.as_f64().ln());
-            let t = Time::from_f64_round(self.rng.gen_range(lo..=hi).exp())
-                .max(Time::TICK);
+            let t = Time::from_f64_round(self.rng.gen_range(lo..=hi).exp()).max(Time::TICK);
             // C_i = U_i · T_i, at least one tick.
             let exec = Time::from_f64_round(u * t.as_f64()).max(Time::TICK);
             // u_i = l_i = γ · C_i.
             let mem = Time::from_f64_round(c.gamma * exec.as_f64());
             // D_i ~ U[C_i + β(T_i − C_i), T_i].
-            let dmin =
-                exec + Time::from_f64_round(c.beta * (t - exec).as_f64());
+            let dmin = exec + Time::from_f64_round(c.beta * (t - exec).as_f64());
             let dmin = dmin.min(t);
             let deadline = if dmin >= t {
                 t
@@ -205,7 +203,9 @@ mod tests {
             ..TaskSetConfig::default()
         };
         let set = gen_one(cfg, 4);
-        assert!(set.iter().all(|t| t.copy_in().is_zero() && t.copy_out().is_zero()));
+        assert!(set
+            .iter()
+            .all(|t| t.copy_in().is_zero() && t.copy_out().is_zero()));
     }
 
     #[test]

@@ -88,7 +88,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .assignment()
         .promoted
         .iter()
-        .try_fold(set.all_nls(), |s, &t| s.with_sensitivity(t, Sensitivity::Ls))?;
+        .try_fold(set.all_nls(), |s, &t| {
+            s.with_sensitivity(t, Sensitivity::Ls)
+        })?;
     let plan = ReleasePlan::from_pairs(vec![
         (TaskId(0), vec![Time::from_micros(50)]),
         (TaskId(1), vec![Time::from_micros(60)]),
@@ -108,9 +110,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{}",
         render_gantt(&result, Time::from_millis(8), Time::from_micros(100))
     );
-    let injection = result
-        .worst_response(TaskId(0))
-        .expect("injection ran");
+    let injection = result.worst_response(TaskId(0)).expect("injection ran");
     println!("observed injection response: {injection} (deadline 2500µs)");
     assert!(injection <= Time::from_micros(2_500));
     Ok(())

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let result = simulate(&set, &plan, policy, horizon);
         println!("=== {name} ===");
-        print!("{}", render_gantt(&result, Time::from_ticks(26), Time::TICK));
+        print!(
+            "{}",
+            render_gantt(&result, Time::from_ticks(26), Time::TICK)
+        );
         for event in result.events() {
             println!("  {event}");
         }

@@ -14,6 +14,7 @@
 //! | [`baselines`] | `pmcs-baselines` | non-preemptive scheduling (NPS) and Wasly-Pellizzoni (WP) analyses |
 //! | [`sim`] | `pmcs-sim` | discrete-event simulator + trace validators + Gantt |
 //! | [`workload`] | `pmcs-workload` | Section VII task-set generators |
+//! | [`audit`] | `pmcs-audit` | exact MILP audits, formulation lints, R1–R6 conformance |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use pmcs_audit as audit;
 pub use pmcs_baselines as baselines;
 pub use pmcs_core as core;
 pub use pmcs_milp as milp;
@@ -50,15 +52,17 @@ pub use pmcs_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use pmcs_audit::{lint, LintCode, LintReport};
     pub use pmcs_baselines::{NpsAnalysis, WpAnalysis};
     pub use pmcs_core::{
-        analyze_task_set, chain_latency, exhaustive_ls_assignment, partition,
-        ChainActivation, CoreError, DelayEngine, ExactEngine, Heuristic, MilpEngine,
-        SchedulabilityReport, TaskChain, WcrtAnalyzer,
+        analyze_task_set, chain_latency, exhaustive_ls_assignment, partition, ChainActivation,
+        CoreError, DelayEngine, ExactEngine, Heuristic, MilpEngine, SchedulabilityReport,
+        TaskChain, WcrtAnalyzer,
     };
     pub use pmcs_model::prelude::*;
     pub use pmcs_sim::{
-        render_gantt, simulate, trace_stats, validate_trace, Policy, ReleasePlan,
+        check_conformance, render_gantt, simulate, trace_stats, validate_trace, Policy,
+        ReleasePlan, RuleTag,
     };
     pub use pmcs_workload::{random_sporadic_plan, TaskSetConfig, TaskSetGenerator};
 }

@@ -1,0 +1,194 @@
+//! Integration tests for the static-analysis layer (`pmcs-audit`):
+//! audited solves agree with plain solves on random feasible problems,
+//! the generated WCRT formulations lint clean, and corrupted traces are
+//! pinned to the protocol rule they break.
+
+use proptest::prelude::*;
+
+use pmcs::milp::{Cmp, Problem, Solver};
+use pmcs::prelude::*;
+use pmcs::sim::{SimResult, TraceUnit};
+
+// --- audited vs. unaudited agreement ------------------------------------
+
+#[derive(Debug, Clone)]
+struct VarSpec {
+    integral: bool,
+    upper: i64,
+    obj: i64,
+}
+
+#[derive(Debug, Clone)]
+struct ConSpec {
+    coeffs: Vec<i64>,
+    rhs: i64,
+}
+
+fn var_spec() -> impl Strategy<Value = VarSpec> {
+    (any::<bool>(), 1i64..=10, -5i64..=5).prop_map(|(integral, upper, obj)| VarSpec {
+        integral,
+        upper,
+        obj,
+    })
+}
+
+/// Builds a problem that is feasible by construction: all variables live
+/// in `[0, ub]` and every constraint is `Σ aᵢxᵢ ≤ b` with `b ≥ 0`, so the
+/// origin always satisfies everything.
+fn build_problem(vars: &[VarSpec], cons: &[ConSpec]) -> Problem {
+    let mut p = Problem::maximize();
+    let handles: Vec<_> = vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if v.integral {
+                p.integer(format!("x{i}"), 0.0, v.upper as f64)
+            } else {
+                p.continuous(format!("x{i}"), 0.0, v.upper as f64)
+            }
+        })
+        .collect();
+    for c in cons {
+        let mut expr = pmcs::milp::LinExpr::zero();
+        for (i, &a) in c.coeffs.iter().enumerate() {
+            expr.add_term(handles[i], a as f64);
+        }
+        p.constrain(expr, Cmp::Le, c.rhs as f64);
+    }
+    let mut obj = pmcs::milp::LinExpr::zero();
+    for (i, v) in vars.iter().enumerate() {
+        obj.add_term(handles[i], v.obj as f64);
+    }
+    p.set_objective(obj);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `solve_audited` returns the same answer as `solve` on random
+    /// feasible problems, and the exact-arithmetic audit never refutes it.
+    #[test]
+    fn audited_solves_agree_with_unaudited(
+        vars in prop::collection::vec(var_spec(), 1..=5),
+        cons_seed in prop::collection::vec((prop::collection::vec(-5i64..=5, 5), 0i64..=20), 0..=6),
+    ) {
+        let cons: Vec<ConSpec> = cons_seed
+            .into_iter()
+            .map(|(coeffs, rhs)| ConSpec { coeffs: coeffs[..vars.len()].to_vec(), rhs })
+            .collect();
+        let problem = build_problem(&vars, &cons);
+        let solver = Solver::new();
+        let plain = solver.solve(&problem).expect("feasible by construction");
+        let audited = solver.solve_audited(&problem).expect("feasible by construction");
+        let sol = audited.solution().expect("a feasible problem yields a solution");
+        prop_assert!((plain.objective() - sol.objective()).abs() <= 1e-9,
+            "plain {} vs audited {}", plain.objective(), sol.objective());
+        prop_assert_eq!(plain.status(), sol.status());
+        prop_assert!(!audited.report.failed(),
+            "audit refuted a correct solve: {:?}", audited.report);
+        if sol.is_optimal() {
+            prop_assert!(audited.report.certified(),
+                "optimal solve not certified: {:?}", audited.report);
+        }
+    }
+
+    /// The WCRT window formulations produced by `MilpEngine` carry no
+    /// lint errors (A002/A003) for random generated task sets.
+    #[test]
+    fn generated_formulations_lint_clean(seed in 0u64..40) {
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig { n: 4, utilization: 0.4, ..TaskSetConfig::default() },
+            seed,
+        );
+        let set = generator.generate();
+        let engine = MilpEngine::new();
+        for task in set.iter() {
+            let case = pmcs::core::window::case_for(task.sensitivity());
+            let w = pmcs::core::WindowModel::build(&set, task.id(), case, task.deadline())
+                .expect("task id is in the set");
+            let report = lint(&engine.build_problem(&w));
+            prop_assert!(!report.has_errors(), "{:?}", report.diagnostics());
+        }
+    }
+}
+
+// --- corrupted traces map to the right rule -----------------------------
+
+fn demo_trace() -> (TaskSet, SimResult) {
+    let mut generator = TaskSetGenerator::new(
+        TaskSetConfig {
+            n: 4,
+            utilization: 0.4,
+            ..TaskSetConfig::default()
+        },
+        7,
+    );
+    let set = generator.generate();
+    let lowest = set
+        .iter()
+        .max_by_key(|t| t.priority().0)
+        .map(|t| t.id())
+        .expect("non-empty set");
+    let set = set
+        .with_sensitivity(lowest, Sensitivity::Ls)
+        .expect("id from the set");
+    let horizon = Time::from_millis(200);
+    let plan = random_sporadic_plan(&set, horizon, 0.5, 8);
+    let result = simulate(&set, &plan, Policy::Proposed, horizon);
+    (set, result)
+}
+
+#[test]
+fn clean_trace_is_conformant() {
+    let (set, result) = demo_trace();
+    let report = check_conformance(&set, &result, true);
+    assert!(report.is_conformant(), "{:?}", report.diagnostics);
+    assert!(report.intervals_checked > 0);
+}
+
+#[test]
+fn corrupted_cancellation_is_pinned_to_r3() {
+    let (set, result) = demo_trace();
+    let mut events = result.events().to_vec();
+    let idx = events
+        .iter()
+        .position(|e| e.unit == TraceUnit::Dma && e.phase == Phase::CopyIn && !e.canceled)
+        .expect("trace has a committed copy-in");
+    events[idx].canceled = true;
+    let corrupted = SimResult::from_parts(
+        events,
+        result.jobs().to_vec(),
+        result.interval_starts().to_vec(),
+    );
+    let report = check_conformance(&set, &corrupted, true);
+    assert!(!report.is_conformant());
+    assert!(
+        report.by_rule(RuleTag::R3).next().is_some(),
+        "expected an R3 diagnostic, got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn torn_interval_is_pinned_to_r1() {
+    let (set, result) = demo_trace();
+    let mut events = result.events().to_vec();
+    // Push the first event of interval 1 outside its interval span.
+    let idx = events
+        .iter()
+        .position(|e| e.interval == 1)
+        .expect("trace has a second interval");
+    events[idx].start = Time::ZERO;
+    let corrupted = SimResult::from_parts(
+        events,
+        result.jobs().to_vec(),
+        result.interval_starts().to_vec(),
+    );
+    let report = check_conformance(&set, &corrupted, true);
+    assert!(
+        report.by_rule(RuleTag::R1).next().is_some(),
+        "expected an R1 diagnostic, got {:?}",
+        report.diagnostics
+    );
+}

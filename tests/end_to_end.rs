@@ -106,7 +106,10 @@ fn wp_analysis_is_sound_against_simulation() {
             }
         }
     }
-    assert!(checked >= 3, "test vacuous: only {checked} schedulable sets");
+    assert!(
+        checked >= 3,
+        "test vacuous: only {checked} schedulable sets"
+    );
 }
 
 #[test]
@@ -146,7 +149,10 @@ fn nps_analysis_is_sound_against_simulation() {
             }
         }
     }
-    assert!(checked >= 3, "test vacuous: only {checked} schedulable sets");
+    assert!(
+        checked >= 3,
+        "test vacuous: only {checked} schedulable sets"
+    );
 }
 
 #[test]

@@ -39,10 +39,10 @@ fn partition_then_chain_latency() {
     assert!(stages.len() >= 2, "need a cross-core chain");
     let chain = TaskChain::new(stages.clone());
     let cores: Vec<TaskSet> = result.platform.iter().map(|(_, s)| s.clone()).collect();
-    let triggered = chain_latency(&chain, &cores, ChainActivation::Triggered, &engine)
-        .expect("latency");
-    let sampling = chain_latency(&chain, &cores, ChainActivation::Sampling, &engine)
-        .expect("latency");
+    let triggered =
+        chain_latency(&chain, &cores, ChainActivation::Triggered, &engine).expect("latency");
+    let sampling =
+        chain_latency(&chain, &cores, ChainActivation::Sampling, &engine).expect("latency");
     assert!(triggered > Time::ZERO);
     assert!(sampling > triggered, "sampling adds downstream periods");
 
@@ -83,7 +83,12 @@ fn per_core_simulation_respects_partitioned_bounds() {
         assert!(run.all_deadlines_met(horizon), "{core}");
         for v in report.verdicts() {
             if let Some(observed) = run.worst_response(v.task) {
-                assert!(observed <= v.wcrt, "{core} {}: {observed} > {}", v.task, v.wcrt);
+                assert!(
+                    observed <= v.wcrt,
+                    "{core} {}: {observed} > {}",
+                    v.task,
+                    v.wcrt
+                );
             }
         }
         let stats = trace_stats(&run);

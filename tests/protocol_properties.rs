@@ -39,7 +39,11 @@ fn build(specs: &[Spec]) -> (TaskSet, ReleasePlan) {
                 .sporadic(Time::from_ticks(s.period))
                 .deadline(Time::from_ticks(s.period))
                 .priority(Priority(i as u32))
-                .sensitivity(if s.ls { Sensitivity::Ls } else { Sensitivity::Nls })
+                .sensitivity(if s.ls {
+                    Sensitivity::Ls
+                } else {
+                    Sensitivity::Nls
+                })
                 .build()
                 .unwrap()
         })
@@ -55,13 +59,16 @@ fn build(specs: &[Spec]) -> (TaskSet, ReleasePlan) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// The proposed protocol's traces satisfy Properties 1–4.
+    /// The proposed protocol's traces satisfy Properties 1–4 and conform
+    /// to the rule-addressable R1–R6 analysis.
     #[test]
     fn proposed_traces_validate(specs in prop::collection::vec(spec(), 2..=5)) {
         let (set, plan) = build(&specs);
         let result = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(1_500));
         let violations = validate_trace(&set, &result, true);
         prop_assert!(violations.is_empty(), "{violations:?}");
+        let report = check_conformance(&set, &result, true);
+        prop_assert!(report.is_conformant(), "{:?}", report.diagnostics);
     }
 
     /// The WP baseline's traces satisfy the structural properties and the
@@ -74,6 +81,8 @@ proptest! {
         prop_assert!(violations.is_empty(), "{violations:?}");
         // WP never cancels (rule R3 is the proposed protocol's).
         prop_assert!(result.events().iter().all(|e| !e.canceled));
+        let report = check_conformance(&set, &result, false);
+        prop_assert!(report.is_conformant(), "{:?}", report.diagnostics);
     }
 
     /// Jobs complete in release order per task, and responses are

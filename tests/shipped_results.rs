@@ -40,7 +40,14 @@ fn load(name: &str) -> Vec<Row> {
 /// comparison; small sampling noise tolerated).
 #[test]
 fn proposed_dominates_wp_everywhere() {
-    for inset in ["fig2a.csv", "fig2b.csv", "fig2c.csv", "fig2d.csv", "fig2e.csv", "fig2f.csv"] {
+    for inset in [
+        "fig2a.csv",
+        "fig2b.csv",
+        "fig2c.csv",
+        "fig2d.csv",
+        "fig2e.csv",
+        "fig2f.csv",
+    ] {
         for row in load(inset) {
             assert!(
                 row.proposed >= row.wp - 0.021,
@@ -57,7 +64,14 @@ fn proposed_dominates_wp_everywhere() {
 /// proposed protocol beats NPS in all tested configurations).
 #[test]
 fn proposed_dominates_carry_nps_everywhere() {
-    for inset in ["fig2a.csv", "fig2b.csv", "fig2c.csv", "fig2d.csv", "fig2e.csv", "fig2f.csv"] {
+    for inset in [
+        "fig2a.csv",
+        "fig2b.csv",
+        "fig2c.csv",
+        "fig2d.csv",
+        "fig2e.csv",
+        "fig2f.csv",
+    ] {
         for row in load(inset) {
             assert!(
                 row.proposed >= row.nps - 0.021,
@@ -93,7 +107,11 @@ fn dma_advantage_grows_with_gamma() {
     let last = rows.last().expect("rows");
     assert!(first.x < last.x);
     // At the largest γ, NPS is (near-)dead while proposed still schedules.
-    assert!(last.nps <= 0.05, "nps at γ=0.5 should be ~0, got {}", last.nps);
+    assert!(
+        last.nps <= 0.05,
+        "nps at γ=0.5 should be ~0, got {}",
+        last.nps
+    );
     assert!(
         last.proposed >= last.nps,
         "proposed must outlive nps at high γ"

@@ -1,0 +1,203 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate re-implements the subset of the proptest
+//! 1.x API used by the pmcs test suites:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header),
+//! * [`Strategy`](strategy::Strategy) for numeric ranges, tuples,
+//!   [`any::<T>()`](arbitrary::any), `prop_map`, and
+//!   [`prop::collection::vec`](collection::vec),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Semantics differ from the real crate in one deliberate way: failing
+//! cases are **not shrunk** — the panic message instead reports the exact
+//! generated inputs, which for the small strategies used here is enough to
+//! reproduce. Case generation is deterministic per test name, so a failure
+//! reproduces on every run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirror of proptest's `prelude`: everything the `proptest!` suites use.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirror of the real prelude's `prop` module alias
+    /// (`prop::collection::vec(...)`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests.
+///
+/// Mirrors the real macro's surface for the forms used in this workspace:
+/// an optional `#![proptest_config(expr)]` header followed by any number of
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __passed: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __passed < __config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    // Rendered before the body runs: the body may move the
+                    // generated values. Cheap relative to the body for the
+                    // small inputs these suites draw.
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(
+                            s.push_str(concat!(stringify!($arg), " = "));
+                            s.push_str(&::std::format!("{:?}", &$arg));
+                            s.push_str("\n  ");
+                        )+
+                        s
+                    };
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {
+                            __passed += 1;
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < __config.cases.saturating_mul(64).max(1_024),
+                                "prop_assume! rejected too many cases \
+                                 ({__rejected} rejections for {__passed} passes)"
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest case #{} failed: {}\n  inputs:\n  {}",
+                                __passed + 1,
+                                msg,
+                                __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current test case with a formatted message unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}: `{:?}` != `{:?}`", ::std::format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "{}: both sides are `{:?}`", ::std::format!($($fmt)+), l
+        );
+    }};
+}
+
+/// Discards the current test case (it counts as neither pass nor failure)
+/// unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

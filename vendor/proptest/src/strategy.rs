@@ -1,0 +1,193 @@
+//! The [`Strategy`] trait and its implementations for the range, tuple and
+//! mapped strategies used by the pmcs test suites.
+
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of type [`Self::Value`].
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy just
+/// draws a fresh value per case.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: core::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(value)` for each generated value.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: core::fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + core::fmt::Debug>(pub T);
+
+impl<T: Clone + core::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: core::fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = below128(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = below128(rng, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty, $unit:ident);*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + ($unit(rng)) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + ($unit(rng)) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+fn unit_f64(rng: &mut TestRng) -> f64 {
+    rng.unit_f64()
+}
+
+fn unit_f32(rng: &mut TestRng) -> f32 {
+    (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+float_range_strategy!(f64, unit_f64; f32, unit_f32);
+
+fn below128(rng: &mut TestRng, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        ((rng.next_u64() as u128) * span) >> 64
+    } else {
+        rng.next_u64() as u128 % span
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn int_ranges_cover_endpoints() {
+        let mut rng = TestRng::for_test("int_ranges");
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            let v = (-2i64..=2).generate(&mut rng);
+            assert!((-2..=2).contains(&v));
+            lo_seen |= v == -2;
+            hi_seen |= v == 2;
+            let w = (0usize..4).generate(&mut rng);
+            assert!(w < 4);
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn float_ranges_respected() {
+        let mut rng = TestRng::for_test("float_ranges");
+        for _ in 0..10_000 {
+            let v = (0.5f64..=2.5).generate(&mut rng);
+            assert!((0.5..=2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut rng = TestRng::for_test("tuples");
+        let strat = (1i32..=3, 0.0f64..1.0).prop_map(|(a, b)| (a * 10, b));
+        let (a, b) = strat.generate(&mut rng);
+        assert!((10..=30).contains(&a) && a % 10 == 0);
+        assert!((0.0..1.0).contains(&b));
+    }
+
+    #[test]
+    fn just_clones_value() {
+        let mut rng = TestRng::for_test("just");
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+}

@@ -1,0 +1,120 @@
+//! Test-runner support types: configuration, case outcome, and the
+//! deterministic generator driving case generation.
+
+/// Configuration for a [`proptest!`](crate::proptest) block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of *passing* cases required for the test to succeed.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration requiring `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case (mirrors proptest's type of the same
+/// name, reduced to what the macros need).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; the stored string is the
+    /// rejected condition.
+    Reject(&'static str),
+    /// A `prop_assert*!` failed with the stored message.
+    Fail(String),
+}
+
+/// Deterministic generator used for case generation (xoshiro256\*\*,
+/// seeded from the test's name so every test draws an independent,
+/// reproducible stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates the generator for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name, then SplitMix64 expansion.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut x = h;
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_test_streams_are_deterministic_and_distinct() {
+        let mut a = TestRng::for_test("alpha");
+        let mut b = TestRng::for_test("alpha");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_test("beta");
+        assert_ne!(TestRng::for_test("alpha").next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::for_test("below");
+        for _ in 0..10_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn config_accessors() {
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
+        assert_eq!(ProptestConfig::default().cases, 256);
+    }
+}
