@@ -11,78 +11,124 @@
 //! 2. **LS support** — all-NLS → greedy LS marking (the protocol change:
 //!    rules R3–R5).
 //!
-//! Usage: `cargo run --release -p pmcs-bench --bin ablation -- [--sets N]`
+//! The utilization steps are independent and run on the worker pool
+//! (`--jobs N` / `PMCS_JOBS`). Each worker analyzes through a shared
+//! delay-bound cache, which pays off doubly here: the all-NLS pass and
+//! the greedy pass solve many identical windows. A perf record goes to
+//! `BENCH_ablation.json`.
+//!
+//! Usage: `cargo run --release -p pmcs-bench --bin ablation -- [--sets N] [--jobs N]`
+
+use std::time::Instant;
 
 use pmcs_baselines::{wp_milp_analysis, WpAnalysis};
+use pmcs_bench::{parallel_map_with, resolve_jobs, PerfPoint, PerfRecord};
 use pmcs_core::schedulability::analyze_fixed_marking;
-use pmcs_core::{analyze_task_set, ExactEngine};
+use pmcs_core::{analyze_task_set, CacheStats, CachedEngine, ExactEngine};
 use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
 
 fn main() {
     let mut sets = 50usize;
+    let mut jobs_arg: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--sets" {
-            sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N");
+        match a.as_str() {
+            "--sets" => sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N"),
+            "--jobs" => {
+                jobs_arg = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+            }
+            _ => {}
         }
     }
-    let engine = ExactEngine::default();
+    let jobs = resolve_jobs(jobs_arg);
+    let steps: Vec<u64> = (2..=9).collect();
+
+    let started = Instant::now();
+    let (lines, engines) = parallel_map_with(
+        &steps,
+        jobs,
+        || CachedEngine::new(ExactEngine::default()),
+        |engine, _, &step| {
+            let t0 = Instant::now();
+            let u = step as f64 * 0.05;
+            // Per-step generator stream: independent of worker assignment.
+            let mut generator = TaskSetGenerator::new(
+                TaskSetConfig {
+                    n: 6,
+                    utilization: u,
+                    gamma: 0.3,
+                    beta: 0.4,
+                    ..TaskSetConfig::default()
+                },
+                0xAB1A ^ step,
+            );
+            let (mut closed, mut all_nls, mut greedy) = (0usize, 0usize, 0usize);
+            for _ in 0..sets {
+                let set = generator.generate();
+                closed += usize::from(WpAnalysis::default().is_schedulable(&set));
+                all_nls += usize::from(
+                    wp_milp_analysis(&set, engine)
+                        .expect("analysis")
+                        .schedulable(),
+                );
+                // Identical to analyze_task_set when all-NLS already passes;
+                // the greedy adds LS promotions on top.
+                greedy += usize::from(
+                    analyze_task_set(&set, engine)
+                        .expect("analysis")
+                        .schedulable(),
+                );
+                // analyze_fixed_marking is exercised in tests; keep the import
+                // honest here by using it for the sanity check below.
+                debug_assert!(
+                    analyze_fixed_marking(&set.all_nls(), engine)
+                        .map(|r| r.schedulable())
+                        .unwrap_or(false)
+                        == wp_milp_analysis(&set, engine)
+                            .map(|r| r.schedulable())
+                            .unwrap_or(false)
+                );
+            }
+            let r = |v: usize| v as f64 / sets as f64;
+            let line = format!(
+                "{u:>5.2} | {:>10.2} {:>12.2} {:>12.2} | {:>+10.2} {:>+10.2}",
+                r(closed),
+                r(all_nls),
+                r(greedy),
+                r(all_nls) - r(closed),
+                r(greedy) - r(all_nls),
+            );
+            (u, line, t0.elapsed().as_secs_f64())
+        },
+    );
 
     println!(
         "{:>5} | {:>10} {:>12} {:>12} | {:>10} {:>10}",
         "U", "wp-closed", "all-NLS", "greedy-LS", "Δ analysis", "Δ LS"
     );
-    for step in 2..=9 {
-        let u = step as f64 * 0.05;
-        let mut generator = TaskSetGenerator::new(
-            TaskSetConfig {
-                n: 6,
-                utilization: u,
-                gamma: 0.3,
-                beta: 0.4,
-                ..TaskSetConfig::default()
-            },
-            0xAB1A ^ step,
-        );
-        let (mut closed, mut all_nls, mut greedy) = (0usize, 0usize, 0usize);
-        for _ in 0..sets {
-            let set = generator.generate();
-            closed += usize::from(WpAnalysis::default().is_schedulable(&set));
-            all_nls += usize::from(
-                wp_milp_analysis(&set, &engine)
-                    .expect("analysis")
-                    .schedulable(),
-            );
-            // Identical to analyze_task_set when all-NLS already passes;
-            // the greedy adds LS promotions on top.
-            greedy += usize::from(
-                analyze_task_set(&set, &engine)
-                    .expect("analysis")
-                    .schedulable(),
-            );
-            // analyze_fixed_marking is exercised in tests; keep the import
-            // honest here by using it for the sanity check below.
-            debug_assert!(
-                analyze_fixed_marking(&set.all_nls(), &engine)
-                    .map(|r| r.schedulable())
-                    .unwrap_or(false)
-                    == wp_milp_analysis(&set, &engine)
-                        .map(|r| r.schedulable())
-                        .unwrap_or(false)
-            );
-        }
-        let r = |v: usize| v as f64 / sets as f64;
-        println!(
-            "{u:>5.2} | {:>10.2} {:>12.2} {:>12.2} | {:>+10.2} {:>+10.2}",
-            r(closed),
-            r(all_nls),
-            r(greedy),
-            r(all_nls) - r(closed),
-            r(greedy) - r(all_nls),
-        );
+    for (_, line, _) in &lines {
+        println!("{line}");
     }
     println!(
         "\nΔ analysis = all-NLS formulation vs WP closed form (same protocol);\n\
          Δ LS       = greedy latency-sensitive marking on top (rules R3-R5)."
     );
+
+    let mut perf = PerfRecord::new("ablation");
+    perf.jobs = jobs;
+    perf.wall_secs = started.elapsed().as_secs_f64();
+    let mut cache = CacheStats::default();
+    for e in engines {
+        cache.merge(e.stats());
+    }
+    perf.cache = cache;
+    perf.extra_num("sets_per_step", sets as f64);
+    for (u, _, secs) in &lines {
+        perf.points.push(PerfPoint {
+            label: format!("U={u:.2}"),
+            secs: *secs,
+        });
+    }
+    let path = perf.write().expect("write perf record");
+    println!("perf record: {} (cache: {})", path.display(), perf.cache);
 }

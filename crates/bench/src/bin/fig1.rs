@@ -6,13 +6,29 @@
 //! latency-sensitive task cancels the in-flight copy-in, turns urgent, and
 //! meets its deadline comfortably.
 //!
-//! Usage: `cargo run --release -p pmcs-bench --bin fig1`
+//! The three policy simulations are independent, so they run on the
+//! worker pool (`--jobs N` / `PMCS_JOBS`) and print in order afterwards;
+//! a perf record goes to `BENCH_fig1.json`.
+//!
+//! Usage: `cargo run --release -p pmcs-bench --bin fig1 -- [--jobs N]`
 
-use pmcs_bench::fig1_task_set;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use pmcs_bench::{fig1_task_set, parallel_map, resolve_jobs, PerfPoint, PerfRecord};
 use pmcs_model::{TaskId, Time};
 use pmcs_sim::{render_gantt, simulate, validate_trace, Policy, ReleasePlan};
 
 fn main() {
+    let mut jobs_arg: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            jobs_arg = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+        }
+    }
+    let jobs = resolve_jobs(jobs_arg);
+
     let (set, releases) = fig1_task_set();
     let plan = ReleasePlan::from_pairs(releases);
     let horizon = Time::from_ticks(40);
@@ -27,14 +43,18 @@ fn main() {
          τ3 (= τ_p) has executed just before, leaving a pending copy-out.\n"
     );
 
-    for (policy, label) in [
+    let scenarios = [
         (Policy::WaslyPellizzoni, "(a) Wasly-Pellizzoni [3]"),
         (Policy::Nps, "(b) non-preemptive scheduling"),
         (
             Policy::Proposed,
             "(c) proposed protocol (τ_i latency-sensitive)",
         ),
-    ] {
+    ];
+
+    let started = Instant::now();
+    let rendered = parallel_map(&scenarios, jobs, |_, &(policy, label)| {
+        let t0 = Instant::now();
         let result = simulate(&set, &plan, policy, horizon);
         let record = result
             .jobs()
@@ -47,12 +67,15 @@ fn main() {
         } else {
             "MISSES"
         };
-        println!("--- {label} ---");
-        print!(
+        let mut out = String::new();
+        let _ = writeln!(out, "--- {label} ---");
+        let _ = write!(
+            out,
             "{}",
             render_gantt(&result, Time::from_ticks(26), Time::TICK)
         );
-        println!(
+        let _ = writeln!(
+            out,
             "τ_i: release={} completion={} (absolute deadline {}) → {verdict}\n",
             record.release, completion, record.absolute_deadline
         );
@@ -60,6 +83,10 @@ fn main() {
             let violations = validate_trace(&set, &result, policy == Policy::Proposed);
             assert!(violations.is_empty(), "protocol violation: {violations:?}");
         }
+        (out, t0.elapsed().as_secs_f64())
+    });
+    for (out, _) in &rendered {
+        print!("{out}");
     }
     println!(
         "As in the paper: the [3] protocol lets τ_i be blocked by two \
@@ -67,4 +94,16 @@ fn main() {
          only once, and the proposed protocol (rules R3-R5) rescues it with \
          a cancellation plus an urgent CPU copy-in."
     );
+
+    let mut perf = PerfRecord::new("fig1");
+    perf.jobs = jobs;
+    perf.wall_secs = started.elapsed().as_secs_f64();
+    for ((_, label), (_, secs)) in scenarios.iter().zip(&rendered) {
+        perf.points.push(PerfPoint {
+            label: label.to_string(),
+            secs: *secs,
+        });
+    }
+    let path = perf.write().expect("write perf record");
+    println!("perf record: {}", path.display());
 }

@@ -3,23 +3,38 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p pmcs-bench --bin fig2 -- <a|b|c|d|e|f|all> [--sets N] [--seed S]
+//! cargo run --release -p pmcs-bench --bin fig2 -- <a|b|c|d|e|f|all> \
+//!     [--sets N] [--seed S] [--jobs N] [--no-cache] [--baseline]
 //! ```
 //!
+//! `--jobs N` (or `PMCS_JOBS`) selects the worker-thread count (default:
+//! all cores); results are byte-identical for every thread count.
+//! `--no-cache` disables the window-level delay-bound cache.
+//! `--baseline` additionally reruns everything single-threaded and
+//! uncached to measure the speedup.
+//!
 //! Results are printed as a table plus an ASCII chart and written to
-//! `target/experiments/fig2<inset>.csv`.
+//! `target/experiments/fig2<inset>.csv`; a machine-readable perf record
+//! goes to `BENCH_fig2.json` at the repository root.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
 use pmcs_bench::report::text_table;
-use pmcs_bench::{ascii_chart, fig2_inset, sweep, write_csv, Fig2Inset};
+use pmcs_bench::{
+    ascii_chart, fig2_inset, resolve_jobs, sweep_with, write_csv, Fig2Inset, PerfPoint, PerfRecord,
+    SweepOptions,
+};
+use pmcs_core::CacheStats;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut insets: Vec<Fig2Inset> = Vec::new();
     let mut sets_per_point = 100usize;
     let mut seed = 0xDAC2020u64;
+    let mut jobs_arg: Option<usize> = None;
+    let mut cache = true;
+    let mut baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -35,6 +50,15 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--seed needs a number");
             }
+            "--jobs" => {
+                jobs_arg = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs needs a number"),
+                );
+            }
+            "--no-cache" => cache = false,
+            "--baseline" => baseline = true,
             "all" => insets.extend(Fig2Inset::ALL),
             other => match Fig2Inset::parse(other) {
                 Some(i) => insets.push(i),
@@ -48,25 +72,77 @@ fn main() {
     if insets.is_empty() {
         insets.extend(Fig2Inset::ALL);
     }
+    let jobs = resolve_jobs(jobs_arg);
+    let opts = SweepOptions { jobs, cache };
 
-    for inset in insets {
-        let started = Instant::now();
+    let mut perf = PerfRecord::new("fig2");
+    perf.jobs = jobs;
+    let mut cache_stats = CacheStats::default();
+    let mut rows_by_inset = Vec::new();
+    let started = Instant::now();
+    for &inset in &insets {
+        let inset_started = Instant::now();
         let points = fig2_inset(inset);
         println!(
-            "=== Figure 2({}) — {} [{} sets/point, seed {seed}] ===",
+            "=== Figure 2({}) — {} [{} sets/point, seed {seed}, {jobs} jobs, cache {}] ===",
             inset.letter(),
             inset.description(),
             sets_per_point,
+            if cache { "on" } else { "off" },
         );
-        let rows = sweep(&points, sets_per_point, seed);
-        println!("{}", text_table(&rows, inset.x_label()));
-        println!("{}", ascii_chart(&rows, inset.x_label()));
+        let outcome = sweep_with(&points, sets_per_point, seed, &opts);
+        println!("{}", text_table(&outcome.rows, inset.x_label()));
+        println!("{}", ascii_chart(&outcome.rows, inset.x_label()));
         let path = PathBuf::from(format!("target/experiments/fig2{}.csv", inset.letter()));
-        write_csv(&path, inset.x_label(), &rows).expect("write csv");
+        write_csv(&path, inset.x_label(), &outcome.rows).expect("write csv");
         println!(
-            "wrote {} ({:.1}s)\n",
+            "wrote {} ({:.1}s wall, cache: {})\n",
             path.display(),
-            started.elapsed().as_secs_f64()
+            inset_started.elapsed().as_secs_f64(),
+            outcome.cache,
+        );
+        cache_stats.merge(outcome.cache);
+        for (p, secs) in points.iter().zip(&outcome.point_secs) {
+            perf.points.push(PerfPoint {
+                label: format!("fig2{}:{}={:.2}", inset.letter(), inset.x_label(), p.x),
+                secs: *secs,
+            });
+        }
+        rows_by_inset.push((inset, outcome.rows));
+    }
+    perf.wall_secs = started.elapsed().as_secs_f64();
+    perf.cache = cache_stats;
+    perf.extra_num("sets_per_point", sets_per_point as f64);
+    perf.extra_str("cache_enabled", if cache { "yes" } else { "no" });
+
+    if baseline {
+        // Rerun single-threaded and uncached for the speedup record, and
+        // check the determinism contract on the way.
+        let base_started = Instant::now();
+        let base_opts = SweepOptions {
+            jobs: 1,
+            cache: false,
+        };
+        for (inset, rows) in &rows_by_inset {
+            let points = fig2_inset(*inset);
+            let base = sweep_with(&points, sets_per_point, seed, &base_opts);
+            assert_eq!(
+                &base.rows,
+                rows,
+                "fig2{}: single-threaded uncached rows diverged",
+                inset.letter()
+            );
+        }
+        let baseline_secs = base_started.elapsed().as_secs_f64();
+        let speedup = baseline_secs / perf.wall_secs.max(1e-9);
+        perf.extra_num("baseline_secs", baseline_secs);
+        perf.extra_num("speedup_vs_serial_uncached", speedup);
+        println!(
+            "baseline (1 job, no cache): {baseline_secs:.1}s → speedup {speedup:.2}× \
+             (rows byte-identical)"
         );
     }
+
+    let path = perf.write().expect("write perf record");
+    println!("perf record: {}", path.display());
 }

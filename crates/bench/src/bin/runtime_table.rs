@@ -7,62 +7,116 @@
 //! optimization in milliseconds (see DESIGN.md §2 for the substitution
 //! argument).
 //!
-//! Usage: `cargo run --release -p pmcs-bench --bin runtime_table -- [--sets N]`
+//! The nine configurations run on the worker pool (`--jobs N` /
+//! `PMCS_JOBS`). Per-set timings use a **fresh** delay cache per task set
+//! (pass `--no-cache` for none at all), so each measurement reflects one
+//! cold analysis rather than cross-set memoization. A perf record goes to
+//! `BENCH_runtime_table.json`.
+//!
+//! Usage: `cargo run --release -p pmcs-bench --bin runtime_table -- \
+//!     [--sets N] [--jobs N] [--no-cache]`
 
 use std::time::Instant;
 
-use pmcs_core::{analyze_task_set, ExactEngine};
+use pmcs_bench::{parallel_map, resolve_jobs, PerfPoint, PerfRecord};
+use pmcs_core::{analyze_task_set, CacheStats, CachedEngine, ExactEngine};
 use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
 
 fn main() {
     let mut sets = 25usize;
+    let mut jobs_arg: Option<usize> = None;
+    let mut cache = true;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--sets" {
-            sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N");
+        match a.as_str() {
+            "--sets" => sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N"),
+            "--jobs" => {
+                jobs_arg = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+            }
+            "--no-cache" => cache = false,
+            _ => {}
         }
     }
+    let jobs = resolve_jobs(jobs_arg);
+
+    let mut configs = Vec::new();
+    for n in [4usize, 6, 8] {
+        for u in [0.2f64, 0.35, 0.5] {
+            configs.push((n, u));
+        }
+    }
+
+    let started = Instant::now();
+    let measured = parallel_map(&configs, jobs, |_, &(n, u)| {
+        let cfg = TaskSetConfig {
+            n,
+            utilization: u,
+            gamma: 0.3,
+            beta: 0.4,
+            ..TaskSetConfig::default()
+        };
+        let mut generator = TaskSetGenerator::new(cfg, 99);
+        let mut total = std::time::Duration::ZERO;
+        let mut max = std::time::Duration::ZERO;
+        let mut schedulable = 0usize;
+        let mut stats = CacheStats::default();
+        for _ in 0..sets {
+            let set = generator.generate();
+            // One cold engine per set: the timing measures a single
+            // analysis, caching only within it (fixed-point iterations
+            // and greedy rounds), never across sets.
+            let t0 = Instant::now();
+            let report = if cache {
+                let engine = CachedEngine::new(ExactEngine::default());
+                let r = analyze_task_set(&set, &engine).expect("analysis");
+                stats.merge(engine.stats());
+                r
+            } else {
+                analyze_task_set(&set, &ExactEngine::default()).expect("analysis")
+            };
+            let elapsed = t0.elapsed();
+            total += elapsed;
+            max = max.max(elapsed);
+            schedulable += usize::from(report.schedulable());
+        }
+        let line = format!(
+            "{n:>3} {u:>6.2} {:>6.2} {:>6.2} | {:>12?} {:>12?} {:>12.2}",
+            0.3,
+            0.4,
+            total / sets.max(1) as u32,
+            max,
+            schedulable as f64 / sets.max(1) as f64
+        );
+        (line, total.as_secs_f64(), stats)
+    });
 
     println!(
         "{:>3} {:>6} {:>6} {:>6} | {:>12} {:>12} {:>12}",
         "n", "U", "gamma", "beta", "avg", "max", "sched-ratio"
     );
-    for n in [4, 6, 8] {
-        for u in [0.2, 0.35, 0.5] {
-            let cfg = TaskSetConfig {
-                n,
-                utilization: u,
-                gamma: 0.3,
-                beta: 0.4,
-                ..TaskSetConfig::default()
-            };
-            let mut generator = TaskSetGenerator::new(cfg, 99);
-            let engine = ExactEngine::default();
-            let mut total = std::time::Duration::ZERO;
-            let mut max = std::time::Duration::ZERO;
-            let mut schedulable = 0usize;
-            for _ in 0..sets {
-                let set = generator.generate();
-                let started = Instant::now();
-                let report = analyze_task_set(&set, &engine).expect("analysis");
-                let elapsed = started.elapsed();
-                total += elapsed;
-                max = max.max(elapsed);
-                schedulable += usize::from(report.schedulable());
-            }
-            println!(
-                "{n:>3} {u:>6.2} {:>6.2} {:>6.2} | {:>12?} {:>12?} {:>12.2}",
-                0.3,
-                0.4,
-                total / sets as u32,
-                max,
-                schedulable as f64 / sets as f64
-            );
-        }
+    for (line, _, _) in &measured {
+        println!("{line}");
     }
     println!(
         "\n(analysis = full greedy LS-marking schedulability test per task \
          set; the paper reports avg ≈ hundreds of seconds and max ≈ 1 h \
          with CPLEX on an i7-6700K)"
     );
+
+    let mut perf = PerfRecord::new("runtime_table");
+    perf.jobs = jobs;
+    perf.wall_secs = started.elapsed().as_secs_f64();
+    let mut merged = CacheStats::default();
+    for ((n, u), (_, secs, stats)) in configs.iter().zip(&measured) {
+        merged.merge(*stats);
+        perf.points.push(PerfPoint {
+            label: format!("n={n},U={u:.2}"),
+            secs: *secs,
+        });
+    }
+    perf.cache = merged;
+    perf.extra_num("sets_per_config", sets as f64);
+    perf.extra_str("cache_enabled", if cache { "yes" } else { "no" });
+    let path = perf.write().expect("write perf record");
+    println!("perf record: {}", path.display());
 }

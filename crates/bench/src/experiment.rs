@@ -1,10 +1,22 @@
 //! Schedulability-ratio sweeps (the machinery behind Figure 2).
+//!
+//! [`sweep_with`] fans the `(point, task set)` grid across a worker pool
+//! ([`crate::parallel`]); every item derives its RNG stream from
+//! `(base_seed, point_index, set_index)` via
+//! [`derive_seed`](pmcs_workload::derive_seed), so the measured ratios —
+//! and the CSVs derived from them — are byte-identical for every thread
+//! count and cache configuration. Each worker analyzes with its own
+//! [`CachedEngine`]`<`[`ExactEngine`]`>`, memoizing delay bounds across
+//! fixed-point iterations, greedy rounds, and task sets.
 
 use std::fmt;
+use std::time::Instant;
 
 use pmcs_baselines::{NpsAnalysis, WpAnalysis};
-use pmcs_core::{analyze_task_set, ExactEngine};
-use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
+use pmcs_core::{analyze_task_set, CacheStats, CachedEngine, DelayEngine, ExactEngine};
+use pmcs_workload::{derive_seed, TaskSetConfig, TaskSetGenerator};
+
+use crate::parallel::parallel_map_with;
 
 /// The approaches compared in the paper's evaluation (plus the classical
 /// NPS convention for reference).
@@ -59,7 +71,7 @@ pub struct SweepPoint {
 }
 
 /// Measured schedulability ratios at one sweep point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// X value of the point.
     pub x: f64,
@@ -77,9 +89,87 @@ impl SweepRow {
     }
 }
 
+/// Execution options of a sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (see [`crate::parallel::resolve_jobs`]).
+    pub jobs: usize,
+    /// Wrap each worker's engine in a [`CachedEngine`].
+    pub cache: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 1,
+            cache: true,
+        }
+    }
+}
+
+/// A sweep's rows plus the execution telemetry feeding `BENCH_*.json`.
+#[derive(Debug, Clone)]
+pub struct SweepOutcome {
+    /// Measured ratios, aligned with the input points.
+    pub rows: Vec<SweepRow>,
+    /// Aggregate compute seconds per point (summed across workers, so
+    /// with `jobs > 1` this exceeds the wall-clock share).
+    pub point_secs: Vec<f64>,
+    /// Delay-cache statistics merged over all workers.
+    pub cache: CacheStats,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall-clock seconds.
+    pub wall_secs: f64,
+}
+
+/// A worker's engine: the exact engine, optionally behind a delay cache.
+enum WorkerEngine {
+    Cached(CachedEngine<ExactEngine>),
+    Plain(ExactEngine),
+}
+
+impl WorkerEngine {
+    fn new(cache: bool) -> Self {
+        if cache {
+            WorkerEngine::Cached(CachedEngine::new(ExactEngine::default()))
+        } else {
+            WorkerEngine::Plain(ExactEngine::default())
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        match self {
+            WorkerEngine::Cached(e) => e.stats(),
+            WorkerEngine::Plain(_) => CacheStats::default(),
+        }
+    }
+}
+
+impl DelayEngine for WorkerEngine {
+    fn max_total_delay(
+        &self,
+        w: &pmcs_core::WindowModel,
+    ) -> Result<pmcs_core::wcrt::DelayBound, pmcs_core::CoreError> {
+        match self {
+            WorkerEngine::Cached(e) => e.max_total_delay(w),
+            WorkerEngine::Plain(e) => e.max_total_delay(w),
+        }
+    }
+}
+
+impl fmt::Debug for WorkerEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerEngine::Cached(_) => f.write_str("WorkerEngine::Cached"),
+            WorkerEngine::Plain(_) => f.write_str("WorkerEngine::Plain"),
+        }
+    }
+}
+
 /// Evaluates one task set under every approach; returns schedulability
 /// flags ordered as [`Approach::ALL`].
-pub fn evaluate_set(set: &pmcs_model::TaskSet, engine: &ExactEngine) -> [bool; 4] {
+pub fn evaluate_set(set: &pmcs_model::TaskSet, engine: &impl DelayEngine) -> [bool; 4] {
     let proposed = analyze_task_set(set, engine)
         .map(|r| r.schedulable())
         .unwrap_or(false);
@@ -90,31 +180,69 @@ pub fn evaluate_set(set: &pmcs_model::TaskSet, engine: &ExactEngine) -> [bool; 4
 }
 
 /// Runs a sweep: for each point, generates `sets_per_point` task sets
-/// (seeded deterministically from `base_seed` and the point index) and
+/// (each seeded deterministically from `(base_seed, point, set)`) and
 /// measures the schedulability ratio of every approach.
-pub fn sweep(points: &[SweepPoint], sets_per_point: usize, base_seed: u64) -> Vec<SweepRow> {
-    let engine = ExactEngine::default();
-    points
+///
+/// The rows depend only on `(points, sets_per_point, base_seed)` — never
+/// on `opts` (thread count and caching change wall-clock and telemetry,
+/// not results).
+pub fn sweep_with(
+    points: &[SweepPoint],
+    sets_per_point: usize,
+    base_seed: u64,
+    opts: &SweepOptions,
+) -> SweepOutcome {
+    let items: Vec<(usize, usize)> = (0..points.len())
+        .flat_map(|pi| (0..sets_per_point).map(move |si| (pi, si)))
+        .collect();
+    let started = Instant::now();
+    let (evaluated, engines) = parallel_map_with(
+        &items,
+        opts.jobs,
+        || WorkerEngine::new(opts.cache),
+        |engine, _, &(pi, si)| {
+            let t0 = Instant::now();
+            let seed = derive_seed(base_seed, pi as u64, si as u64);
+            let set = TaskSetGenerator::new(points[pi].config.clone(), seed).generate();
+            let flags = evaluate_set(&set, engine);
+            (flags, t0.elapsed().as_secs_f64())
+        },
+    );
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let mut wins = vec![[0usize; 4]; points.len()];
+    let mut point_secs = vec![0.0f64; points.len()];
+    for (&(pi, _), (flags, secs)) in items.iter().zip(&evaluated) {
+        for (w, &f) in wins[pi].iter_mut().zip(flags) {
+            *w += usize::from(f);
+        }
+        point_secs[pi] += secs;
+    }
+    let rows = points
         .iter()
-        .enumerate()
-        .map(|(pi, point)| {
-            let mut generator =
-                TaskSetGenerator::new(point.config.clone(), base_seed ^ ((pi as u64) << 32));
-            let mut wins = [0usize; 4];
-            for _ in 0..sets_per_point {
-                let set = generator.generate();
-                let flags = evaluate_set(&set, &engine);
-                for (w, f) in wins.iter_mut().zip(flags) {
-                    *w += usize::from(f);
-                }
-            }
-            SweepRow {
-                x: point.x,
-                ratios: wins.map(|w| w as f64 / sets_per_point as f64),
-                sets: sets_per_point,
-            }
+        .zip(wins)
+        .map(|(point, w)| SweepRow {
+            x: point.x,
+            ratios: w.map(|w| w as f64 / sets_per_point.max(1) as f64),
+            sets: sets_per_point,
         })
-        .collect()
+        .collect();
+    let mut cache = CacheStats::default();
+    for e in engines {
+        cache.merge(e.stats());
+    }
+    SweepOutcome {
+        rows,
+        point_secs,
+        cache,
+        jobs: opts.jobs,
+        wall_secs,
+    }
+}
+
+/// Single-threaded, cached [`sweep_with`], returning only the rows.
+pub fn sweep(points: &[SweepPoint], sets_per_point: usize, base_seed: u64) -> Vec<SweepRow> {
+    sweep_with(points, sets_per_point, base_seed, &SweepOptions::default()).rows
 }
 
 #[cfg(test)]
@@ -136,9 +264,8 @@ mod tests {
         assert_eq!(flags[1], WpAnalysis::default().is_schedulable(&set));
     }
 
-    #[test]
-    fn sweep_rows_align_with_points() {
-        let points: Vec<SweepPoint> = [0.1, 0.2]
+    fn small_points() -> Vec<SweepPoint> {
+        [0.1, 0.2]
             .iter()
             .map(|&u| SweepPoint {
                 x: u,
@@ -148,13 +275,54 @@ mod tests {
                     ..TaskSetConfig::default()
                 },
             })
-            .collect();
-        let rows = sweep(&points, 3, 42);
+            .collect()
+    }
+
+    #[test]
+    fn sweep_rows_align_with_points() {
+        let rows = sweep(&small_points(), 3, 42);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].x, 0.1);
         assert!(rows
             .iter()
             .all(|r| r.ratios.iter().all(|&v| (0.0..=1.0).contains(&v))));
         assert!(rows[0].ratio(Approach::Proposed) >= 0.0);
+    }
+
+    #[test]
+    fn outcome_telemetry_is_populated() {
+        let points = small_points();
+        let out = sweep_with(
+            &points,
+            4,
+            42,
+            &SweepOptions {
+                jobs: 2,
+                cache: true,
+            },
+        );
+        assert_eq!(out.rows.len(), points.len());
+        assert_eq!(out.point_secs.len(), points.len());
+        assert_eq!(out.jobs, 2);
+        assert!(out.wall_secs >= 0.0);
+        // 4 sets × 2 points: the fixed points alone guarantee lookups.
+        assert!(out.cache.hits + out.cache.misses > 0);
+    }
+
+    #[test]
+    fn caching_does_not_change_rows() {
+        let points = small_points();
+        let cached = sweep_with(&points, 5, 7, &SweepOptions::default());
+        let uncached = sweep_with(
+            &points,
+            5,
+            7,
+            &SweepOptions {
+                jobs: 1,
+                cache: false,
+            },
+        );
+        assert_eq!(cached.rows, uncached.rows);
+        assert_eq!(uncached.cache, CacheStats::default());
     }
 }

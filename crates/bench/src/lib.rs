@@ -17,14 +17,25 @@
 //! * `fig2 <a..f>` — regenerates one inset of Figure 2;
 //! * `runtime_table` — the analysis-runtime measurements reported in
 //!   prose in Section VII.
+//!
+//! All binaries accept `--jobs N` (or the `PMCS_JOBS` environment
+//! variable) to select the worker-thread count ([`parallel`]) and write a
+//! machine-readable `BENCH_<bin>.json` perf record ([`perf`]); results
+//! are byte-identical for every thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod experiment;
 pub mod figures;
+pub mod parallel;
+pub mod perf;
 pub mod report;
 
-pub use experiment::{evaluate_set, sweep, Approach, SweepPoint, SweepRow};
+pub use experiment::{
+    evaluate_set, sweep, sweep_with, Approach, SweepOptions, SweepOutcome, SweepPoint, SweepRow,
+};
 pub use figures::{fig1_task_set, fig2_inset, Fig2Inset};
-pub use report::{ascii_chart, write_csv};
+pub use parallel::{parallel_map, parallel_map_with, resolve_jobs};
+pub use perf::{PerfPoint, PerfRecord};
+pub use report::{ascii_chart, csv_string, write_csv};

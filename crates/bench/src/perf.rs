@@ -1,0 +1,203 @@
+//! Machine-readable performance records (`BENCH_<bin>.json`).
+//!
+//! Every bench binary drops a small JSON file at the repository root
+//! recording wall-clock time, worker count, cache statistics, and
+//! per-point timings, so performance changes leave a comparable trail
+//! across commits. The format is hand-rolled (the container is offline —
+//! no serde): flat object, stable key order, finite numbers only.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use pmcs_core::CacheStats;
+
+/// One labeled timing entry (a sweep point, a figure inset, a config row).
+#[derive(Debug, Clone)]
+pub struct PerfPoint {
+    /// Human-readable label, e.g. `"fig2a"` or `"U=0.25"`.
+    pub label: String,
+    /// Aggregate compute seconds spent on this point.
+    pub secs: f64,
+}
+
+/// A performance record destined for `BENCH_<bin>.json`.
+#[derive(Debug, Clone)]
+pub struct PerfRecord {
+    /// Binary name (`fig2`, `fig1`, `ablation`, `runtime_table`).
+    pub bin: String,
+    /// End-to-end wall-clock seconds of the measured phase.
+    pub wall_secs: f64,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Merged delay-cache statistics (zeros when caching is disabled).
+    pub cache: CacheStats,
+    /// Per-point timings.
+    pub points: Vec<PerfPoint>,
+    /// Extra key/value pairs; values must already be valid JSON
+    /// fragments (use [`PerfRecord::extra_num`] / [`PerfRecord::extra_str`]).
+    extras: Vec<(String, String)>,
+}
+
+impl PerfRecord {
+    /// Starts an empty record for `bin`.
+    pub fn new(bin: &str) -> Self {
+        PerfRecord {
+            bin: bin.to_string(),
+            wall_secs: 0.0,
+            jobs: 1,
+            cache: CacheStats::default(),
+            points: Vec::new(),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Attaches a numeric field (NaN/∞ are recorded as `null`).
+    pub fn extra_num(&mut self, key: &str, value: f64) {
+        self.extras.push((key.to_string(), json_num(value)));
+    }
+
+    /// Attaches a string field.
+    pub fn extra_str(&mut self, key: &str, value: &str) {
+        self.extras.push((key.to_string(), json_str(value)));
+    }
+
+    /// Renders the record as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = String::from("{\n");
+        let _ = writeln!(o, "  \"bin\": {},", json_str(&self.bin));
+        let _ = writeln!(o, "  \"wall_secs\": {},", json_num(self.wall_secs));
+        let _ = writeln!(o, "  \"jobs\": {},", self.jobs);
+        let _ = writeln!(o, "  \"cache_hits\": {},", self.cache.hits);
+        let _ = writeln!(o, "  \"cache_misses\": {},", self.cache.misses);
+        let _ = writeln!(
+            o,
+            "  \"cache_hit_rate\": {},",
+            json_num(self.cache.hit_rate())
+        );
+        for (k, v) in &self.extras {
+            let _ = writeln!(o, "  {}: {},", json_str(k), v);
+        }
+        let _ = writeln!(o, "  \"points\": [");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            let _ = writeln!(
+                o,
+                "    {{\"label\": {}, \"secs\": {}}}{comma}",
+                json_str(&p.label),
+                json_num(p.secs)
+            );
+        }
+        let _ = writeln!(o, "  ]");
+        o.push('}');
+        o.push('\n');
+        o
+    }
+
+    /// Writes `BENCH_<bin>.json` at the repository root (falling back to
+    /// the current directory when run outside the source tree) and
+    /// returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let path = repo_root().join(format!("BENCH_{}.json", self.bin));
+        fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// The repository root: two levels above this crate's manifest when that
+/// directory still exists (source checkout), else the current directory.
+fn repo_root() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if root.is_dir() {
+        root
+    } else {
+        PathBuf::from(".")
+    }
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut r = PerfRecord::new("fig2");
+        r.wall_secs = 1.5;
+        r.jobs = 4;
+        r.cache = CacheStats {
+            hits: 30,
+            misses: 10,
+        };
+        r.extra_num("speedup", 3.2);
+        r.extra_str("note", "a \"quoted\"\nline");
+        r.points.push(PerfPoint {
+            label: "fig2a".into(),
+            secs: 0.25,
+        });
+        r.points.push(PerfPoint {
+            label: "fig2b".into(),
+            secs: 1.25,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"bin\": \"fig2\""));
+        assert!(j.contains("\"wall_secs\": 1.5"));
+        assert!(j.contains("\"jobs\": 4"));
+        assert!(j.contains("\"cache_hits\": 30"));
+        assert!(j.contains("\"cache_hit_rate\": 0.75"));
+        assert!(j.contains("\"speedup\": 3.2"));
+        assert!(j.contains("\\\"quoted\\\"\\nline"));
+        assert!(j.contains("{\"label\": \"fig2a\", \"secs\": 0.25},"));
+        assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        let mut r = PerfRecord::new("x");
+        r.extra_num("bad", f64::NAN);
+        assert!(r.to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn record_writes_to_repo_root() {
+        let mut r = PerfRecord::new("perf_selftest");
+        r.wall_secs = 0.01;
+        let path = r.write().expect("writable repo root");
+        let text = fs::read_to_string(&path).expect("file just written");
+        assert!(text.contains("\"bin\": \"perf_selftest\""));
+        assert!(path.ends_with("BENCH_perf_selftest.json"));
+        let _ = fs::remove_file(&path);
+    }
+}

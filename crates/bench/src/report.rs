@@ -7,12 +7,10 @@ use std::path::Path;
 
 use crate::experiment::{Approach, SweepRow};
 
-/// Writes sweep rows as CSV (header + one row per point).
-///
-/// # Errors
-///
-/// Propagates filesystem errors.
-pub fn write_csv(path: &Path, x_label: &str, rows: &[SweepRow]) -> io::Result<()> {
+/// Renders sweep rows as CSV text (header + one row per point). The
+/// rendering is a pure function of its inputs, which is what the
+/// determinism tests compare byte-for-byte across thread counts.
+pub fn csv_string(x_label: &str, rows: &[SweepRow]) -> String {
     let mut out = String::new();
     let _ = write!(out, "{x_label}");
     for a in Approach::ALL {
@@ -26,10 +24,19 @@ pub fn write_csv(path: &Path, x_label: &str, rows: &[SweepRow]) -> io::Result<()
         }
         let _ = writeln!(out, ",{}", r.sets);
     }
+    out
+}
+
+/// Writes sweep rows as CSV (header + one row per point).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(path: &Path, x_label: &str, rows: &[SweepRow]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    fs::write(path, out)
+    fs::write(path, csv_string(x_label, rows))
 }
 
 /// Renders sweep rows as a fixed-height ASCII line chart, one glyph per

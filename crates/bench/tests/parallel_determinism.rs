@@ -1,0 +1,101 @@
+//! Determinism contract of the parallel sweep executor: the rows (and the
+//! CSV rendered from them) must be byte-identical for every thread count
+//! and regardless of whether the delay-bound cache is enabled.
+//!
+//! Per-item seeds come from `pmcs_workload::derive_seed(base, point, set)`,
+//! so a task set's content depends only on its coordinates — never on
+//! which worker thread picked the item off the queue.
+
+use pmcs_bench::{csv_string, sweep_with, SweepOptions, SweepPoint};
+use pmcs_workload::TaskSetConfig;
+
+fn points() -> Vec<SweepPoint> {
+    [0.2f64, 0.4, 0.6]
+        .iter()
+        .map(|&u| SweepPoint {
+            x: u,
+            config: TaskSetConfig {
+                n: 5,
+                utilization: u,
+                gamma: 0.3,
+                beta: 0.4,
+                ..TaskSetConfig::default()
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn sweep_rows_are_identical_for_any_thread_count() {
+    let points = points();
+    let reference = sweep_with(
+        &points,
+        8,
+        7,
+        &SweepOptions {
+            jobs: 1,
+            cache: true,
+        },
+    );
+    for jobs in [2usize, 8] {
+        let other = sweep_with(&points, 8, 7, &SweepOptions { jobs, cache: true });
+        assert_eq!(
+            reference.rows, other.rows,
+            "rows diverged between 1 and {jobs} worker threads"
+        );
+    }
+}
+
+#[test]
+fn sweep_rows_are_identical_with_and_without_cache() {
+    let points = points();
+    let cached = sweep_with(
+        &points,
+        8,
+        7,
+        &SweepOptions {
+            jobs: 2,
+            cache: true,
+        },
+    );
+    let plain = sweep_with(
+        &points,
+        8,
+        7,
+        &SweepOptions {
+            jobs: 2,
+            cache: false,
+        },
+    );
+    assert_eq!(cached.rows, plain.rows, "caching changed the sweep rows");
+    assert!(
+        cached.cache.hits > 0,
+        "the sweep should actually exercise the delay cache"
+    );
+}
+
+#[test]
+fn csv_output_is_byte_identical_across_configurations() {
+    let points = points();
+    let reference = csv_string(
+        "U",
+        &sweep_with(
+            &points,
+            6,
+            11,
+            &SweepOptions {
+                jobs: 1,
+                cache: false,
+            },
+        )
+        .rows,
+    );
+    for (jobs, cache) in [(1usize, true), (2, true), (8, false), (8, true)] {
+        let rows = sweep_with(&points, 6, 11, &SweepOptions { jobs, cache }).rows;
+        assert_eq!(
+            reference,
+            csv_string("U", &rows),
+            "CSV bytes diverged at jobs={jobs}, cache={cache}"
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! Window-level delay-bound caching.
+//!
+//! The hot path of every experiment is the delay-maximization call
+//! [`DelayEngine::max_total_delay`]: the WCRT fixed point re-solves a
+//! window per iteration, the greedy LS-marking loop re-runs the whole
+//! fixed point after every promotion, and the ablation study analyzes the
+//! same task set under several markings. Many of those windows are
+//! *semantically identical* — the window model depends on the tentative
+//! window length only through the per-task job budgets `η_j(t) + 1`, which
+//! plateau between iterations — so their bounds can be memoized.
+//!
+//! [`CachedEngine`] wraps any [`DelayEngine`] with a [`DelayCache`]: a map
+//! from a canonical [`WindowKey`] to the engine's [`DelayBound`]. The key
+//! captures exactly the data a delay engine may consume (case, interval
+//! count, per-task phases/budgets/markings, boundary terms) and *nothing
+//! else* — task identifiers are deliberately excluded, and priorities are
+//! normalized to ranks, so windows that merely relabel tasks share one
+//! entry.
+//!
+//! ## Invalidation under LS promotions
+//!
+//! The greedy algorithm of Section VI flips one task `τ_j` from NLS to LS
+//! per round. No explicit invalidation is needed: the `ls` marking of
+//! every competing task is part of the key, so windows whose content
+//! changed simply miss and are re-solved, while windows the promotion
+//! cannot have influenced keep hitting. The key additionally
+//! *canonicalizes* markings that are provably irrelevant: an LS flag on a
+//! competing task `τ_j` only matters if `τ_j` can inflict extra delay
+//! through it, i.e. if its copy-in is nonzero (urgent executions inflate
+//! CPU demand by `l_j`) or some window task has strictly lower priority
+//! (cancellation victims exist, rules R3/R4). A promotion of a
+//! zero-copy-in, lowest-priority task therefore invalidates *no* window of
+//! the other tasks — the property [`promotion_affects`] exposes to the
+//! greedy loop.
+//!
+//! ## Determinism
+//!
+//! Two windows with equal keys are indistinguishable to a correct engine,
+//! so serving a memoized [`DelayBound`] never changes analysis results;
+//! `CachedEngine` is property-tested against its inner engine in
+//! `tests/cache_consistency.rs`. The only observable difference is the
+//! `nodes` effort counter of a hit (the stored value is returned).
+//!
+//! [`promotion_affects`]: crate::schedulability::promotion_affects
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+
+use pmcs_model::Time;
+
+use crate::error::CoreError;
+use crate::wcrt::{DelayBound, DelayEngine};
+use crate::window::{WindowCase, WindowModel};
+
+/// One competing task as seen by the cache key: everything a delay engine
+/// may read, with the identifier dropped and the priority rank-normalized.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TaskKey {
+    exec: i64,
+    copy_in: i64,
+    copy_out: i64,
+    /// Canonicalized LS marking (see the module docs): the raw flag is
+    /// kept only when it can influence the optimum.
+    ls: bool,
+    hp: bool,
+    /// Rank of the task's priority among all priorities in the window
+    /// (0 = highest). Engines compare priorities, never their raw values.
+    prio_rank: u32,
+    budget: u64,
+}
+
+/// Canonical content key of a [`WindowModel`].
+///
+/// Equal keys imply semantically identical windows: every quantity a
+/// delay engine consumes is either present verbatim or derivable from the
+/// key. See the module docs for the canonicalization rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WindowKey {
+    case: WindowCase,
+    n_intervals: usize,
+    tasks: Vec<TaskKey>,
+    exec_i: i64,
+    copy_in_i: i64,
+    copy_out_i: i64,
+    prio_rank_i: u32,
+    max_l: i64,
+    max_u: i64,
+}
+
+impl WindowKey {
+    /// Builds the canonical key of a window.
+    pub fn of(w: &WindowModel) -> Self {
+        // Rank-normalize priorities: collect every priority in the window
+        // (competitors plus the task under analysis), dedupe, and replace
+        // each priority by its index in the sorted list.
+        let mut prios: Vec<u32> = w.tasks.iter().map(|t| t.priority.0).collect();
+        prios.push(w.priority_i.0);
+        prios.sort_unstable();
+        prios.dedup();
+        let rank = |p: u32| -> u32 {
+            prios
+                .binary_search(&p)
+                .expect("priority present by construction") as u32
+        };
+        let tasks: Vec<TaskKey> = w
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(j, t)| {
+                // An LS flag is engine-relevant only if the task can use
+                // it: a nonzero copy-in makes urgent executions more
+                // expensive than plain ones, and a strictly-lower-priority
+                // window task provides a cancellation victim (rules
+                // R3/R4). Otherwise canonicalize to NLS.
+                let has_victim = w
+                    .tasks
+                    .iter()
+                    .enumerate()
+                    .any(|(k, v)| k != j && t.priority.is_higher_than(v.priority));
+                let ls = t.ls && (t.copy_in > Time::ZERO || has_victim);
+                TaskKey {
+                    exec: t.exec.as_ticks(),
+                    copy_in: t.copy_in.as_ticks(),
+                    copy_out: t.copy_out.as_ticks(),
+                    ls,
+                    hp: t.hp,
+                    prio_rank: rank(t.priority.0),
+                    budget: t.budget,
+                }
+            })
+            .collect();
+        WindowKey {
+            case: w.case,
+            n_intervals: w.n_intervals,
+            tasks,
+            exec_i: w.exec_i.as_ticks(),
+            copy_in_i: w.copy_in_i.as_ticks(),
+            copy_out_i: w.copy_out_i.as_ticks(),
+            prio_rank_i: rank(w.priority_i.0),
+            max_l: w.max_l.as_ticks(),
+            max_u: w.max_u.as_ticks(),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`DelayCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the inner engine.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or `0.0` before the first lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another counter pair into this one.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}%)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// Memo of window delay bounds, keyed by [`WindowKey`].
+///
+/// Entries never go stale (keys are content-addressed), so the only
+/// eviction is a wholesale [`clear`](DelayCache::clear) when the entry
+/// budget is exceeded — a rare event that bounds memory without
+/// affecting results.
+#[derive(Debug, Clone)]
+pub struct DelayCache {
+    map: HashMap<WindowKey, DelayBound>,
+    stats: CacheStats,
+    max_entries: usize,
+}
+
+impl Default for DelayCache {
+    fn default() -> Self {
+        DelayCache::with_capacity(1 << 20)
+    }
+}
+
+impl DelayCache {
+    /// Creates a cache that clears itself after `max_entries` entries.
+    pub fn with_capacity(max_entries: usize) -> Self {
+        DelayCache {
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+            max_entries: max_entries.max(1),
+        }
+    }
+
+    /// Looks up a window, counting the outcome.
+    pub fn get(&mut self, key: &WindowKey) -> Option<DelayBound> {
+        match self.map.get(key) {
+            Some(&b) => {
+                self.stats.hits += 1;
+                Some(b)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a bound, clearing the map first if the budget is exhausted.
+    pub fn insert(&mut self, key: WindowKey, bound: DelayBound) {
+        if self.map.len() >= self.max_entries {
+            self.map.clear();
+        }
+        self.map.insert(key, bound);
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of memoized windows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no window is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// A [`DelayEngine`] adapter that memoizes bounds in a [`DelayCache`].
+///
+/// Works with any inner engine ([`ExactEngine`](crate::ExactEngine),
+/// [`MilpEngine`](crate::MilpEngine), audited or not). The cache lives
+/// behind a `RefCell`, so a `CachedEngine` is single-threaded by design;
+/// parallel drivers give each worker its own instance (results are
+/// identical either way because keys are content-addressed).
+///
+/// # Example
+///
+/// ```
+/// use pmcs_core::{analyze_task_set, CachedEngine, ExactEngine};
+/// use pmcs_core::window::test_task;
+/// use pmcs_model::TaskSet;
+///
+/// let set = TaskSet::new(vec![
+///     test_task(0, 10, 2, 2, 100, 0, false),
+///     test_task(1, 20, 4, 4, 200, 1, false),
+/// ])?;
+/// let engine = CachedEngine::new(ExactEngine::default());
+/// let report = analyze_task_set(&set, &engine)?;
+/// assert!(report.schedulable());
+/// // The fixed point's confirming iteration re-solves a window the
+/// // cache already holds.
+/// assert!(engine.stats().hits > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CachedEngine<E> {
+    inner: E,
+    cache: RefCell<DelayCache>,
+}
+
+impl<E> CachedEngine<E> {
+    /// Wraps an engine with a default-capacity cache.
+    pub fn new(inner: E) -> Self {
+        CachedEngine {
+            inner,
+            cache: RefCell::new(DelayCache::default()),
+        }
+    }
+
+    /// Wraps an engine with an entry-budgeted cache.
+    pub fn with_capacity(inner: E, max_entries: usize) -> Self {
+        CachedEngine {
+            inner,
+            cache: RefCell::new(DelayCache::with_capacity(max_entries)),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Number of memoized windows.
+    pub fn cached_windows(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Drops all memoized windows (counters are kept).
+    pub fn clear(&self) {
+        self.cache.borrow_mut().clear();
+    }
+}
+
+impl<E: DelayEngine> DelayEngine for CachedEngine<E> {
+    fn max_total_delay(&self, window: &WindowModel) -> Result<DelayBound, CoreError> {
+        let key = WindowKey::of(window);
+        if let Some(bound) = self.cache.borrow_mut().get(&key) {
+            return Ok(bound);
+        }
+        let bound = self.inner.max_total_delay(window)?;
+        self.cache.borrow_mut().insert(key, bound);
+        Ok(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ExactEngine;
+    use crate::window::test_task;
+    use pmcs_model::{Sensitivity, TaskId, TaskSet};
+
+    fn window(set: &TaskSet, id: u32, case: WindowCase, t: i64) -> WindowModel {
+        WindowModel::build(set, TaskId(id), case, Time::from_ticks(t)).expect("task in set")
+    }
+
+    fn set3() -> TaskSet {
+        TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 100, 0, false),
+            test_task(1, 20, 4, 4, 200, 1, true),
+            test_task(2, 30, 6, 6, 300, 2, false),
+        ])
+        .expect("valid set")
+    }
+
+    #[test]
+    fn identical_windows_share_a_key() {
+        let set = set3();
+        let a = WindowKey::of(&window(&set, 1, WindowCase::Nls, 100));
+        let b = WindowKey::of(&window(&set, 1, WindowCase::Nls, 100));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_lengths_with_equal_budgets_share_a_key() {
+        let set = set3();
+        // η_0(101) = η_0(140) = 2 (period 100): same budgets, same key.
+        let a = WindowKey::of(&window(&set, 2, WindowCase::Nls, 101));
+        let b = WindowKey::of(&window(&set, 2, WindowCase::Nls, 140));
+        assert_eq!(a, b);
+        // Crossing an arrival boundary changes the budgets and the key.
+        let c = WindowKey::of(&window(&set, 2, WindowCase::Nls, 201));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn case_and_marking_are_part_of_the_key() {
+        let set = set3();
+        let nls = WindowKey::of(&window(&set, 0, WindowCase::Nls, 50));
+        let ls = WindowKey::of(&window(&set, 0, WindowCase::LsCaseA, 50));
+        assert_ne!(nls, ls);
+        // Promoting τ2 (nonzero copy-in) changes the key of windows that
+        // contain it.
+        let promoted = set
+            .with_sensitivity(TaskId(2), Sensitivity::Ls)
+            .expect("τ2 in set");
+        let after = WindowKey::of(&window(&promoted, 0, WindowCase::Nls, 50));
+        assert_ne!(nls, after);
+    }
+
+    #[test]
+    fn irrelevant_ls_flag_is_canonicalized_away() {
+        // τ2: zero copy-in, lowest priority → its LS flag cannot matter
+        // in τ0's window.
+        let tasks = vec![
+            test_task(0, 10, 2, 2, 100, 0, false),
+            test_task(1, 20, 4, 4, 200, 1, false),
+            test_task(2, 30, 0, 6, 300, 2, false),
+        ];
+        let set = TaskSet::new(tasks).expect("valid set");
+        let before = WindowKey::of(&window(&set, 0, WindowCase::Nls, 50));
+        let promoted = set
+            .with_sensitivity(TaskId(2), Sensitivity::Ls)
+            .expect("τ2 in set");
+        let after = WindowKey::of(&window(&promoted, 0, WindowCase::Nls, 50));
+        assert_eq!(before, after, "zero-copy-in lowest-priority LS flag");
+    }
+
+    #[test]
+    fn priorities_are_rank_normalized() {
+        // Two sets identical up to a uniform priority shift share keys.
+        let mk = |base: u32| {
+            TaskSet::new(vec![
+                test_task(0, 10, 2, 2, 100, base, false),
+                test_task(1, 20, 4, 4, 200, base + 7, false),
+            ])
+            .expect("valid set")
+        };
+        let a = WindowKey::of(&window(&mk(0), 1, WindowCase::Nls, 60));
+        let b = WindowKey::of(&window(&mk(5), 1, WindowCase::Nls, 60));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cached_engine_hits_and_agrees() {
+        let set = set3();
+        let w = window(&set, 2, WindowCase::Nls, 150);
+        let plain = ExactEngine::default();
+        let cached = CachedEngine::new(ExactEngine::default());
+        let reference = plain.max_total_delay(&w).expect("engine result");
+        let first = cached.max_total_delay(&w).expect("engine result");
+        let second = cached.max_total_delay(&w).expect("engine result");
+        assert_eq!(first.delay, reference.delay);
+        assert_eq!(second.delay, reference.delay);
+        assert_eq!(first.exact, second.exact);
+        let stats = cached.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cached.cached_windows(), 1);
+    }
+
+    #[test]
+    fn capacity_exhaustion_clears_but_stays_correct() {
+        let set = set3();
+        let cached = CachedEngine::with_capacity(ExactEngine::default(), 1);
+        let w1 = window(&set, 2, WindowCase::Nls, 101);
+        let w2 = window(&set, 2, WindowCase::Nls, 250);
+        let b1 = cached.max_total_delay(&w1).expect("engine result");
+        let _ = cached.max_total_delay(&w2).expect("engine result");
+        // w1 was evicted by the clear; re-solving must still agree.
+        let again = cached.max_total_delay(&w1).expect("engine result");
+        assert_eq!(b1.delay, again.delay);
+        assert!(cached.cached_windows() <= 1);
+    }
+
+    #[test]
+    fn stats_merge_and_display() {
+        let mut a = CacheStats { hits: 3, misses: 1 };
+        a.merge(CacheStats { hits: 1, misses: 3 });
+        assert_eq!(a, CacheStats { hits: 4, misses: 4 });
+        assert!(a.to_string().contains("50.0%"));
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -20,13 +20,26 @@
 //! [`MilpEngine`](crate::MilpEngine) orders of magnitude faster; the
 //! equivalence of the two engines is property-tested in
 //! `tests/engine_equivalence.rs`.
+//!
+//! ## Scratch reuse
+//!
+//! The engine is called millions of times per sweep (one call per
+//! fixed-point iteration per task per set). To keep the per-call cost at
+//! the DP itself, the engine holds its working memory — the memo table and
+//! the per-task vectors — in a reusable [`Scratch`] behind a `RefCell`,
+//! clearing instead of reallocating between calls. The memo key is a
+//! `u128` packed with *adaptive* field widths, so windows with many tasks
+//! or large job budgets still memoize instead of silently degrading to the
+//! node-budget backstop (the old fixed 64-bit packing gave up beyond
+//! 9 tasks or budgets over 31).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use pmcs_model::Time;
 
-/// Multiplicative hasher for the dense 64-bit memo keys (the default
+/// Multiplicative hasher for the dense 128-bit memo keys (the default
 /// SipHash costs more than the DP transition itself).
 #[derive(Debug, Default)]
 struct KeyHasher(u64);
@@ -46,12 +59,18 @@ impl Hasher for KeyHasher {
     }
 
     #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.write_u64(i as u64);
+        self.write_u64((i >> 64) as u64);
+    }
+
+    #[inline]
     fn finish(&self) -> u64 {
         self.0
     }
 }
 
-type Memo = HashMap<u64, i64, BuildHasherDefault<KeyHasher>>;
+type Memo = HashMap<u128, i64, BuildHasherDefault<KeyHasher>>;
 
 use crate::error::CoreError;
 use crate::wcrt::{DelayBound, DelayEngine};
@@ -69,11 +88,44 @@ enum Choice {
 impl Choice {
     /// Compact encoding for memo keys: 0 = idle, else `1 + 2·task + urgent`.
     #[inline]
-    fn encode(self) -> u64 {
+    fn encode(self) -> u128 {
         match self {
             Choice::Idle => 0,
-            Choice::Run { task, urgent } => 1 + 2 * task as u64 + u64::from(urgent),
+            Choice::Run { task, urgent } => 1 + 2 * task as u128 + u128::from(urgent),
         }
+    }
+}
+
+/// Reusable per-engine working memory: cleared, never reallocated.
+#[derive(Debug, Default)]
+struct Scratch {
+    memo: Memo,
+    exec: Vec<i64>,
+    cin: Vec<i64>,
+    cout: Vec<i64>,
+    ls: Vec<bool>,
+    hp: Vec<bool>,
+    budget: Vec<u64>,
+    max_lower_hp: Vec<Option<i64>>,
+    max_lower_i0: Vec<Option<i64>>,
+    /// Per-task bit width of the budget field in the packed memo key.
+    budget_bits: Vec<u32>,
+}
+
+impl Scratch {
+    fn reset(&mut self, m: usize) {
+        self.memo.clear();
+        self.exec.clear();
+        self.cin.clear();
+        self.cout.clear();
+        self.ls.clear();
+        self.hp.clear();
+        self.budget.clear();
+        self.max_lower_hp.clear();
+        self.max_lower_hp.resize(m, None);
+        self.max_lower_i0.clear();
+        self.max_lower_i0.resize(m, None);
+        self.budget_bits.clear();
     }
 }
 
@@ -83,18 +135,25 @@ impl Choice {
 /// microseconds-to-milliseconds. If the memo budget is ever exhausted the
 /// engine returns a coarse but **safe** upper bound and flags the result
 /// as inexact.
-#[derive(Debug, Clone)]
+///
+/// The engine owns reusable scratch memory, so it is cheap to call in a
+/// tight loop but **not** `Sync`: parallel drivers give each worker its
+/// own engine (cloning creates an independent scratch).
+#[derive(Debug)]
 pub struct ExactEngine {
-    /// Memoization-entry budget for the DP (roughly bounds memory and
-    /// time; a window normally needs a few thousand states).
-    pub max_states: usize,
+    max_states: usize,
+    scratch: RefCell<Scratch>,
 }
 
 impl Default for ExactEngine {
     fn default() -> Self {
-        ExactEngine {
-            max_states: 4_000_000,
-        }
+        ExactEngine::with_max_states(4_000_000)
+    }
+}
+
+impl Clone for ExactEngine {
+    fn clone(&self) -> Self {
+        ExactEngine::with_max_states(self.max_states)
     }
 }
 
@@ -103,11 +162,27 @@ impl ExactEngine {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Creates an engine with an explicit memoization-entry budget for the
+    /// DP (roughly bounds memory and time; a window normally needs a few
+    /// thousand states).
+    pub fn with_max_states(max_states: usize) -> Self {
+        ExactEngine {
+            max_states,
+            scratch: RefCell::new(Scratch::default()),
+        }
+    }
+
+    /// The memoization-entry budget.
+    pub fn max_states(&self) -> usize {
+        self.max_states
+    }
 }
 
 impl DelayEngine for ExactEngine {
     fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
-        let mut search = Search::new(w, self.max_states);
+        let mut scratch = self.scratch.borrow_mut();
+        let mut search = Search::new(w, self.max_states, &mut scratch);
         match search.run() {
             Some(best) => Ok(DelayBound {
                 delay: Time::from_ticks(best),
@@ -123,90 +198,114 @@ impl DelayEngine for ExactEngine {
     }
 }
 
-struct Search {
+/// Minimal bit width of an unsigned value (at least 1).
+#[inline]
+fn bit_width(v: u64) -> u32 {
+    (u64::BITS - v.leading_zeros()).max(1)
+}
+
+struct Search<'a> {
     /// `N_i(t)`.
     n: usize,
-    exec: Vec<i64>,
-    cin: Vec<i64>,
-    cout: Vec<i64>,
-    ls: Vec<bool>,
-    hp: Vec<bool>,
-    budget: Vec<u64>,
+    s: &'a mut Scratch,
     /// Largest copy-in among cancellable hp tasks / among all cancellable
     /// tasks of `I_0` (free cancellations, rule R3 gating included).
     max_cancel_hp: i64,
     max_cancel_i0: i64,
-    /// Per task `j`: largest copy-in among strictly-lower-priority
-    /// cancellation victims (hp-only / `I_0`).
-    max_lower_hp: Vec<Option<i64>>,
-    max_lower_i0: Vec<Option<i64>>,
     max_l: i64,
     max_u: i64,
     l_i: i64,
     c_i: i64,
     last_lp_exec: usize,
-    memo: Memo,
     max_states: usize,
     nodes: u64,
     aborted: bool,
+    /// `false` when the packed key would exceed 128 bits; the DP then runs
+    /// unmemoized until the node budget trips.
+    key_feasible: bool,
+    /// Bit width of the slot-index field of the packed key.
+    k_bits: u32,
+    /// Bit width of each choice field of the packed key.
+    c_bits: u32,
 }
 
-impl Search {
-    fn new(w: &WindowModel, max_states: usize) -> Self {
+impl<'a> Search<'a> {
+    fn new(w: &WindowModel, max_states: usize, scratch: &'a mut Scratch) -> Self {
         let m = w.tasks.len();
-        let exec: Vec<i64> = w.tasks.iter().map(|t| t.exec.as_ticks()).collect();
-        let cin: Vec<i64> = w.tasks.iter().map(|t| t.copy_in.as_ticks()).collect();
-        let cout: Vec<i64> = w.tasks.iter().map(|t| t.copy_out.as_ticks()).collect();
-        let ls: Vec<bool> = w.tasks.iter().map(|t| t.ls).collect();
-        let hp: Vec<bool> = w.tasks.iter().map(|t| t.hp).collect();
-        let budget: Vec<u64> = w.tasks.iter().map(|t| t.budget).collect();
+        scratch.reset(m);
+        for t in &w.tasks {
+            scratch.exec.push(t.exec.as_ticks());
+            scratch.cin.push(t.copy_in.as_ticks());
+            scratch.cout.push(t.copy_out.as_ticks());
+            scratch.ls.push(t.ls);
+            scratch.hp.push(t.hp);
+            scratch.budget.push(t.budget);
+        }
 
         let max_cancel_hp = (0..m)
-            .filter(|&j| hp[j] && w.cancel_triggerable(j))
-            .map(|j| cin[j])
+            .filter(|&j| scratch.hp[j] && w.cancel_triggerable(j))
+            .map(|j| scratch.cin[j])
             .max()
             .unwrap_or(0);
         let max_cancel_i0 = (0..m)
             .filter(|&j| w.cancel_triggerable(j))
-            .map(|j| cin[j])
+            .map(|j| scratch.cin[j])
             .max()
             .unwrap_or(0);
 
-        let mut max_lower_hp = vec![None; m];
-        let mut max_lower_i0 = vec![None; m];
         for j in 0..m {
             for k in 0..m {
                 if k == j || !w.cancellation_enables(k, j) {
                     continue;
                 }
-                if hp[k] {
-                    max_lower_hp[j] = Some(max_lower_hp[j].unwrap_or(0).max(cin[k]));
+                if scratch.hp[k] {
+                    scratch.max_lower_hp[j] =
+                        Some(scratch.max_lower_hp[j].unwrap_or(0).max(scratch.cin[k]));
                 }
-                max_lower_i0[j] = Some(max_lower_i0[j].unwrap_or(0).max(cin[k]));
+                scratch.max_lower_i0[j] =
+                    Some(scratch.max_lower_i0[j].unwrap_or(0).max(scratch.cin[k]));
             }
         }
 
+        // A task whose LS marking can never be exercised (zero copy-in and
+        // no cancellation victim) behaves exactly like an NLS task; drop
+        // the flag so the DP skips its urgent twin states and the fallback
+        // bound does not charge phantom cancellations. This mirrors the
+        // canonicalization of `cache::WindowKey`.
+        for j in 0..m {
+            if scratch.ls[j] && scratch.cin[j] == 0 && scratch.max_lower_i0[j].is_none() {
+                scratch.ls[j] = false;
+            }
+        }
+
+        // Adaptive packing of `(k, prev, prev2, budgets)` into a `u128`
+        // memo key: each field gets exactly the bits its range needs.
+        let k_bits = bit_width(w.n() as u64);
+        let c_bits = bit_width(2 * m as u64 + 1);
+        let mut total = k_bits + 2 * c_bits;
+        for &b in &scratch.budget {
+            let bits = bit_width(b);
+            scratch.budget_bits.push(bits);
+            total += bits;
+        }
+        let key_feasible = total <= 128;
+
         Search {
             n: w.n(),
-            exec,
-            cin,
-            cout,
-            ls,
-            hp,
-            budget,
+            s: scratch,
             max_cancel_hp,
             max_cancel_i0,
-            max_lower_hp,
-            max_lower_i0,
             max_l: w.max_l.as_ticks(),
             max_u: w.max_u.as_ticks(),
             l_i: w.copy_in_i.as_ticks(),
             c_i: w.exec_i.as_ticks(),
             last_lp_exec: w.last_lp_exec_interval(),
-            memo: Memo::default(),
             max_states,
             nodes: 0,
             aborted: false,
+            key_feasible,
+            k_bits,
+            c_bits,
         }
     }
 
@@ -216,9 +315,9 @@ impl Search {
             Choice::Idle => 0,
             Choice::Run { task, urgent } => {
                 if urgent {
-                    self.cin[task] + self.exec[task]
+                    self.s.cin[task] + self.s.exec[task]
                 } else {
-                    self.exec[task]
+                    self.s.exec[task]
                 }
             }
         }
@@ -228,7 +327,7 @@ impl Search {
     fn out_of(&self, c: Choice) -> i64 {
         match c {
             Choice::Idle => 0,
-            Choice::Run { task, .. } => self.cout[task],
+            Choice::Run { task, .. } => self.s.cout[task],
         }
     }
 
@@ -259,9 +358,9 @@ impl Search {
     #[inline]
     fn urgent_cancel(&self, slot: usize, task: usize) -> Option<i64> {
         if slot == 0 {
-            self.max_lower_i0[task]
+            self.s.max_lower_i0[task]
         } else {
-            self.max_lower_hp[task]
+            self.s.max_lower_hp[task]
         }
     }
 
@@ -273,17 +372,17 @@ impl Search {
             Choice::Run {
                 task,
                 urgent: false,
-            } => Some(self.cin[task]),
+            } => Some(self.s.cin[task]),
             Choice::Run { task, urgent: true } => self.urgent_cancel(k, task),
             Choice::Idle => Some(self.free_cancel(k)),
         }
     }
 
     fn placement_ok(&self, k: usize, task: usize, urgent: bool) -> bool {
-        if !self.hp[task] && k > self.last_lp_exec {
+        if !self.s.hp[task] && k > self.last_lp_exec {
             return false; // Constraints 3 / 14.
         }
-        if urgent && !self.ls[task] {
+        if urgent && !self.s.ls[task] {
             return false; // Constraint 4.
         }
         if urgent && k > 0 && self.urgent_cancel(k - 1, task).is_none() {
@@ -330,20 +429,20 @@ impl Search {
 
         let key = self.memo_key(k, prev, prev2);
         if let Some(key) = key {
-            if let Some(&v) = self.memo.get(&key) {
+            if let Some(&v) = self.s.memo.get(&key) {
                 return v;
             }
         }
 
         let mut best = i64::MIN;
         let mut any_candidate = false;
-        let m = self.exec.len();
+        let m = self.s.exec.len();
         for task in 0..m {
-            if self.budget[task] == 0 {
+            if self.s.budget[task] == 0 {
                 continue;
             }
             for urgent in [false, true] {
-                if urgent && !self.ls[task] {
+                if urgent && !self.s.ls[task] {
                     continue;
                 }
                 if !self.placement_ok(k, task, urgent) {
@@ -354,9 +453,9 @@ impl Search {
                     continue;
                 };
                 any_candidate = true;
-                self.budget[task] -= 1;
+                self.s.budget[task] -= 1;
                 let v = d + self.dp(k + 1, cand, prev);
-                self.budget[task] += 1;
+                self.s.budget[task] += 1;
                 best = best.max(v);
             }
         }
@@ -369,7 +468,7 @@ impl Search {
         // remains and its position matters for the pairing.
         let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
         let stranded_lp =
-            k > self.last_lp_exec && (0..m).any(|j| !self.hp[j] && self.budget[j] > 0);
+            k > self.last_lp_exec && (0..m).any(|j| !self.s.hp[j] && self.s.budget[j] > 0);
         if !any_candidate || idle_useful || stranded_lp {
             if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
                 let v = d + self.dp(k + 1, Choice::Idle, prev);
@@ -378,10 +477,10 @@ impl Search {
         }
 
         if let Some(key) = key {
-            if self.memo.len() >= self.max_states {
+            if self.s.memo.len() >= self.max_states {
                 self.aborted = true;
             } else {
-                self.memo.insert(key, best);
+                self.s.memo.insert(key, best);
             }
         }
         best
@@ -399,25 +498,21 @@ impl Search {
         Some(self.cpu(prev).max(input + self.out_at(k - 1, prev2)))
     }
 
-    /// Packs `(k, budgets, prev, prev2)` into a 64-bit memo key; `None`
-    /// when the instance is too large to pack (the caller then runs
-    /// without memoization until the node budget trips).
+    /// Packs `(k, prev, prev2, budgets)` into a 128-bit memo key with the
+    /// adaptive field widths computed in [`Search::new`]; `None` when the
+    /// instance is too large to pack (the caller then runs without
+    /// memoization until the node budget trips).
     #[inline]
-    fn memo_key(&self, k: usize, prev: Choice, prev2: Choice) -> Option<u64> {
-        let m = self.budget.len();
-        if m > 9 {
+    fn memo_key(&self, k: usize, prev: Choice, prev2: Choice) -> Option<u128> {
+        if !self.key_feasible {
             return None;
         }
-        let mut key: u64 = k as u64; // ≤ N < 2^8 in practice
-        key <<= 5;
-        key |= prev.encode() & 0x1f;
-        key <<= 5;
-        key |= prev2.encode() & 0x1f;
-        for &b in &self.budget {
-            if b > 31 {
-                return None;
-            }
-            key = (key << 5) | b;
+        debug_assert!(bit_width(k as u64) <= self.k_bits);
+        let mut key: u128 = k as u128;
+        key = (key << self.c_bits) | prev.encode();
+        key = (key << self.c_bits) | prev2.encode();
+        for (&b, &bits) in self.s.budget.iter().zip(&self.s.budget_bits) {
+            key = (key << bits) | u128::from(b);
         }
         Some(key)
     }
@@ -430,13 +525,13 @@ impl Search {
     ///   with the DMA side budgeted by the copies each job performs once,
     ///   plus cancellation and boundary charges.
     fn fallback_bound(&self) -> i64 {
-        let m = self.exec.len();
+        let m = self.s.exec.len();
         let max_demand = (0..m)
             .map(|j| {
-                if self.ls[j] {
-                    self.cin[j] + self.exec[j]
+                if self.s.ls[j] {
+                    self.s.cin[j] + self.s.exec[j]
                 } else {
-                    self.exec[j]
+                    self.s.exec[j]
                 }
             })
             .max()
@@ -446,24 +541,24 @@ impl Search {
             max_demand.max(self.l_i + self.max_u) + self.c_i.max(self.max_l + self.max_u);
         let per_slot = slot_cap * (self.n as i64 - 2).max(0) + last2_cap;
 
-        let total_jobs: u64 = self.budget.iter().sum();
+        let total_jobs: u64 = self.s.budget.iter().sum();
         let slots = (self.n - 1) as i64;
         let mut cpu_sum = 0i64;
         let mut dma_sum = 0i64;
         for j in 0..m {
-            let b = self.budget[j] as i64;
-            cpu_sum += b * if self.ls[j] {
-                self.cin[j] + self.exec[j]
+            let b = self.s.budget[j] as i64;
+            cpu_sum += b * if self.s.ls[j] {
+                self.s.cin[j] + self.s.exec[j]
             } else {
-                self.exec[j]
+                self.s.exec[j]
             };
-            dma_sum += b * (self.cin[j] + self.cout[j]);
+            dma_sum += b * (self.s.cin[j] + self.s.cout[j]);
         }
         // Cancellation charges can fill slots without executions and slots
         // preceding urgent executions.
         let ls_jobs: i64 = (0..m)
-            .filter(|&j| self.ls[j])
-            .map(|j| self.budget[j] as i64)
+            .filter(|&j| self.s.ls[j])
+            .map(|j| self.s.budget[j] as i64)
             .sum();
         let free_slots = (slots - total_jobs as i64).max(0) + ls_jobs;
         let cancel_extra = free_slots * self.max_cancel_i0;
@@ -587,7 +682,7 @@ mod tests {
             .max_total_delay(&w)
             .expect("default budget suffices");
         assert!(exact.exact);
-        let starved = ExactEngine { max_states: 1 }
+        let starved = ExactEngine::with_max_states(1)
             .max_total_delay(&w)
             .expect("budget exhaustion falls back to a safe bound, not an error");
         assert!(!starved.exact);
@@ -626,5 +721,84 @@ mod tests {
             .expect("memoized DP finishes within the default budget");
         assert!(b.exact, "DP must finish on a 15+-interval window");
         assert!(b.nodes < 2_000_000, "nodes={}", b.nodes);
+    }
+
+    #[test]
+    fn scratch_reuse_is_transparent() {
+        // The same engine analyzing different windows back to back must
+        // return the same bounds as fresh engines.
+        let set_a = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 1_000, 0, false),
+            test_task(1, 20, 5, 5, 1_000, 1, false),
+        ])
+        .expect("valid task set");
+        let set_b = TaskSet::new(vec![
+            test_task(0, 10, 1, 1, 10_000, 0, true),
+            test_task(1, 500, 1, 1, 10_000, 1, false),
+            test_task(2, 40, 3, 3, 10_000, 2, false),
+        ])
+        .expect("valid task set");
+        let reused = ExactEngine::default();
+        for _ in 0..3 {
+            for (set, id, t) in [(&set_a, 1u32, 10i64), (&set_b, 0, 12), (&set_b, 2, 30)] {
+                for case in [WindowCase::Nls, WindowCase::LsCaseA] {
+                    let w = WindowModel::build(set, TaskId(id), case, Time::from_ticks(t))
+                        .expect("task id is in the set");
+                    let fresh = ExactEngine::default()
+                        .max_total_delay(&w)
+                        .expect("engine result");
+                    let warm = reused.max_total_delay(&w).expect("engine result");
+                    assert_eq!(fresh.delay, warm.delay);
+                    assert_eq!(fresh.exact, warm.exact);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_windows_still_memoize() {
+        // 11 window tasks (the old 64-bit key gave up beyond 9): 5 hp
+        // tasks with 2 jobs each plus 6 lp blockers. Unmemoized, the
+        // ~11²·5¹⁰ interleavings blow the node backstop; the adaptive
+        // u128 key must keep the DP memoized and exact.
+        let mut tasks: Vec<_> = (0..5)
+            .map(|i| test_task(i, 40 + i as i64, 5, 5, 5_000, i, false))
+            .collect();
+        tasks.push(test_task(5, 200, 10, 10, 50_000, 5, false));
+        for i in 6..12u32 {
+            tasks.push(test_task(i, 100 + i as i64, 5, 5, 50_000, i, false));
+        }
+        let set = TaskSet::new(tasks).expect("valid task set");
+        let w = WindowModel::build(&set, TaskId(5), WindowCase::Nls, Time::from_ticks(4_000))
+            .expect("τ5 is in the set");
+        assert!(
+            w.tasks.len() > 9,
+            "m={} must exceed the old limit",
+            w.tasks.len()
+        );
+        let b = ExactEngine::default()
+            .max_total_delay(&w)
+            .expect("engine result");
+        assert!(b.exact, "an 11-task window must still memoize");
+        assert!(b.nodes < 50_000_000, "nodes={}", b.nodes);
+    }
+
+    #[test]
+    fn large_budgets_still_memoize() {
+        // A budget beyond the old 31-per-task packing limit: a long window
+        // against a short-period hp task.
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 100, 0, false),
+            test_task(1, 50, 5, 5, 10_000, 1, false),
+        ])
+        .expect("valid task set");
+        // η_0(4000) + 1 = 41 jobs of τ0.
+        let w = WindowModel::build(&set, TaskId(1), WindowCase::Nls, Time::from_ticks(4_000))
+            .expect("τ1 is in the set");
+        assert!(w.tasks.iter().any(|t| t.budget > 31));
+        let b = ExactEngine::default()
+            .max_total_delay(&w)
+            .expect("engine result");
+        assert!(b.exact, "budget 41 must still pack into the memo key");
     }
 }

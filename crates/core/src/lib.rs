@@ -45,6 +45,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod chains;
 pub mod engine;
 pub mod error;
@@ -56,6 +57,7 @@ pub mod schedulability;
 pub mod wcrt;
 pub mod window;
 
+pub use cache::{CacheStats, CachedEngine, DelayCache, WindowKey};
 pub use chains::{chain_latency, ChainActivation, TaskChain};
 pub use engine::ExactEngine;
 pub use error::CoreError;
@@ -63,6 +65,8 @@ pub use formulation::{MilpEngine, AUDIT_ENV_VAR};
 pub use ls_search::{exhaustive_ls_assignment, ExhaustiveResult};
 pub use partitioning::{analyze_platform, partition, Heuristic, Partitioning};
 pub use protocol::{ProtocolRule, RULES};
-pub use schedulability::{analyze_task_set, LsAssignment, SchedulabilityReport, TaskVerdict};
+pub use schedulability::{
+    analyze_task_set, promotion_affects, LsAssignment, SchedulabilityReport, TaskVerdict,
+};
 pub use wcrt::{DelayEngine, TaskAnalysis, WcrtAnalyzer};
 pub use window::{WindowCase, WindowModel, WindowTask};

@@ -7,13 +7,54 @@
 //! inflicts on lower-priority tasks through urgent executions). If a task
 //! that is *already* LS misses its deadline, the set is deemed
 //! unschedulable.
+//!
+//! Re-analysis after a promotion skips every task whose windows the
+//! promotion provably cannot change (see [`promotion_affects`]): the
+//! previous round's [`TaskAnalysis`] is reused verbatim. Combined with a
+//! [`CachedEngine`](crate::CachedEngine) this makes greedy rounds after
+//! the first one cheap.
 
 use std::fmt;
 
 use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
 
 use crate::error::CoreError;
-use crate::wcrt::{DelayEngine, WcrtAnalyzer};
+use crate::wcrt::{DelayEngine, TaskAnalysis, WcrtAnalyzer};
+
+/// `true` iff promoting `promoted` to latency-sensitive can change the
+/// WCRT analysis of `analyzed`.
+///
+/// The analysis windows of `analyzed` contain every other task of the
+/// set, so a promotion flips the LS bit of `promoted` inside all of them.
+/// That bit is *inert*, however, when both
+///
+/// * `promoted` has a zero copy-in — an urgent execution then has exactly
+///   the CPU demand of a plain one, and no cancellation charge can be
+///   attributed to its prefetch; and
+/// * no third task has strictly lower priority than `promoted` — rules
+///   R3/R4 (Constraint 8) let an LS task trigger cancellations and urgent
+///   executions only at the expense of a lower-priority victim, so with no
+///   victim the flag enables nothing.
+///
+/// This is the same canonicalization applied by
+/// [`cache::WindowKey`](crate::cache::WindowKey) and by the DP engine, so
+/// a "not affected" verdict is exact, not heuristic: every window of
+/// `analyzed` before and after the promotion maps to the same canonical
+/// key and the same delay bound.
+pub fn promotion_affects(set: &TaskSet, promoted: TaskId, analyzed: TaskId) -> bool {
+    if promoted == analyzed {
+        return true;
+    }
+    let Some(pj) = set.get(promoted) else {
+        return true; // Unknown task: be conservative.
+    };
+    if pj.copy_in() > Time::ZERO {
+        return true;
+    }
+    set.iter().any(|t| {
+        t.id() != analyzed && t.id() != promoted && pj.priority().is_higher_than(t.priority())
+    })
+}
 
 /// Per-task verdict in a [`SchedulabilityReport`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,17 +172,49 @@ pub fn analyze_task_set(
     set: &TaskSet,
     engine: &impl DelayEngine,
 ) -> Result<SchedulabilityReport, CoreError> {
+    analyze_impl(set, engine, true)
+}
+
+/// [`analyze_task_set`] with the cross-round verdict reuse disabled:
+/// every greedy round re-runs every task's fixed point from scratch.
+///
+/// Exists only as a differential-testing oracle for the reuse logic; it is
+/// never faster and never gives a different report.
+#[doc(hidden)]
+pub fn analyze_task_set_no_reuse(
+    set: &TaskSet,
+    engine: &impl DelayEngine,
+) -> Result<SchedulabilityReport, CoreError> {
+    analyze_impl(set, engine, false)
+}
+
+fn analyze_impl(
+    set: &TaskSet,
+    engine: &impl DelayEngine,
+    reuse: bool,
+) -> Result<SchedulabilityReport, CoreError> {
     let analyzer = WcrtAnalyzer::default();
     let mut current = set.all_nls();
     let mut promoted = Vec::new();
+    // Analyses carried over from earlier rounds, indexed like the set's
+    // iteration order; an entry survives a promotion only when
+    // `promotion_affects` proves the promotion inert for that task.
+    let mut carried: Vec<Option<TaskAnalysis>> = vec![None; set.len()];
 
     // Each round either terminates or promotes one task; at most n
     // promotions are possible.
     for round in 1..=set.len() + 1 {
         let mut verdicts = Vec::with_capacity(current.len());
         let mut failing: Option<TaskId> = None;
-        for task in current.iter() {
-            let analysis = analyzer.analyze_task(&current, task.id(), engine)?;
+        for (idx, task) in current.iter().enumerate() {
+            let analysis = match carried[idx].as_ref() {
+                Some(a) => a.clone(),
+                None => {
+                    let a = analyzer.analyze_task(&current, task.id(), engine)?;
+                    carried[idx] = Some(a.clone());
+                    a
+                }
+            };
             verdicts.push(TaskVerdict {
                 task: task.id(),
                 wcrt: analysis.wcrt,
@@ -177,6 +250,11 @@ pub fn analyze_task_set(
                         assignment: LsAssignment { promoted },
                         rounds: round,
                     });
+                }
+                for (idx, t) in current.iter().enumerate() {
+                    if !reuse || promotion_affects(&current, task, t.id()) {
+                        carried[idx] = None;
+                    }
                 }
                 current = current.with_sensitivity(task, Sensitivity::Ls)?;
                 promoted.push(task);
@@ -221,8 +299,34 @@ pub fn analyze_fixed_marking(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::CachedEngine;
     use crate::engine::ExactEngine;
-    use crate::window::test_task;
+    use crate::wcrt::DelayBound;
+    use crate::window::{test_task, WindowModel};
+    use std::cell::Cell;
+
+    /// Wraps an engine and counts invocations, to make the greedy loop's
+    /// re-analysis skipping observable.
+    struct CountingEngine<E> {
+        inner: E,
+        calls: Cell<u64>,
+    }
+
+    impl<E> CountingEngine<E> {
+        fn new(inner: E) -> Self {
+            CountingEngine {
+                inner,
+                calls: Cell::new(0),
+            }
+        }
+    }
+
+    impl<E: DelayEngine> DelayEngine for CountingEngine<E> {
+        fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
+            self.calls.set(self.calls.get() + 1);
+            self.inner.max_total_delay(w)
+        }
+    }
 
     #[test]
     fn easy_set_is_schedulable_without_promotions() {
@@ -289,6 +393,123 @@ mod tests {
         let r = analyze_fixed_marking(&set, &ExactEngine::default()).unwrap();
         assert_eq!(r.assignment().promoted, vec![TaskId(0)]);
         assert_eq!(r.verdict(TaskId(0)).unwrap().sensitivity, Sensitivity::Ls);
+    }
+
+    #[test]
+    fn promotion_affects_is_exact_about_inert_promotions() {
+        // τ1: zero copy-in, lowest priority → its promotion is inert for
+        // everyone else; τ0: positive copy-in → always relevant.
+        let set = TaskSet::new(vec![
+            test_task(0, 50, 5, 5, 200, 0, false),
+            test_task(1, 100, 0, 0, 1_000, 1, false),
+        ])
+        .unwrap();
+        assert!(promotion_affects(&set, TaskId(1), TaskId(1)));
+        assert!(!promotion_affects(&set, TaskId(1), TaskId(0)));
+        assert!(promotion_affects(&set, TaskId(0), TaskId(1)));
+        // With a third, even-lower task, τ1's promotion gains a victim.
+        let set3 = TaskSet::new(vec![
+            test_task(0, 50, 5, 5, 200, 0, false),
+            test_task(1, 100, 0, 0, 1_000, 1, false),
+            test_task(2, 10, 0, 3, 5_000, 2, false),
+        ])
+        .unwrap();
+        assert!(promotion_affects(&set3, TaskId(1), TaskId(0)));
+        // But τ1's promotion stays inert for τ2: inside τ2's windows the
+        // only lower-priority candidate is τ2 itself, which never appears.
+        assert!(!promotion_affects(&set3, TaskId(1), TaskId(2)));
+        // τ2 (zero copy-in, lowest priority) promotes inertly for all.
+        assert!(!promotion_affects(&set3, TaskId(2), TaskId(0)));
+    }
+
+    #[test]
+    fn inert_promotion_skips_unaffected_reanalyses() {
+        // τ1 misses as NLS, is promoted (copy-in 0, lowest priority → the
+        // promotion is provably inert for τ0), and misses again as LS.
+        // Round 2 must reuse τ0's verdict: the counting engine sees
+        // strictly fewer calls with reuse than without, with an identical
+        // report.
+        let set = TaskSet::new(vec![test_task(0, 50, 5, 5, 200, 0, false), {
+            let t = test_task(1, 100, 0, 0, 1_000, 1, false);
+            pmcs_model::Task::builder(t.id())
+                .exec(t.exec())
+                .sporadic(Time::from_ticks(1_000))
+                .deadline(Time::from_ticks(120))
+                .priority(t.priority())
+                .build()
+                .unwrap()
+        }])
+        .unwrap();
+
+        let counting = CountingEngine::new(ExactEngine::default());
+        let with_reuse = analyze_task_set(&set, &counting).unwrap();
+        let calls_reuse = counting.calls.get();
+
+        let counting = CountingEngine::new(ExactEngine::default());
+        let no_reuse = analyze_task_set_no_reuse(&set, &counting).unwrap();
+        let calls_no_reuse = counting.calls.get();
+
+        assert_eq!(with_reuse, no_reuse);
+        assert!(with_reuse.rounds() > 1, "{with_reuse}");
+        assert!(
+            calls_reuse < calls_no_reuse,
+            "reuse must skip τ0's round-2 windows ({calls_reuse} vs {calls_no_reuse})"
+        );
+    }
+
+    #[test]
+    fn reuse_matches_no_reuse_on_promoting_sets() {
+        // A promotion with positive copy-in invalidates everything; the
+        // reuse path must still agree with the from-scratch oracle.
+        let set = TaskSet::new(vec![
+            {
+                let t = test_task(0, 10, 2, 2, 10_000, 0, false);
+                pmcs_model::Task::builder(t.id())
+                    .exec(t.exec())
+                    .copy_in(t.copy_in())
+                    .copy_out(t.copy_out())
+                    .sporadic(Time::from_ticks(10_000))
+                    .deadline(Time::from_ticks(600))
+                    .priority(t.priority())
+                    .build()
+                    .unwrap()
+            },
+            test_task(1, 300, 2, 2, 10_000, 1, false),
+            test_task(2, 400, 2, 2, 10_000, 2, false),
+        ])
+        .unwrap();
+        let a = analyze_task_set(&set, &ExactEngine::default()).unwrap();
+        let b = analyze_task_set_no_reuse(&set, &ExactEngine::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn greedy_rounds_hit_the_delay_cache() {
+        // Across fixed-point iterations and greedy rounds many windows
+        // repeat; a CachedEngine must observe a non-zero hit-rate.
+        let set = TaskSet::new(vec![
+            {
+                let t = test_task(0, 10, 2, 2, 10_000, 0, false);
+                pmcs_model::Task::builder(t.id())
+                    .exec(t.exec())
+                    .copy_in(t.copy_in())
+                    .copy_out(t.copy_out())
+                    .sporadic(Time::from_ticks(10_000))
+                    .deadline(Time::from_ticks(600))
+                    .priority(t.priority())
+                    .build()
+                    .unwrap()
+            },
+            test_task(1, 300, 2, 2, 10_000, 1, false),
+            test_task(2, 400, 2, 2, 10_000, 2, false),
+        ])
+        .unwrap();
+        let engine = CachedEngine::new(ExactEngine::default());
+        let cached = analyze_task_set(&set, &engine).unwrap();
+        let stats = engine.stats();
+        assert!(stats.hits > 0, "expected cache hits, got {stats}");
+        let plain = analyze_task_set(&set, &ExactEngine::default()).unwrap();
+        assert_eq!(cached, plain, "caching must not change the report");
     }
 
     #[test]

@@ -118,7 +118,7 @@ proptest! {
         let w = WindowModel::build(&set, TaskId(under), WindowCase::Nls, Time::from_ticks(t))
             .unwrap();
         let exact = ExactEngine::default().max_total_delay(&w).unwrap();
-        let starved = ExactEngine { max_states: 1 }.max_total_delay(&w).unwrap();
+        let starved = ExactEngine::with_max_states(1).max_total_delay(&w).unwrap();
         prop_assert!(starved.delay >= exact.delay);
     }
 }

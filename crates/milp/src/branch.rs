@@ -41,7 +41,7 @@ struct Node {
 
 impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.bound == other.bound
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Node {}
@@ -53,9 +53,13 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Best-first on bound; deeper first on ties (dives to incumbents).
+        // `total_cmp` keeps the ordering total even if an LP bound is NaN
+        // (a `partial_cmp(..).unwrap_or(Equal)` here would silently break
+        // transitivity and corrupt the best-first heap). NaN sorts above
+        // +∞ in `total_cmp`, so a NaN-bound node is popped first and then
+        // fathomed or re-bounded by its own LP solve — never lost.
         self.bound
-            .partial_cmp(&other.bound)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&other.bound)
             .then(self.depth.cmp(&other.depth))
     }
 }
@@ -406,6 +410,46 @@ mod tests {
         let exact = Solver::new().solve(&p).unwrap();
         assert!(exact.is_optimal());
         assert!(s.proven_bound() >= exact.objective() - 1e-6);
+    }
+
+    #[test]
+    fn node_ordering_is_total_with_nan_bounds() {
+        let mk = |bound: f64, depth: usize| Node {
+            bounds: Vec::new(),
+            bound,
+            depth,
+        };
+        let nan = mk(f64::NAN, 0);
+        let fin = mk(5.0, 3);
+        // The old `partial_cmp(..).unwrap_or(Equal)` made NaN compare
+        // Equal to everything, breaking antisymmetry (and with it the
+        // BinaryHeap invariants). `total_cmp` sorts NaN above +∞.
+        assert_eq!(nan.cmp(&fin), Ordering::Greater);
+        assert_eq!(fin.cmp(&nan), Ordering::Less);
+        assert_eq!(nan.cmp(&mk(f64::NAN, 0)), Ordering::Equal);
+        assert_eq!(nan.cmp(&mk(f64::INFINITY, 0)), Ordering::Greater);
+        // PartialEq must agree with Ord (Eq is derived from it).
+        assert!(nan == mk(f64::NAN, 0));
+        assert!(nan != fin);
+        assert!(mk(5.0, 1) != mk(5.0, 2));
+        // A heap seeded with a NaN bound still drains in total order.
+        let mut heap = BinaryHeap::from(vec![
+            mk(1.0, 0),
+            mk(f64::NAN, 1),
+            mk(7.0, 2),
+            mk(f64::NEG_INFINITY, 0),
+            mk(f64::INFINITY, 0),
+        ]);
+        let mut popped = Vec::new();
+        while let Some(n) = heap.pop() {
+            popped.push(n.bound);
+        }
+        assert_eq!(popped.len(), 5);
+        assert!(popped[0].is_nan());
+        assert_eq!(popped[1], f64::INFINITY);
+        assert_eq!(popped[2], 7.0);
+        assert_eq!(popped[3], 1.0);
+        assert_eq!(popped[4], f64::NEG_INFINITY);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 
 pub mod generator;
 pub mod releases;
+pub mod seed;
 pub mod uunifast;
 
 pub use generator::{TaskSetConfig, TaskSetGenerator};
 pub use releases::random_sporadic_plan;
+pub use seed::derive_seed;
 pub use uunifast::uunifast;

@@ -1,0 +1,78 @@
+//! Hierarchical seed derivation for parallel experiment drivers.
+//!
+//! Sweeps fan `(point, set)` work items out across threads, so every item
+//! needs an RNG stream that depends only on its coordinates — never on
+//! which worker picks it up or in which order. [`derive_seed`] maps
+//! `(base_seed, point_index, set_index)` to a well-mixed 64-bit seed via
+//! two rounds of the splitmix64 finalizer, the same mixer `StdRng`
+//! seeding builds on. Distinct coordinates give (with overwhelming
+//! probability) decorrelated streams; equal coordinates give identical
+//! streams regardless of thread count.
+
+/// splitmix64 finalizer: a bijective avalanche mixer on `u64`.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives the per-work-item seed for sweep point `point`, task set `set`.
+///
+/// The derivation is a fixed function of its three arguments: results are
+/// independent of scheduling, thread count, and evaluation order.
+///
+/// # Example
+///
+/// ```
+/// use pmcs_workload::derive_seed;
+///
+/// let a = derive_seed(42, 3, 7);
+/// assert_eq!(a, derive_seed(42, 3, 7));
+/// assert_ne!(a, derive_seed(42, 7, 3));
+/// assert_ne!(a, derive_seed(43, 3, 7));
+/// ```
+pub fn derive_seed(base_seed: u64, point: u64, set: u64) -> u64 {
+    mix(mix(base_seed ^ mix(point)).wrapping_add(mix(set ^ 0xa076_1d64_78bd_642f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+    }
+
+    #[test]
+    fn coordinates_are_not_interchangeable() {
+        // XOR-style derivations collapse (p, s) with (s, p); ours must not.
+        assert_ne!(derive_seed(0, 1, 2), derive_seed(0, 2, 1));
+        assert_ne!(derive_seed(1, 0, 2), derive_seed(2, 0, 1));
+    }
+
+    #[test]
+    fn no_collisions_on_experiment_scale_grids() {
+        // 16 points × 1000 sets × a few bases: all distinct.
+        let mut seen = HashSet::new();
+        for base in [0u64, 42, 0xffff_ffff_ffff_ffff] {
+            for p in 0..16u64 {
+                for s in 0..1000u64 {
+                    assert!(
+                        seen.insert(derive_seed(base, p, s)),
+                        "collision at base={base} p={p} s={s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_coordinates_are_mixed() {
+        // The all-zero corner must not degenerate to the base seed.
+        assert_ne!(derive_seed(7, 0, 0), 7);
+        assert_ne!(derive_seed(0, 0, 0), 0);
+    }
+}
