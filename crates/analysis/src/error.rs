@@ -1,0 +1,68 @@
+//! Error type of the analysis facade.
+
+use std::error::Error;
+use std::fmt;
+
+use pmcs_core::CoreError;
+
+/// An analysis **failed** — as opposed to concluding "unschedulable".
+///
+/// The distinction matters for sweeps: a solver giving up or an audit
+/// refuting a bound must be *counted as a failure* and surfaced, never
+/// silently folded into the unschedulable bucket (which would quietly
+/// bias schedulability ratios downward).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The underlying analysis pipeline reported an error (solver
+    /// failure, non-convergence, audit refutation, model error).
+    Core(CoreError),
+    /// No analyzer with the requested name is registered.
+    UnknownApproach(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Core(e) => write!(f, "analysis failed: {e}"),
+            AnalysisError::UnknownApproach(name) => {
+                write!(f, "no analyzer registered under the name {name:?}")
+            }
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Core(e) => Some(e),
+            AnalysisError::UnknownApproach(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for AnalysisError {
+    fn from(e: CoreError) -> Self {
+        AnalysisError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcs_model::TaskId;
+
+    #[test]
+    fn display_and_source() {
+        let e = AnalysisError::from(CoreError::NoConvergence {
+            task: TaskId(1),
+            iterations: 5,
+        });
+        assert!(e.to_string().contains("analysis failed"));
+        assert!(Error::source(&e).is_some());
+
+        let e = AnalysisError::UnknownApproach("bogus".into());
+        assert!(e.to_string().contains("bogus"));
+        assert!(Error::source(&e).is_none());
+    }
+}

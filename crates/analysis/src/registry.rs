@@ -1,0 +1,145 @@
+//! Dynamic approach registry.
+//!
+//! Replaces the old `Approach::ALL` fixed-arity enum: sweeps, reports
+//! and figures iterate whatever is registered, so adding a fifth
+//! approach is `registry.register(Box::new(MyAnalyzer))` — no `[bool; 4]`
+//! to widen anywhere.
+
+use crate::analyzer::Analyzer;
+use crate::approaches::{NpsAnalyzer, ProposedAnalyzer, WpAnalyzer};
+use crate::error::AnalysisError;
+
+/// An ordered collection of [`Analyzer`]s keyed by their stable names.
+///
+/// Order is significant: it defines the column order of sweep rows and
+/// CSV output.
+#[derive(Default)]
+pub struct Registry {
+    analyzers: Vec<Box<dyn Analyzer>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The paper's Fig. 2 comparison, in its column order:
+    /// `proposed`, `wp`, `nps`, `nps-classic`.
+    pub fn standard() -> Self {
+        let mut r = Registry::new();
+        r.register(Box::new(ProposedAnalyzer));
+        r.register(Box::new(WpAnalyzer::new()));
+        r.register(Box::new(NpsAnalyzer::carry()));
+        r.register(Box::new(NpsAnalyzer::classic()));
+        r
+    }
+
+    /// Appends an analyzer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an analyzer with the same name is already registered —
+    /// duplicate names would make `get` ambiguous and CSV columns
+    /// indistinguishable.
+    pub fn register(&mut self, analyzer: Box<dyn Analyzer>) {
+        assert!(
+            self.get(analyzer.name()).is_none(),
+            "analyzer {:?} is already registered",
+            analyzer.name()
+        );
+        self.analyzers.push(analyzer);
+    }
+
+    /// Looks an analyzer up by its stable name.
+    pub fn get(&self, name: &str) -> Option<&dyn Analyzer> {
+        self.analyzers
+            .iter()
+            .find(|a| a.name() == name)
+            .map(|a| a.as_ref())
+    }
+
+    /// Like [`Registry::get`], but failing with
+    /// [`AnalysisError::UnknownApproach`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::UnknownApproach`] when `name` is not
+    /// registered.
+    pub fn require(&self, name: &str) -> Result<&dyn Analyzer, AnalysisError> {
+        self.get(name)
+            .ok_or_else(|| AnalysisError::UnknownApproach(name.to_string()))
+    }
+
+    /// Iterates the analyzers in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Analyzer> {
+        self.analyzers.iter().map(|a| a.as_ref())
+    }
+
+    /// The registered names, in registration order (sweep column order).
+    pub fn labels(&self) -> Vec<String> {
+        self.analyzers
+            .iter()
+            .map(|a| a.name().to_string())
+            .collect()
+    }
+
+    /// Number of registered analyzers.
+    pub fn len(&self) -> usize {
+        self.analyzers.len()
+    }
+
+    /// `true` iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.analyzers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("analyzers", &self.labels())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approaches::WpMilpAnalyzer;
+
+    #[test]
+    fn standard_registry_matches_the_papers_column_order() {
+        let r = Registry::standard();
+        assert_eq!(r.labels(), ["proposed", "wp", "nps", "nps-classic"]);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = Registry::standard();
+        assert!(r.get("proposed").is_some());
+        assert!(r.get("bogus").is_none());
+        assert!(r.require("wp").is_ok());
+        assert!(matches!(
+            r.require("bogus"),
+            Err(AnalysisError::UnknownApproach(_))
+        ));
+    }
+
+    #[test]
+    fn a_fifth_approach_is_one_registration() {
+        let mut r = Registry::standard();
+        r.register(Box::new(WpMilpAnalyzer));
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.labels().last().map(String::as_str), Some("wp-milp"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_are_rejected() {
+        let mut r = Registry::standard();
+        r.register(Box::new(crate::approaches::ProposedAnalyzer));
+    }
+}

@@ -9,7 +9,14 @@
 //!   solve them with [`pmcs_milp::Solver::solve_audited`], printing the
 //!   exact-arithmetic audit verdicts;
 //! * `lint` — run the formulation linter over the same problems, plus a
-//!   deliberately sloppy demo problem that trips every lint code.
+//!   deliberately sloppy demo problem that trips every lint code;
+//! * `analyze` — run every approach of the standard `pmcs-analysis`
+//!   registry on the demo set and print the uniform per-task reports.
+//!
+//! Engines are built through the `pmcs-analysis` facade: the typed
+//! [`AnalysisConfig`] is resolved once here at the CLI edge (so
+//! `PMCS_AUDIT`/`PMCS_JOBS` are honored with flag > env > default
+//! precedence) instead of each subcommand assembling its own.
 //!
 //! The process exits non-zero when any analysis finds a real problem in
 //! the *clean* artifacts (the deliberately corrupted demo inputs are
@@ -20,9 +27,10 @@
 
 use std::process::ExitCode;
 
+use pmcs_analysis::{milp_engine, AnalysisConfig, AnalysisContext, CliOverrides, Registry};
 use pmcs_audit::{check_conformance, lint, Severity, LINT_CODES};
 use pmcs_core::window::case_for;
-use pmcs_core::{MilpEngine, WindowModel};
+use pmcs_core::WindowModel;
 use pmcs_milp::{AuditedOutcome, Cmp, Problem, Solver};
 use pmcs_model::{Sensitivity, TaskSet, Time};
 use pmcs_sim::{simulate, Policy, SimResult, TraceUnit};
@@ -38,6 +46,7 @@ COMMANDS:
     trace    simulate a workload and conformance-check the trace (R1-R6)
     milp     solve the WCRT window formulations with exact-arithmetic audits
     lint     lint the window formulations (codes A001-A006)
+    analyze  run every registered analysis approach on the demo set
 
 OPTIONS:
     --seed <N>     RNG seed for workload generation      [default: 42]
@@ -108,10 +117,16 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Resolve the typed analysis configuration exactly once, at the CLI
+    // edge: environment knobs (PMCS_AUDIT, PMCS_JOBS) are honored here and
+    // nowhere deeper in the stack.
+    let cfg = AnalysisConfig::resolve(&CliOverrides::default());
+
     match command.as_deref() {
         Some("trace") => cmd_trace(&opts),
-        Some("milp") => cmd_milp(&opts),
-        Some("lint") => cmd_lint(&opts),
+        Some("milp") => cmd_milp(&opts, &cfg),
+        Some("lint") => cmd_lint(&opts, &cfg),
+        Some("analyze") => cmd_analyze(&opts, &cfg),
         Some(other) => {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -215,9 +230,9 @@ fn corrupt_copy_in(result: &SimResult) -> Option<(SimResult, pmcs_model::JobId)>
 
 // --- milp ---------------------------------------------------------------
 
-fn cmd_milp(opts: &Options) -> ExitCode {
+fn cmd_milp(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
     let set = demo_set(opts);
-    let engine = MilpEngine::new();
+    let engine = milp_engine(cfg);
     let solver = Solver::new();
     let mut failed = false;
 
@@ -276,9 +291,9 @@ fn cmd_milp(opts: &Options) -> ExitCode {
 
 // --- lint ---------------------------------------------------------------
 
-fn cmd_lint(opts: &Options) -> ExitCode {
+fn cmd_lint(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
     let set = demo_set(opts);
-    let engine = MilpEngine::new();
+    let engine = milp_engine(cfg);
     let mut failed = false;
 
     println!("linting the WCRT window formulations:");
@@ -327,6 +342,38 @@ fn cmd_lint(opts: &Options) -> ExitCode {
         if report.with_code(code).next().is_none() {
             println!("  demo failed to trigger {code} — this is a bug");
             failed = true;
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// --- analyze ------------------------------------------------------------
+
+fn cmd_analyze(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
+    let set = demo_set(opts);
+    let registry = Registry::standard();
+    let ctx = AnalysisContext::new(cfg);
+    let mut failed = false;
+
+    println!(
+        "running {} registered approaches (engine stack: {}):",
+        registry.len(),
+        ctx.engine().layers(),
+    );
+    for analyzer in registry.iter() {
+        match analyzer.analyze_with(&set, &ctx) {
+            Ok(report) => {
+                println!("{report}");
+            }
+            Err(e) => {
+                eprintln!("{}: analysis FAILED: {e}", analyzer.name());
+                failed = true;
+            }
         }
     }
 

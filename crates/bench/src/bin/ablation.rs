@@ -11,8 +11,12 @@
 //! 2. **LS support** — all-NLS → greedy LS marking (the protocol change:
 //!    rules R3–R5).
 //!
-//! The utilization steps are independent and run on the worker pool
-//! (`--jobs N` / `PMCS_JOBS`). Each worker analyzes through a shared
+//! The three variants run through the `pmcs-analysis` registry: the
+//! all-NLS column is the non-standard `wp-milp` analyzer, registered
+//! here with one line — exactly the extension path a fifth approach
+//! would take. The utilization steps are independent and run on the
+//! worker pool (`--jobs N` / `PMCS_JOBS`, resolved at this CLI edge).
+//! Each worker analyzes through its own engine stack with a shared
 //! delay-bound cache, which pays off doubly here: the all-NLS pass and
 //! the greedy pass solve many identical windows. A perf record goes to
 //! `BENCH_ablation.json`.
@@ -21,34 +25,44 @@
 
 use std::time::Instant;
 
-use pmcs_baselines::{wp_milp_analysis, WpAnalysis};
-use pmcs_bench::{parallel_map_with, resolve_jobs, PerfPoint, PerfRecord};
-use pmcs_core::schedulability::analyze_fixed_marking;
-use pmcs_core::{analyze_task_set, CacheStats, CachedEngine, ExactEngine};
+use pmcs_analysis::{
+    AnalysisConfig, AnalysisContext, CliOverrides, ProposedAnalyzer, Registry, WpAnalyzer,
+    WpMilpAnalyzer,
+};
+use pmcs_bench::{parallel_map_with, PerfPoint, PerfRecord};
+use pmcs_core::CacheStats;
 use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
 
 fn main() {
     let mut sets = 50usize;
-    let mut jobs_arg: Option<usize> = None;
+    let mut cli = CliOverrides::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--sets" => sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N"),
             "--jobs" => {
-                jobs_arg = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+                cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
             }
             _ => {}
         }
     }
-    let jobs = resolve_jobs(jobs_arg);
+    let cfg = AnalysisConfig::resolve(&cli);
     let steps: Vec<u64> = (2..=9).collect();
 
+    // The three ablation columns, in presentation order; `wp-milp` is the
+    // registry's extension point in action (not part of the standard
+    // four-approach comparison).
+    let mut registry = Registry::new();
+    registry.register(Box::new(WpAnalyzer::new()));
+    registry.register(Box::new(WpMilpAnalyzer));
+    registry.register(Box::new(ProposedAnalyzer));
+
     let started = Instant::now();
-    let (lines, engines) = parallel_map_with(
+    let (lines, contexts) = parallel_map_with(
         &steps,
-        jobs,
-        || CachedEngine::new(ExactEngine::default()),
-        |engine, _, &step| {
+        cfg.jobs,
+        || AnalysisContext::new(&cfg),
+        |ctx, _, &step| {
             let t0 = Instant::now();
             let u = step as f64 * 0.05;
             // Per-step generator stream: independent of worker assignment.
@@ -65,29 +79,19 @@ fn main() {
             let (mut closed, mut all_nls, mut greedy) = (0usize, 0usize, 0usize);
             for _ in 0..sets {
                 let set = generator.generate();
-                closed += usize::from(WpAnalysis::default().is_schedulable(&set));
-                all_nls += usize::from(
-                    wp_milp_analysis(&set, engine)
+                let verdict = |name: &str| {
+                    registry
+                        .require(name)
+                        .expect("registered above")
+                        .analyze_with(&set, ctx)
                         .expect("analysis")
-                        .schedulable(),
-                );
-                // Identical to analyze_task_set when all-NLS already passes;
-                // the greedy adds LS promotions on top.
-                greedy += usize::from(
-                    analyze_task_set(&set, engine)
-                        .expect("analysis")
-                        .schedulable(),
-                );
-                // analyze_fixed_marking is exercised in tests; keep the import
-                // honest here by using it for the sanity check below.
-                debug_assert!(
-                    analyze_fixed_marking(&set.all_nls(), engine)
-                        .map(|r| r.schedulable())
-                        .unwrap_or(false)
-                        == wp_milp_analysis(&set, engine)
-                            .map(|r| r.schedulable())
-                            .unwrap_or(false)
-                );
+                        .schedulable()
+                };
+                closed += usize::from(verdict("wp"));
+                all_nls += usize::from(verdict("wp-milp"));
+                // Identical to the proposed pipeline when all-NLS already
+                // passes; the greedy adds LS promotions on top.
+                greedy += usize::from(verdict("proposed"));
             }
             let r = |v: usize| v as f64 / sets as f64;
             let line = format!(
@@ -115,11 +119,11 @@ fn main() {
     );
 
     let mut perf = PerfRecord::new("ablation");
-    perf.jobs = jobs;
+    perf.jobs = cfg.jobs;
     perf.wall_secs = started.elapsed().as_secs_f64();
     let mut cache = CacheStats::default();
-    for e in engines {
-        cache.merge(e.stats());
+    for ctx in contexts {
+        cache.merge(ctx.cache_stats());
     }
     perf.cache = cache;
     perf.extra_num("sets_per_step", sets as f64);

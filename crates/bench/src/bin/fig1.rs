@@ -15,19 +15,20 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use pmcs_bench::{fig1_task_set, parallel_map, resolve_jobs, PerfPoint, PerfRecord};
+use pmcs_analysis::{AnalysisConfig, CliOverrides};
+use pmcs_bench::{fig1_task_set, parallel_map, PerfPoint, PerfRecord};
 use pmcs_model::{TaskId, Time};
 use pmcs_sim::{render_gantt, simulate, validate_trace, Policy, ReleasePlan};
 
 fn main() {
-    let mut jobs_arg: Option<usize> = None;
+    let mut cli = CliOverrides::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--jobs" {
-            jobs_arg = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+            cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
         }
     }
-    let jobs = resolve_jobs(jobs_arg);
+    let jobs = AnalysisConfig::resolve(&cli).jobs;
 
     let (set, releases) = fig1_task_set();
     let plan = ReleasePlan::from_pairs(releases);

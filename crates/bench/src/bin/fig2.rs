@@ -4,26 +4,28 @@
 //!
 //! ```text
 //! cargo run --release -p pmcs-bench --bin fig2 -- <a|b|c|d|e|f|all> \
-//!     [--sets N] [--seed S] [--jobs N] [--no-cache] [--baseline]
+//!     [--sets N] [--seed S] [--jobs N] [--no-cache] [--audit] [--baseline]
 //! ```
 //!
-//! `--jobs N` (or `PMCS_JOBS`) selects the worker-thread count (default:
-//! all cores); results are byte-identical for every thread count.
-//! `--no-cache` disables the window-level delay-bound cache.
-//! `--baseline` additionally reruns everything single-threaded and
-//! uncached to measure the speedup.
+//! Execution knobs resolve through `AnalysisConfig::resolve` at this CLI
+//! edge (flag > environment > default): `--jobs N` beats `PMCS_JOBS`
+//! beats all cores, `--audit` beats `PMCS_AUDIT`; results are
+//! byte-identical for every thread count. `--no-cache` disables the
+//! window-level delay-bound cache. `--baseline` additionally reruns
+//! everything single-threaded and uncached to measure the speedup.
 //!
 //! Results are printed as a table plus an ASCII chart and written to
 //! `target/experiments/fig2<inset>.csv`; a machine-readable perf record
-//! goes to `BENCH_fig2.json` at the repository root.
+//! (including the analysis-failure count) goes to `BENCH_fig2.json` at
+//! the repository root.
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use pmcs_analysis::{AnalysisConfig, CliOverrides, Registry};
 use pmcs_bench::report::text_table;
 use pmcs_bench::{
-    ascii_chart, fig2_inset, resolve_jobs, sweep_with, write_csv, Fig2Inset, PerfPoint, PerfRecord,
-    SweepOptions,
+    ascii_chart, fig2_inset, sweep_with, write_csv, Fig2Inset, PerfPoint, PerfRecord,
 };
 use pmcs_core::CacheStats;
 
@@ -32,8 +34,7 @@ fn main() {
     let mut insets: Vec<Fig2Inset> = Vec::new();
     let mut sets_per_point = 100usize;
     let mut seed = 0xDAC2020u64;
-    let mut jobs_arg: Option<usize> = None;
-    let mut cache = true;
+    let mut cli = CliOverrides::default();
     let mut baseline = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -51,13 +52,14 @@ fn main() {
                     .expect("--seed needs a number");
             }
             "--jobs" => {
-                jobs_arg = Some(
+                cli.jobs = Some(
                     it.next()
                         .and_then(|v| v.parse().ok())
                         .expect("--jobs needs a number"),
                 );
             }
-            "--no-cache" => cache = false,
+            "--no-cache" => cli.cache = Some(false),
+            "--audit" => cli.audit = Some(true),
             "--baseline" => baseline = true,
             "all" => insets.extend(Fig2Inset::ALL),
             other => match Fig2Inset::parse(other) {
@@ -72,36 +74,52 @@ fn main() {
     if insets.is_empty() {
         insets.extend(Fig2Inset::ALL);
     }
-    let jobs = resolve_jobs(jobs_arg);
-    let opts = SweepOptions { jobs, cache };
+    let cfg = AnalysisConfig::resolve(&cli);
+    let registry = Registry::standard();
 
     let mut perf = PerfRecord::new("fig2");
-    perf.jobs = jobs;
+    perf.jobs = cfg.jobs;
     let mut cache_stats = CacheStats::default();
+    let mut failures = 0usize;
     let mut rows_by_inset = Vec::new();
     let started = Instant::now();
     for &inset in &insets {
         let inset_started = Instant::now();
         let points = fig2_inset(inset);
         println!(
-            "=== Figure 2({}) — {} [{} sets/point, seed {seed}, {jobs} jobs, cache {}] ===",
+            "=== Figure 2({}) — {} [{} sets/point, seed {seed}, {} jobs, cache {}] ===",
             inset.letter(),
             inset.description(),
             sets_per_point,
-            if cache { "on" } else { "off" },
+            cfg.jobs,
+            if cfg.cache { "on" } else { "off" },
         );
-        let outcome = sweep_with(&points, sets_per_point, seed, &opts);
-        println!("{}", text_table(&outcome.rows, inset.x_label()));
-        println!("{}", ascii_chart(&outcome.rows, inset.x_label()));
+        let outcome = sweep_with(&points, sets_per_point, seed, &registry, &cfg);
+        println!(
+            "{}",
+            text_table(&outcome.rows, &outcome.labels, inset.x_label())
+        );
+        println!(
+            "{}",
+            ascii_chart(&outcome.rows, &outcome.labels, inset.x_label())
+        );
         let path = PathBuf::from(format!("target/experiments/fig2{}.csv", inset.letter()));
-        write_csv(&path, inset.x_label(), &outcome.rows).expect("write csv");
+        write_csv(&path, inset.x_label(), &outcome.labels, &outcome.rows).expect("write csv");
         println!(
             "wrote {} ({:.1}s wall, cache: {})\n",
             path.display(),
             inset_started.elapsed().as_secs_f64(),
             outcome.cache,
         );
+        if outcome.total_failures() > 0 {
+            eprintln!(
+                "fig2{}: {} analyses FAILED (counted as unschedulable in the ratios)",
+                inset.letter(),
+                outcome.total_failures()
+            );
+        }
         cache_stats.merge(outcome.cache);
+        failures += outcome.total_failures();
         for (p, secs) in points.iter().zip(&outcome.point_secs) {
             perf.points.push(PerfPoint {
                 label: format!("fig2{}:{}={:.2}", inset.letter(), inset.x_label(), p.x),
@@ -113,19 +131,17 @@ fn main() {
     perf.wall_secs = started.elapsed().as_secs_f64();
     perf.cache = cache_stats;
     perf.extra_num("sets_per_point", sets_per_point as f64);
-    perf.extra_str("cache_enabled", if cache { "yes" } else { "no" });
+    perf.extra_num("analysis_failures", failures as f64);
+    perf.extra_str("cache_enabled", if cfg.cache { "yes" } else { "no" });
 
     if baseline {
         // Rerun single-threaded and uncached for the speedup record, and
         // check the determinism contract on the way.
         let base_started = Instant::now();
-        let base_opts = SweepOptions {
-            jobs: 1,
-            cache: false,
-        };
+        let base_cfg = cfg.clone().with_jobs(1).with_cache(false);
         for (inset, rows) in &rows_by_inset {
             let points = fig2_inset(*inset);
-            let base = sweep_with(&points, sets_per_point, seed, &base_opts);
+            let base = sweep_with(&points, sets_per_point, seed, &registry, &base_cfg);
             assert_eq!(
                 &base.rows,
                 rows,

@@ -8,9 +8,10 @@
 //! argument).
 //!
 //! The nine configurations run on the worker pool (`--jobs N` /
-//! `PMCS_JOBS`). Per-set timings use a **fresh** delay cache per task set
-//! (pass `--no-cache` for none at all), so each measurement reflects one
-//! cold analysis rather than cross-set memoization. A perf record goes to
+//! `PMCS_JOBS`, resolved at this CLI edge). Per-set timings use a
+//! **fresh** engine stack per task set (pass `--no-cache` for an
+//! uncached stack), so each measurement reflects one cold analysis
+//! rather than cross-set memoization. A perf record goes to
 //! `BENCH_runtime_table.json`.
 //!
 //! Usage: `cargo run --release -p pmcs-bench --bin runtime_table -- \
@@ -18,26 +19,26 @@
 
 use std::time::Instant;
 
-use pmcs_bench::{parallel_map, resolve_jobs, PerfPoint, PerfRecord};
-use pmcs_core::{analyze_task_set, CacheStats, CachedEngine, ExactEngine};
+use pmcs_analysis::{AnalysisConfig, AnalysisContext, Analyzer, CliOverrides, ProposedAnalyzer};
+use pmcs_bench::{parallel_map, PerfPoint, PerfRecord};
+use pmcs_core::CacheStats;
 use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
 
 fn main() {
     let mut sets = 25usize;
-    let mut jobs_arg: Option<usize> = None;
-    let mut cache = true;
+    let mut cli = CliOverrides::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--sets" => sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N"),
             "--jobs" => {
-                jobs_arg = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+                cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
             }
-            "--no-cache" => cache = false,
+            "--no-cache" => cli.cache = Some(false),
             _ => {}
         }
     }
-    let jobs = resolve_jobs(jobs_arg);
+    let cfg = AnalysisConfig::resolve(&cli);
 
     let mut configs = Vec::new();
     for n in [4usize, 6, 8] {
@@ -47,37 +48,36 @@ fn main() {
     }
 
     let started = Instant::now();
-    let measured = parallel_map(&configs, jobs, |_, &(n, u)| {
-        let cfg = TaskSetConfig {
+    let measured = parallel_map(&configs, cfg.jobs, |_, &(n, u)| {
+        let ts_cfg = TaskSetConfig {
             n,
             utilization: u,
             gamma: 0.3,
             beta: 0.4,
             ..TaskSetConfig::default()
         };
-        let mut generator = TaskSetGenerator::new(cfg, 99);
+        let mut generator = TaskSetGenerator::new(ts_cfg, 99);
         let mut total = std::time::Duration::ZERO;
         let mut max = std::time::Duration::ZERO;
         let mut schedulable = 0usize;
+        let mut failures = 0usize;
         let mut stats = CacheStats::default();
         for _ in 0..sets {
             let set = generator.generate();
-            // One cold engine per set: the timing measures a single
+            // One cold engine stack per set: the timing measures a single
             // analysis, caching only within it (fixed-point iterations
             // and greedy rounds), never across sets.
             let t0 = Instant::now();
-            let report = if cache {
-                let engine = CachedEngine::new(ExactEngine::default());
-                let r = analyze_task_set(&set, &engine).expect("analysis");
-                stats.merge(engine.stats());
-                r
-            } else {
-                analyze_task_set(&set, &ExactEngine::default()).expect("analysis")
-            };
+            let ctx = AnalysisContext::new(&cfg);
+            let report = ProposedAnalyzer.analyze_with(&set, &ctx);
             let elapsed = t0.elapsed();
+            stats.merge(ctx.cache_stats());
             total += elapsed;
             max = max.max(elapsed);
-            schedulable += usize::from(report.schedulable());
+            match report {
+                Ok(r) => schedulable += usize::from(r.schedulable()),
+                Err(_) => failures += 1,
+            }
         }
         let line = format!(
             "{n:>3} {u:>6.2} {:>6.2} {:>6.2} | {:>12?} {:>12?} {:>12.2}",
@@ -87,14 +87,14 @@ fn main() {
             max,
             schedulable as f64 / sets.max(1) as f64
         );
-        (line, total.as_secs_f64(), stats)
+        (line, total.as_secs_f64(), stats, failures)
     });
 
     println!(
         "{:>3} {:>6} {:>6} {:>6} | {:>12} {:>12} {:>12}",
         "n", "U", "gamma", "beta", "avg", "max", "sched-ratio"
     );
-    for (line, _, _) in &measured {
+    for (line, _, _, _) in &measured {
         println!("{line}");
     }
     println!(
@@ -104,19 +104,25 @@ fn main() {
     );
 
     let mut perf = PerfRecord::new("runtime_table");
-    perf.jobs = jobs;
+    perf.jobs = cfg.jobs;
     perf.wall_secs = started.elapsed().as_secs_f64();
     let mut merged = CacheStats::default();
-    for ((n, u), (_, secs, stats)) in configs.iter().zip(&measured) {
+    let mut failures = 0usize;
+    for ((n, u), (_, secs, stats, fails)) in configs.iter().zip(&measured) {
         merged.merge(*stats);
+        failures += fails;
         perf.points.push(PerfPoint {
             label: format!("n={n},U={u:.2}"),
             secs: *secs,
         });
     }
+    if failures > 0 {
+        eprintln!("{failures} analyses FAILED (excluded from the schedulable count)");
+    }
     perf.cache = merged;
     perf.extra_num("sets_per_config", sets as f64);
-    perf.extra_str("cache_enabled", if cache { "yes" } else { "no" });
+    perf.extra_num("analysis_failures", failures as f64);
+    perf.extra_str("cache_enabled", if cfg.cache { "yes" } else { "no" });
     let path = perf.write().expect("write perf record");
     println!("perf record: {}", path.display());
 }

@@ -5,59 +5,50 @@
 //! `(base_seed, point_index, set_index)` via
 //! [`derive_seed`](pmcs_workload::derive_seed), so the measured ratios —
 //! and the CSVs derived from them — are byte-identical for every thread
-//! count and cache configuration. Each worker analyzes with its own
-//! [`CachedEngine`]`<`[`ExactEngine`]`>`, memoizing delay bounds across
-//! fixed-point iterations, greedy rounds, and task sets.
+//! count and cache configuration. Each worker analyzes through its own
+//! [`AnalysisContext`] (engine stack built from the [`AnalysisConfig`]),
+//! memoizing delay bounds across fixed-point iterations, greedy rounds,
+//! and task sets.
+//!
+//! The approaches under comparison come from a [`Registry`] — sweep
+//! columns are whatever is registered, in registration order; nothing in
+//! this module knows how many approaches exist.
+//!
+//! Analyses that *fail* (solver failure, audit refutation) count as
+//! unschedulable in the ratios — matching the paper's pessimistic
+//! convention — but are additionally tallied per approach in
+//! [`SweepRow::failures`] and surfaced through
+//! [`SweepOutcome::total_failures`], never silently folded away.
 
-use std::fmt;
 use std::time::Instant;
 
-use pmcs_baselines::{NpsAnalysis, WpAnalysis};
-use pmcs_core::{analyze_task_set, CacheStats, CachedEngine, DelayEngine, ExactEngine};
+use pmcs_analysis::{AnalysisConfig, AnalysisContext, AnalysisError, Registry};
+use pmcs_core::CacheStats;
 use pmcs_workload::{derive_seed, TaskSetConfig, TaskSetGenerator};
 
 use crate::parallel::parallel_map_with;
 
-/// The approaches compared in the paper's evaluation (plus the classical
-/// NPS convention for reference).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Approach {
-    /// The paper's protocol with greedy LS marking, analyzed with the
-    /// exact engine.
-    Proposed,
-    /// Wasly-Pellizzoni \[3\], closed-form interval analysis.
-    WaslyPellizzoni,
-    /// Non-preemptive scheduling, carry-in convention matching the
-    /// paper's analyses.
-    Nps,
-    /// Non-preemptive scheduling, classical critical-instant analysis
-    /// (tighter than the paper's convention; reported for reference).
-    NpsClassic,
+/// Outcome of one approach on one task set: a verdict, or a *failed*
+/// analysis (distinct from "analyzed fine, deadlines missed").
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetOutcome {
+    /// The analysis completed; every task meets its deadline.
+    Schedulable,
+    /// The analysis completed; some task misses its deadline.
+    Unschedulable,
+    /// The analysis itself failed.
+    Failed(AnalysisError),
 }
 
-impl Approach {
-    /// All approaches, in reporting order.
-    pub const ALL: [Approach; 4] = [
-        Approach::Proposed,
-        Approach::WaslyPellizzoni,
-        Approach::Nps,
-        Approach::NpsClassic,
-    ];
-
-    /// Short column label.
-    pub fn label(self) -> &'static str {
-        match self {
-            Approach::Proposed => "proposed",
-            Approach::WaslyPellizzoni => "wp",
-            Approach::Nps => "nps",
-            Approach::NpsClassic => "nps-classic",
-        }
+impl SetOutcome {
+    /// `true` iff the set was proven schedulable.
+    pub fn schedulable(&self) -> bool {
+        matches!(self, SetOutcome::Schedulable)
     }
-}
 
-impl fmt::Display for Approach {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.label())
+    /// `true` iff the analysis failed (as opposed to concluding).
+    pub fn failed(&self) -> bool {
+        matches!(self, SetOutcome::Failed(_))
     }
 }
 
@@ -75,41 +66,20 @@ pub struct SweepPoint {
 pub struct SweepRow {
     /// X value of the point.
     pub x: f64,
-    /// Schedulable fraction per approach (ordered as [`Approach::ALL`]).
-    pub ratios: [f64; 4],
+    /// Schedulable fraction per approach, in registry order.
+    pub ratios: Vec<f64>,
+    /// Failed analyses per approach, in registry order (failures count
+    /// as unschedulable in `ratios` but are never hidden).
+    pub failures: Vec<usize>,
     /// Task sets evaluated.
     pub sets: usize,
-}
-
-impl SweepRow {
-    /// Ratio for one approach.
-    pub fn ratio(&self, a: Approach) -> f64 {
-        let idx = Approach::ALL.iter().position(|&x| x == a).expect("known");
-        self.ratios[idx]
-    }
-}
-
-/// Execution options of a sweep.
-#[derive(Debug, Clone)]
-pub struct SweepOptions {
-    /// Worker threads (see [`crate::parallel::resolve_jobs`]).
-    pub jobs: usize,
-    /// Wrap each worker's engine in a [`CachedEngine`].
-    pub cache: bool,
-}
-
-impl Default for SweepOptions {
-    fn default() -> Self {
-        SweepOptions {
-            jobs: 1,
-            cache: true,
-        }
-    }
 }
 
 /// A sweep's rows plus the execution telemetry feeding `BENCH_*.json`.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
+    /// Approach names, in registry order (the column order of `rows`).
+    pub labels: Vec<String>,
     /// Measured ratios, aligned with the input points.
     pub rows: Vec<SweepRow>,
     /// Aggregate compute seconds per point (summed across workers, so
@@ -123,131 +93,123 @@ pub struct SweepOutcome {
     pub wall_secs: f64,
 }
 
-/// A worker's engine: the exact engine, optionally behind a delay cache.
-enum WorkerEngine {
-    Cached(CachedEngine<ExactEngine>),
-    Plain(ExactEngine),
-}
-
-impl WorkerEngine {
-    fn new(cache: bool) -> Self {
-        if cache {
-            WorkerEngine::Cached(CachedEngine::new(ExactEngine::default()))
-        } else {
-            WorkerEngine::Plain(ExactEngine::default())
-        }
-    }
-
-    fn stats(&self) -> CacheStats {
-        match self {
-            WorkerEngine::Cached(e) => e.stats(),
-            WorkerEngine::Plain(_) => CacheStats::default(),
-        }
+impl SweepOutcome {
+    /// Failed analyses summed over every point and approach.
+    pub fn total_failures(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.failures.iter().sum::<usize>())
+            .sum()
     }
 }
 
-impl DelayEngine for WorkerEngine {
-    fn max_total_delay(
-        &self,
-        w: &pmcs_core::WindowModel,
-    ) -> Result<pmcs_core::wcrt::DelayBound, pmcs_core::CoreError> {
-        match self {
-            WorkerEngine::Cached(e) => e.max_total_delay(w),
-            WorkerEngine::Plain(e) => e.max_total_delay(w),
-        }
-    }
-}
-
-impl fmt::Debug for WorkerEngine {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            WorkerEngine::Cached(_) => f.write_str("WorkerEngine::Cached"),
-            WorkerEngine::Plain(_) => f.write_str("WorkerEngine::Plain"),
-        }
-    }
-}
-
-/// Evaluates one task set under every approach; returns schedulability
-/// flags ordered as [`Approach::ALL`].
-pub fn evaluate_set(set: &pmcs_model::TaskSet, engine: &impl DelayEngine) -> [bool; 4] {
-    let proposed = analyze_task_set(set, engine)
-        .map(|r| r.schedulable())
-        .unwrap_or(false);
-    let wp = WpAnalysis::default().is_schedulable(set);
-    let nps = NpsAnalysis::with_carry().is_schedulable(set);
-    let nps_classic = NpsAnalysis::default().is_schedulable(set);
-    [proposed, wp, nps, nps_classic]
+/// Evaluates one task set under every registered approach; outcomes are
+/// in registry order.
+pub fn evaluate_set(
+    set: &pmcs_model::TaskSet,
+    registry: &Registry,
+    ctx: &AnalysisContext,
+) -> Vec<SetOutcome> {
+    registry
+        .iter()
+        .map(|analyzer| match analyzer.analyze_with(set, ctx) {
+            Ok(report) if report.schedulable() => SetOutcome::Schedulable,
+            Ok(_) => SetOutcome::Unschedulable,
+            Err(e) => SetOutcome::Failed(e),
+        })
+        .collect()
 }
 
 /// Runs a sweep: for each point, generates `sets_per_point` task sets
 /// (each seeded deterministically from `(base_seed, point, set)`) and
-/// measures the schedulability ratio of every approach.
+/// measures the schedulability ratio of every registered approach.
 ///
-/// The rows depend only on `(points, sets_per_point, base_seed)` — never
-/// on `opts` (thread count and caching change wall-clock and telemetry,
-/// not results).
+/// The rows depend only on `(points, sets_per_point, base_seed,
+/// registry)` — never on `cfg`'s execution knobs (thread count and
+/// caching change wall-clock and telemetry, not results).
 pub fn sweep_with(
     points: &[SweepPoint],
     sets_per_point: usize,
     base_seed: u64,
-    opts: &SweepOptions,
+    registry: &Registry,
+    cfg: &AnalysisConfig,
 ) -> SweepOutcome {
+    let n_approaches = registry.len();
     let items: Vec<(usize, usize)> = (0..points.len())
         .flat_map(|pi| (0..sets_per_point).map(move |si| (pi, si)))
         .collect();
     let started = Instant::now();
-    let (evaluated, engines) = parallel_map_with(
+    let (evaluated, contexts) = parallel_map_with(
         &items,
-        opts.jobs,
-        || WorkerEngine::new(opts.cache),
-        |engine, _, &(pi, si)| {
+        cfg.jobs,
+        || AnalysisContext::new(cfg),
+        |ctx, _, &(pi, si)| {
             let t0 = Instant::now();
             let seed = derive_seed(base_seed, pi as u64, si as u64);
             let set = TaskSetGenerator::new(points[pi].config.clone(), seed).generate();
-            let flags = evaluate_set(&set, engine);
-            (flags, t0.elapsed().as_secs_f64())
+            let outcomes = evaluate_set(&set, registry, ctx);
+            (outcomes, t0.elapsed().as_secs_f64())
         },
     );
     let wall_secs = started.elapsed().as_secs_f64();
 
-    let mut wins = vec![[0usize; 4]; points.len()];
+    let mut wins = vec![vec![0usize; n_approaches]; points.len()];
+    let mut fails = vec![vec![0usize; n_approaches]; points.len()];
     let mut point_secs = vec![0.0f64; points.len()];
-    for (&(pi, _), (flags, secs)) in items.iter().zip(&evaluated) {
-        for (w, &f) in wins[pi].iter_mut().zip(flags) {
-            *w += usize::from(f);
+    for (&(pi, _), (outcomes, secs)) in items.iter().zip(&evaluated) {
+        for (ai, o) in outcomes.iter().enumerate() {
+            wins[pi][ai] += usize::from(o.schedulable());
+            fails[pi][ai] += usize::from(o.failed());
         }
         point_secs[pi] += secs;
     }
     let rows = points
         .iter()
-        .zip(wins)
-        .map(|(point, w)| SweepRow {
+        .zip(wins.into_iter().zip(fails))
+        .map(|(point, (w, f))| SweepRow {
             x: point.x,
-            ratios: w.map(|w| w as f64 / sets_per_point.max(1) as f64),
+            ratios: w
+                .into_iter()
+                .map(|w| w as f64 / sets_per_point.max(1) as f64)
+                .collect(),
+            failures: f,
             sets: sets_per_point,
         })
         .collect();
     let mut cache = CacheStats::default();
-    for e in engines {
-        cache.merge(e.stats());
+    for ctx in contexts {
+        cache.merge(ctx.cache_stats());
     }
     SweepOutcome {
+        labels: registry.labels(),
         rows,
         point_secs,
         cache,
-        jobs: opts.jobs,
+        jobs: cfg.jobs,
         wall_secs,
     }
 }
 
-/// Single-threaded, cached [`sweep_with`], returning only the rows.
+/// Single-threaded, cached [`sweep_with`] over the standard registry,
+/// returning only the rows.
 pub fn sweep(points: &[SweepPoint], sets_per_point: usize, base_seed: u64) -> Vec<SweepRow> {
-    sweep_with(points, sets_per_point, base_seed, &SweepOptions::default()).rows
+    sweep_with(
+        points,
+        sets_per_point,
+        base_seed,
+        &Registry::standard(),
+        &AnalysisConfig::default(),
+    )
+    .rows
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pmcs_analysis::{Analyzer, ApproachReport};
+    use pmcs_baselines::WpAnalysis;
+    use pmcs_core::CoreError;
+    use pmcs_model::TaskSet;
 
     #[test]
     fn evaluate_set_is_consistent_with_direct_calls() {
@@ -260,8 +222,15 @@ mod tests {
             7,
         );
         let set = g.generate();
-        let flags = evaluate_set(&set, &ExactEngine::default());
-        assert_eq!(flags[1], WpAnalysis::default().is_schedulable(&set));
+        let registry = Registry::standard();
+        let ctx = AnalysisContext::new(&AnalysisConfig::default());
+        let outcomes = evaluate_set(&set, &registry, &ctx);
+        assert_eq!(outcomes.len(), registry.len());
+        assert_eq!(
+            outcomes[1].schedulable(),
+            WpAnalysis::default().is_schedulable(&set)
+        );
+        assert!(outcomes.iter().all(|o| !o.failed()));
     }
 
     fn small_points() -> Vec<SweepPoint> {
@@ -283,10 +252,11 @@ mod tests {
         let rows = sweep(&small_points(), 3, 42);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].x, 0.1);
+        assert_eq!(rows[0].ratios.len(), 4);
         assert!(rows
             .iter()
             .all(|r| r.ratios.iter().all(|&v| (0.0..=1.0).contains(&v))));
-        assert!(rows[0].ratio(Approach::Proposed) >= 0.0);
+        assert!(rows.iter().all(|r| r.failures.iter().all(|&f| f == 0)));
     }
 
     #[test]
@@ -296,15 +266,15 @@ mod tests {
             &points,
             4,
             42,
-            &SweepOptions {
-                jobs: 2,
-                cache: true,
-            },
+            &Registry::standard(),
+            &AnalysisConfig::default().with_jobs(2),
         );
+        assert_eq!(out.labels, ["proposed", "wp", "nps", "nps-classic"]);
         assert_eq!(out.rows.len(), points.len());
         assert_eq!(out.point_secs.len(), points.len());
         assert_eq!(out.jobs, 2);
         assert!(out.wall_secs >= 0.0);
+        assert_eq!(out.total_failures(), 0);
         // 4 sets × 2 points: the fixed points alone guarantee lookups.
         assert!(out.cache.hits + out.cache.misses > 0);
     }
@@ -312,17 +282,55 @@ mod tests {
     #[test]
     fn caching_does_not_change_rows() {
         let points = small_points();
-        let cached = sweep_with(&points, 5, 7, &SweepOptions::default());
+        let registry = Registry::standard();
+        let cached = sweep_with(&points, 5, 7, &registry, &AnalysisConfig::default());
         let uncached = sweep_with(
             &points,
             5,
             7,
-            &SweepOptions {
-                jobs: 1,
-                cache: false,
-            },
+            &registry,
+            &AnalysisConfig::default().with_cache(false),
         );
         assert_eq!(cached.rows, uncached.rows);
         assert_eq!(uncached.cache, CacheStats::default());
+    }
+
+    /// An analyzer whose analysis always fails, to observe the failure
+    /// accounting end to end.
+    struct FailingAnalyzer;
+
+    impl Analyzer for FailingAnalyzer {
+        fn name(&self) -> &str {
+            "failing"
+        }
+
+        fn analyze_with(
+            &self,
+            _set: &TaskSet,
+            _ctx: &AnalysisContext,
+        ) -> Result<ApproachReport, AnalysisError> {
+            Err(AnalysisError::from(CoreError::AuditFailed {
+                check: "test",
+                detail: "injected failure".into(),
+            }))
+        }
+    }
+
+    #[test]
+    fn failed_analyses_are_counted_not_hidden() {
+        let mut registry = Registry::standard();
+        registry.register(Box::new(FailingAnalyzer));
+        let points = small_points();
+        let out = sweep_with(&points, 3, 42, &registry, &AnalysisConfig::default());
+        assert_eq!(out.labels.len(), 5);
+        for row in &out.rows {
+            // The failing column: ratio 0 (failure counts as
+            // unschedulable) and every set tallied as failed.
+            assert_eq!(row.ratios[4], 0.0);
+            assert_eq!(row.failures[4], 3);
+            // The real approaches never fail on these sets.
+            assert!(row.failures[..4].iter().all(|&f| f == 0));
+        }
+        assert_eq!(out.total_failures(), 3 * points.len());
     }
 }

@@ -3,9 +3,10 @@
 //! Experiment harness regenerating the evaluation of Section VII:
 //!
 //! * [`experiment`] — schedulability-ratio sweeps over utilization `U`,
-//!   memory-intensity `γ` and deadline-tightness `β`, comparing the
-//!   proposed protocol, the Wasly-Pellizzoni baseline, and non-preemptive
-//!   scheduling;
+//!   memory-intensity `γ` and deadline-tightness `β`, comparing whatever
+//!   approaches a [`pmcs_analysis::Registry`] holds (by default the
+//!   proposed protocol, the Wasly-Pellizzoni baseline, and the two
+//!   non-preemptive variants);
 //! * [`figures`] — the concrete configurations of Figure 2 insets (a)–(f)
 //!   and the Figure 1 scenario;
 //! * [`report`] — CSV output and ASCII line charts for terminal viewing.
@@ -18,10 +19,12 @@
 //! * `runtime_table` — the analysis-runtime measurements reported in
 //!   prose in Section VII.
 //!
-//! All binaries accept `--jobs N` (or the `PMCS_JOBS` environment
-//! variable) to select the worker-thread count ([`parallel`]) and write a
-//! machine-readable `BENCH_<bin>.json` perf record ([`perf`]); results
-//! are byte-identical for every thread count.
+//! All binaries resolve their execution knobs through
+//! [`pmcs_analysis::AnalysisConfig::resolve`] at the CLI edge — `--jobs N`
+//! beats the `PMCS_JOBS` environment variable beats the machine default,
+//! and likewise for `PMCS_AUDIT` — then write a machine-readable
+//! `BENCH_<bin>.json` perf record ([`perf`]); results are byte-identical
+//! for every thread count.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,9 +36,9 @@ pub mod perf;
 pub mod report;
 
 pub use experiment::{
-    evaluate_set, sweep, sweep_with, Approach, SweepOptions, SweepOutcome, SweepPoint, SweepRow,
+    evaluate_set, sweep, sweep_with, SetOutcome, SweepOutcome, SweepPoint, SweepRow,
 };
 pub use figures::{fig1_task_set, fig2_inset, Fig2Inset};
-pub use parallel::{parallel_map, parallel_map_with, resolve_jobs};
+pub use parallel::{parallel_map, parallel_map_with};
 pub use perf::{PerfPoint, PerfRecord};
 pub use report::{ascii_chart, csv_string, write_csv};

@@ -19,20 +19,6 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 
-/// Resolves the worker count: an explicit request (CLI flag), else the
-/// `PMCS_JOBS` environment variable, else
-/// [`std::thread::available_parallelism`]; always at least 1.
-pub fn resolve_jobs(explicit: Option<usize>) -> usize {
-    explicit
-        .or_else(|| std::env::var("PMCS_JOBS").ok().and_then(|v| v.parse().ok()))
-        .unwrap_or_else(|| {
-            thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
-        .max(1)
-}
-
 /// Maps `f` over `items` on `jobs` worker threads; `results[i]`
 /// corresponds to `items[i]` regardless of which worker processed it.
 ///
@@ -131,12 +117,5 @@ mod tests {
         assert!(states.len() <= 4 && !states.is_empty());
         // Every item was processed by exactly one worker.
         assert_eq!(states.iter().sum::<usize>(), items.len());
-    }
-
-    #[test]
-    fn resolve_jobs_prefers_explicit() {
-        assert_eq!(resolve_jobs(Some(3)), 3);
-        assert_eq!(resolve_jobs(Some(0)), 1);
-        assert!(resolve_jobs(None) >= 1);
     }
 }

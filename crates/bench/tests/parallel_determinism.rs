@@ -6,7 +6,8 @@
 //! so a task set's content depends only on its coordinates — never on
 //! which worker thread picked the item off the queue.
 
-use pmcs_bench::{csv_string, sweep_with, SweepOptions, SweepPoint};
+use pmcs_analysis::{AnalysisConfig, Registry};
+use pmcs_bench::{csv_string, sweep_with, SweepPoint};
 use pmcs_workload::TaskSetConfig;
 
 fn points() -> Vec<SweepPoint> {
@@ -28,17 +29,16 @@ fn points() -> Vec<SweepPoint> {
 #[test]
 fn sweep_rows_are_identical_for_any_thread_count() {
     let points = points();
-    let reference = sweep_with(
-        &points,
-        8,
-        7,
-        &SweepOptions {
-            jobs: 1,
-            cache: true,
-        },
-    );
+    let registry = Registry::standard();
+    let reference = sweep_with(&points, 8, 7, &registry, &AnalysisConfig::default());
     for jobs in [2usize, 8] {
-        let other = sweep_with(&points, 8, 7, &SweepOptions { jobs, cache: true });
+        let other = sweep_with(
+            &points,
+            8,
+            7,
+            &registry,
+            &AnalysisConfig::default().with_jobs(jobs),
+        );
         assert_eq!(
             reference.rows, other.rows,
             "rows diverged between 1 and {jobs} worker threads"
@@ -49,23 +49,20 @@ fn sweep_rows_are_identical_for_any_thread_count() {
 #[test]
 fn sweep_rows_are_identical_with_and_without_cache() {
     let points = points();
+    let registry = Registry::standard();
     let cached = sweep_with(
         &points,
         8,
         7,
-        &SweepOptions {
-            jobs: 2,
-            cache: true,
-        },
+        &registry,
+        &AnalysisConfig::default().with_jobs(2),
     );
     let plain = sweep_with(
         &points,
         8,
         7,
-        &SweepOptions {
-            jobs: 2,
-            cache: false,
-        },
+        &registry,
+        &AnalysisConfig::default().with_jobs(2).with_cache(false),
     );
     assert_eq!(cached.rows, plain.rows, "caching changed the sweep rows");
     assert!(
@@ -77,24 +74,26 @@ fn sweep_rows_are_identical_with_and_without_cache() {
 #[test]
 fn csv_output_is_byte_identical_across_configurations() {
     let points = points();
-    let reference = csv_string(
-        "U",
-        &sweep_with(
+    let registry = Registry::standard();
+    let reference_outcome = sweep_with(
+        &points,
+        6,
+        11,
+        &registry,
+        &AnalysisConfig::default().with_cache(false),
+    );
+    let reference = csv_string("U", &reference_outcome.labels, &reference_outcome.rows);
+    for (jobs, cache) in [(1usize, true), (2, true), (8, false), (8, true)] {
+        let outcome = sweep_with(
             &points,
             6,
             11,
-            &SweepOptions {
-                jobs: 1,
-                cache: false,
-            },
-        )
-        .rows,
-    );
-    for (jobs, cache) in [(1usize, true), (2, true), (8, false), (8, true)] {
-        let rows = sweep_with(&points, 6, 11, &SweepOptions { jobs, cache }).rows;
+            &registry,
+            &AnalysisConfig::default().with_jobs(jobs).with_cache(cache),
+        );
         assert_eq!(
             reference,
-            csv_string("U", &rows),
+            csv_string("U", &outcome.labels, &outcome.rows),
             "CSV bytes diverged at jobs={jobs}, cache={cache}"
         );
     }

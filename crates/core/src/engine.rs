@@ -145,9 +145,13 @@ pub struct ExactEngine {
     scratch: RefCell<Scratch>,
 }
 
+/// Default memoization-entry budget of [`ExactEngine`] (the solver
+/// limit: roughly bounds per-window memory and time).
+pub const DEFAULT_MAX_STATES: usize = 4_000_000;
+
 impl Default for ExactEngine {
     fn default() -> Self {
-        ExactEngine::with_max_states(4_000_000)
+        ExactEngine::with_max_states(DEFAULT_MAX_STATES)
     }
 }
 

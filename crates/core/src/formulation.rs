@@ -34,48 +34,36 @@ use crate::error::CoreError;
 use crate::wcrt::{DelayBound, DelayEngine};
 use crate::window::WindowModel;
 
-/// Environment variable that switches [`MilpEngine`] into audited mode:
-/// set `PMCS_AUDIT=1` (or `true`) and every solve of the WCRT fixed-point
+/// Conventional environment variable requesting audited solves: set
+/// `PMCS_AUDIT=1` (or `true`) and every solve of the WCRT fixed-point
 /// iteration is re-verified with exact rational arithmetic
 /// ([`pmcs_milp::audit`]). A refuted answer surfaces as
 /// [`CoreError::AuditFailed`] instead of silently feeding a wrong bound
 /// into the iteration.
+///
+/// This crate never reads the variable itself: it is honored only at the
+/// CLI edge, by `pmcs_analysis::AnalysisConfig::resolve` (precedence
+/// flag > env > default), which then constructs the engine with the
+/// `audit` field set explicitly.
 pub const AUDIT_ENV_VAR: &str = "PMCS_AUDIT";
-
-/// `true` iff [`AUDIT_ENV_VAR`] requests audited solves.
-fn audit_from_env() -> bool {
-    std::env::var(AUDIT_ENV_VAR)
-        .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
-        .unwrap_or(false)
-}
 
 /// Delay engine backed by the faithful MILP formulation.
 ///
 /// Exponentially slower than [`ExactEngine`](crate::ExactEngine) on large
 /// windows; intended for validation, small task sets, and benchmarking the
 /// formulation itself (as the paper does with CPLEX).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct MilpEngine {
     /// Branch-and-bound limits handed to the solver.
     pub limits: Limits,
     /// When `true`, every solve is re-verified with exact rational
-    /// arithmetic and a refuted answer is an error. Initialized from
-    /// [`AUDIT_ENV_VAR`] by the constructors; override freely.
+    /// arithmetic and a refuted answer is an error. Off by default;
+    /// callers honoring [`AUDIT_ENV_VAR`] set it explicitly.
     pub audit: bool,
 }
 
-impl Default for MilpEngine {
-    fn default() -> Self {
-        MilpEngine {
-            limits: Limits::default(),
-            audit: audit_from_env(),
-        }
-    }
-}
-
 impl MilpEngine {
-    /// Creates an engine with default solver limits. Audited mode is
-    /// taken from [`AUDIT_ENV_VAR`].
+    /// Creates an unaudited engine with default solver limits.
     pub fn new() -> Self {
         Self::default()
     }

@@ -12,6 +12,7 @@
 //! | [`milp`] | `pmcs-milp` | from-scratch LP/MILP solver (CPLEX substitute) |
 //! | [`core`] | `pmcs-core` | the protocol (R1–R6), MILP analysis, exact engine, greedy LS marking |
 //! | [`baselines`] | `pmcs-baselines` | non-preemptive scheduling (NPS) and Wasly-Pellizzoni (WP) analyses |
+//! | [`analysis`] | `pmcs-analysis` | unified facade: `Analyzer` trait, approach registry, engine stack, typed config |
 //! | [`sim`] | `pmcs-sim` | discrete-event simulator + trace validators + Gantt |
 //! | [`workload`] | `pmcs-workload` | Section VII task-set generators |
 //! | [`audit`] | `pmcs-audit` | exact MILP audits, formulation lints, R1–R6 conformance |
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use pmcs_analysis as analysis;
 pub use pmcs_audit as audit;
 pub use pmcs_baselines as baselines;
 pub use pmcs_core as core;
@@ -52,6 +54,9 @@ pub use pmcs_workload as workload;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use pmcs_analysis::{
+        AnalysisConfig, AnalysisContext, AnalysisError, Analyzer, ApproachReport, Registry,
+    };
     pub use pmcs_audit::{lint, LintCode, LintReport};
     pub use pmcs_baselines::{NpsAnalysis, WpAnalysis};
     pub use pmcs_core::{
