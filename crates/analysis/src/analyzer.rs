@@ -1,6 +1,6 @@
 //! The [`Analyzer`] trait and the per-worker [`AnalysisContext`].
 
-use pmcs_core::CacheStats;
+use pmcs_core::{CacheStats, SolverStats};
 use pmcs_model::TaskSet;
 
 use crate::config::AnalysisConfig;
@@ -44,6 +44,13 @@ impl AnalysisContext {
     /// Hit/miss counters accumulated by the stack's caching layers.
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Cumulative solver effort accumulated by the stack's engines.
+    /// Analyzers snapshot this before and after a run and attribute the
+    /// difference (via [`SolverStats::since`]) to their report.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.engine.solver_stats()
     }
 }
 

@@ -41,8 +41,10 @@ impl Analyzer for ProposedAnalyzer {
         set: &TaskSet,
         ctx: &AnalysisContext,
     ) -> Result<ApproachReport, AnalysisError> {
+        let before = ctx.solver_stats();
         let r = analyze_task_set(set, ctx.engine())?;
-        Ok(ApproachReport::from_schedulability(self.name(), &r))
+        let spent = ctx.solver_stats().since(&before);
+        Ok(ApproachReport::from_schedulability(self.name(), &r).with_solver(spent))
     }
 }
 
@@ -143,8 +145,10 @@ impl Analyzer for WpMilpAnalyzer {
         set: &TaskSet,
         ctx: &AnalysisContext,
     ) -> Result<ApproachReport, AnalysisError> {
+        let before = ctx.solver_stats();
         let r = wp_milp_analysis(set, ctx.engine())?;
-        Ok(ApproachReport::from_schedulability(self.name(), &r))
+        let spent = ctx.solver_stats().since(&before);
+        Ok(ApproachReport::from_schedulability(self.name(), &r).with_solver(spent))
     }
 }
 

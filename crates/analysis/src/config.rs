@@ -10,11 +10,17 @@
 
 use std::thread;
 
-use pmcs_core::AUDIT_ENV_VAR;
+use pmcs_core::{BackendKind, AUDIT_ENV_VAR};
 
 /// Environment variable naming the worker-thread count (CLI edge only;
 /// an explicit `--jobs` flag wins).
 pub const JOBS_ENV_VAR: &str = "PMCS_JOBS";
+
+/// Environment variable selecting the LP backend for MILP-based analysis
+/// (`dense` or `revised`; CLI edge only, an explicit `--lp-backend` flag
+/// wins). Unset means the analysis keeps its default exact-engine base
+/// and the MILP engine, where used, runs its dense reference backend.
+pub const LP_BACKEND_ENV_VAR: &str = "PMCS_LP_BACKEND";
 
 /// Resolved analysis configuration.
 ///
@@ -39,6 +45,11 @@ pub struct AnalysisConfig {
     /// Memoization-entry budget of the exact engine (the solver limit:
     /// roughly bounds per-window memory and time).
     pub max_states: usize,
+    /// `Some(kind)` replaces the exact-engine base of the stack with the
+    /// MILP engine on that LP backend ([`BackendKind::Revised`] enables
+    /// presolve, incremental RHS updates and warm starts). `None` (the
+    /// default) keeps the exact combinatorial engine.
+    pub lp_backend: Option<BackendKind>,
 }
 
 impl Default for AnalysisConfig {
@@ -48,6 +59,7 @@ impl Default for AnalysisConfig {
             cache: true,
             audit: false,
             max_states: pmcs_core::engine::DEFAULT_MAX_STATES,
+            lp_backend: None,
         }
     }
 }
@@ -65,6 +77,8 @@ pub struct CliOverrides {
     pub audit: Option<bool>,
     /// `--max-states N`.
     pub max_states: Option<usize>,
+    /// `--lp-backend dense|revised`.
+    pub lp_backend: Option<BackendKind>,
 }
 
 impl AnalysisConfig {
@@ -96,11 +110,17 @@ impl AnalysisConfig {
                 .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
                 .unwrap_or(defaults.audit)
         });
+        let lp_backend = cli.lp_backend.or_else(|| {
+            std::env::var(LP_BACKEND_ENV_VAR)
+                .ok()
+                .and_then(|v| BackendKind::parse(&v))
+        });
         AnalysisConfig {
             jobs,
             cache: cli.cache.unwrap_or(defaults.cache),
             audit,
             max_states: cli.max_states.unwrap_or(defaults.max_states).max(1),
+            lp_backend,
         }
     }
 
@@ -113,6 +133,13 @@ impl AnalysisConfig {
     /// A copy with the delay cache enabled or disabled.
     pub fn with_cache(mut self, cache: bool) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// A copy with the MILP base engine on the given LP backend
+    /// (`None` restores the exact-engine base).
+    pub fn with_lp_backend(mut self, backend: Option<BackendKind>) -> Self {
+        self.lp_backend = backend;
         self
     }
 }
@@ -137,11 +164,20 @@ mod tests {
             cache: Some(false),
             audit: Some(true),
             max_states: Some(7),
+            lp_backend: Some(BackendKind::Revised),
         });
         assert_eq!(cfg.jobs, 3);
         assert!(!cfg.cache);
         assert!(cfg.audit);
         assert_eq!(cfg.max_states, 7);
+        assert_eq!(cfg.lp_backend, Some(BackendKind::Revised));
+    }
+
+    #[test]
+    fn lp_backend_defaults_to_none() {
+        assert_eq!(AnalysisConfig::default().lp_backend, None);
+        let cfg = AnalysisConfig::default().with_lp_backend(Some(BackendKind::Dense));
+        assert_eq!(cfg.lp_backend, Some(BackendKind::Dense));
     }
 
     #[test]

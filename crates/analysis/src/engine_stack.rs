@@ -21,30 +21,49 @@ use std::fmt;
 
 use pmcs_core::wcrt::DelayBound;
 use pmcs_core::{
-    CacheStats, CachedEngine, CoreError, DelayEngine, ExactEngine, MilpEngine, WindowModel,
+    BackendKind, CacheStats, CachedEngine, CoreError, DelayEngine, ExactEngine, MilpEngine,
+    SolverStats, WindowModel,
 };
 
 use crate::config::AnalysisConfig;
 
 /// A delay engine usable as a stack layer: a [`DelayEngine`] that can be
 /// moved to a worker thread and reports cache statistics (zero for
-/// layers that do not cache).
+/// layers that do not cache) plus cumulative solver effort.
 pub trait StackEngine: DelayEngine + Send {
     /// Hit/miss counters of every cache in this layer and below.
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
     }
+
+    /// Cumulative solver effort (nodes, LP pivots, presolve reductions,
+    /// warm starts) of this layer and below.
+    fn solver_stats(&self) -> SolverStats {
+        SolverStats::default()
+    }
 }
 
-impl StackEngine for ExactEngine {}
+impl StackEngine for ExactEngine {
+    fn solver_stats(&self) -> SolverStats {
+        self.solver_stats()
+    }
+}
 
-impl StackEngine for MilpEngine {}
+impl StackEngine for MilpEngine {
+    fn solver_stats(&self) -> SolverStats {
+        self.solver_stats()
+    }
+}
 
 impl<E: StackEngine> StackEngine for CachedEngine<E> {
     fn cache_stats(&self) -> CacheStats {
         let mut stats = self.stats();
         stats.merge(self.inner().cache_stats());
         stats
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        self.inner().solver_stats()
     }
 }
 
@@ -113,7 +132,28 @@ impl<E: StackEngine> StackEngine for AuditedEngine<E> {
     fn cache_stats(&self) -> CacheStats {
         self.inner.cache_stats()
     }
+
+    fn solver_stats(&self) -> SolverStats {
+        let mut stats = self.inner.solver_stats();
+        stats.merge(self.reference.solver_stats());
+        stats
+    }
 }
+
+/// Effort gate for the MILP stack base: windows whose formulation has
+/// more integral variables than this are not solved — the engine
+/// substitutes the formulation's deterministic safe delay cap instead
+/// (see `MilpEngine::bin_budget`). Calibrated on the Figure 2 workloads,
+/// where windows below this size solve in at most a few thousand
+/// branch-and-bound nodes and windows above it exhaust any node budget
+/// (the big-M relaxation cannot prune the symmetric placement tree).
+const MILP_BASE_BIN_BUDGET: usize = 60;
+
+/// Node budget backstop for gated sweeps: generous headroom over the
+/// worst observed node count (< 2 000) for windows under
+/// [`MILP_BASE_BIN_BUDGET`], so both LP backends solve every admitted
+/// window to proven optimality and agree on every verdict.
+const MILP_BASE_MAX_NODES: usize = 20_000;
 
 /// The assembled engine stack: a boxed pile of [`StackEngine`] layers
 /// built by [`EngineStack::build`] from one [`AnalysisConfig`].
@@ -128,16 +168,58 @@ pub struct EngineStack {
 
 impl EngineStack {
     /// Assembles the stack described by `cfg`.
+    ///
+    /// `cfg.lp_backend` picks the base: `None` keeps the exact
+    /// combinatorial engine, `Some(kind)` substitutes the MILP engine on
+    /// that LP backend (with the revised backend this is the incremental
+    /// presolve-once / warm-start pipeline).
     pub fn build(cfg: &AnalysisConfig) -> Self {
-        let base = ExactEngine::with_max_states(cfg.max_states);
-        let (engine, layers): (Box<dyn StackEngine>, &'static str) = match (cfg.cache, cfg.audit) {
-            (false, false) => (Box::new(base), "exact"),
-            (false, true) => (Box::new(AuditedEngine::new(base)), "audited(exact)"),
-            (true, false) => (Box::new(CachedEngine::new(base)), "cached(exact)"),
-            (true, true) => (
-                Box::new(CachedEngine::new(AuditedEngine::new(base))),
-                "cached(audited(exact))",
-            ),
+        let (engine, layers): (Box<dyn StackEngine>, &'static str) = match cfg.lp_backend {
+            None => {
+                let base = ExactEngine::with_max_states(cfg.max_states);
+                match (cfg.cache, cfg.audit) {
+                    (false, false) => (Box::new(base) as _, "exact"),
+                    (false, true) => (Box::new(AuditedEngine::new(base)) as _, "audited(exact)"),
+                    (true, false) => (Box::new(CachedEngine::new(base)) as _, "cached(exact)"),
+                    (true, true) => (
+                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
+                        "cached(audited(exact))",
+                    ),
+                }
+            }
+            Some(kind) => {
+                let mut base = MilpEngine::new()
+                    .with_backend(kind)
+                    .with_bin_budget(Some(MILP_BASE_BIN_BUDGET));
+                base.limits.max_nodes = MILP_BASE_MAX_NODES;
+                match (cfg.cache, cfg.audit, kind) {
+                    (false, false, BackendKind::Dense) => (Box::new(base) as _, "milp:dense"),
+                    (false, false, BackendKind::Revised) => (Box::new(base) as _, "milp:revised"),
+                    (false, true, BackendKind::Dense) => (
+                        Box::new(AuditedEngine::new(base)) as _,
+                        "audited(milp:dense)",
+                    ),
+                    (false, true, BackendKind::Revised) => (
+                        Box::new(AuditedEngine::new(base)) as _,
+                        "audited(milp:revised)",
+                    ),
+                    (true, false, BackendKind::Dense) => {
+                        (Box::new(CachedEngine::new(base)) as _, "cached(milp:dense)")
+                    }
+                    (true, false, BackendKind::Revised) => (
+                        Box::new(CachedEngine::new(base)) as _,
+                        "cached(milp:revised)",
+                    ),
+                    (true, true, BackendKind::Dense) => (
+                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
+                        "cached(audited(milp:dense))",
+                    ),
+                    (true, true, BackendKind::Revised) => (
+                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
+                        "cached(audited(milp:revised))",
+                    ),
+                }
+            }
         };
         EngineStack { engine, layers }
     }
@@ -145,6 +227,11 @@ impl EngineStack {
     /// Hit/miss counters of every caching layer in the stack.
     pub fn cache_stats(&self) -> CacheStats {
         self.engine.cache_stats()
+    }
+
+    /// Cumulative solver effort of every layer in the stack.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.engine.solver_stats()
     }
 
     /// Human-readable layer composition, outermost first.
@@ -168,14 +255,16 @@ impl fmt::Debug for EngineStack {
 }
 
 /// Builds the MILP engine the way the stack would: solver limits at
-/// their defaults, audited mode from `cfg.audit`. The `pmcs-audit` CLI
-/// uses this instead of assembling engines by hand.
+/// their defaults, audited mode from `cfg.audit`, LP backend from
+/// `cfg.lp_backend` (the dense reference backend when unset). The
+/// `pmcs-audit` CLI uses this instead of assembling engines by hand.
 pub fn milp_engine(cfg: &AnalysisConfig) -> MilpEngine {
-    if cfg.audit {
+    let engine = if cfg.audit {
         MilpEngine::audited()
     } else {
         MilpEngine::new()
-    }
+    };
+    engine.with_backend(cfg.lp_backend.unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -282,5 +371,78 @@ mod tests {
             ..AnalysisConfig::default()
         };
         assert!(milp_engine(&cfg).audit);
+    }
+
+    #[test]
+    fn milp_engine_honors_lp_backend() {
+        assert_eq!(
+            milp_engine(&AnalysisConfig::default()).backend,
+            BackendKind::Dense
+        );
+        let cfg = AnalysisConfig {
+            lp_backend: Some(BackendKind::Revised),
+            ..AnalysisConfig::default()
+        };
+        assert_eq!(milp_engine(&cfg).backend, BackendKind::Revised);
+    }
+
+    #[test]
+    fn milp_based_stacks_agree_with_the_exact_base() {
+        let w = demo_window();
+        let reference = ExactEngine::default()
+            .max_total_delay(&w)
+            .expect("engine result");
+        for backend in [BackendKind::Dense, BackendKind::Revised] {
+            let cfg = AnalysisConfig {
+                lp_backend: Some(backend),
+                ..AnalysisConfig::default()
+            };
+            let stack = EngineStack::build(&cfg);
+            let bound = stack.max_total_delay(&w).expect("stack result");
+            assert_eq!(bound.delay, reference.delay, "stack {}", stack.layers());
+        }
+    }
+
+    #[test]
+    fn milp_layer_strings_name_the_backend() {
+        for (cache, audit, backend, expected) in [
+            (true, false, BackendKind::Dense, "cached(milp:dense)"),
+            (false, false, BackendKind::Revised, "milp:revised"),
+            (
+                true,
+                true,
+                BackendKind::Revised,
+                "cached(audited(milp:revised))",
+            ),
+        ] {
+            let cfg = AnalysisConfig {
+                cache,
+                audit,
+                lp_backend: Some(backend),
+                ..AnalysisConfig::default()
+            };
+            assert_eq!(EngineStack::build(&cfg).layers(), expected);
+        }
+    }
+
+    #[test]
+    fn solver_stats_flow_through_the_stack() {
+        let cfg = AnalysisConfig {
+            lp_backend: Some(BackendKind::Revised),
+            cache: false,
+            ..AnalysisConfig::default()
+        };
+        let stack = EngineStack::build(&cfg);
+        assert!(stack.solver_stats().is_empty());
+        let _ = stack.max_total_delay(&demo_window()).expect("stack result");
+        let stats = stack.solver_stats();
+        assert!(stats.lp_solves > 0, "stats not threaded: {stats}");
+        // The exact base reports its search nodes through the same shape.
+        let exact = EngineStack::build(&AnalysisConfig {
+            cache: false,
+            ..AnalysisConfig::default()
+        });
+        let _ = exact.max_total_delay(&demo_window()).expect("stack result");
+        assert!(exact.solver_stats().bb_nodes > 0);
     }
 }

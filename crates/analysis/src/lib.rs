@@ -57,7 +57,7 @@ pub mod report;
 
 pub use analyzer::{AnalysisContext, Analyzer};
 pub use approaches::{NpsAnalyzer, ProposedAnalyzer, WpAnalyzer, WpMilpAnalyzer};
-pub use config::{AnalysisConfig, CliOverrides, JOBS_ENV_VAR};
+pub use config::{AnalysisConfig, CliOverrides, JOBS_ENV_VAR, LP_BACKEND_ENV_VAR};
 pub use engine_stack::{milp_engine, AuditedEngine, EngineStack, StackEngine};
 pub use error::AnalysisError;
 pub use registry::Registry;

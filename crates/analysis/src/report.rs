@@ -13,6 +13,7 @@ use std::fmt;
 
 use pmcs_baselines::{NpsTaskResult, WpTaskResult};
 use pmcs_core::schedulability::{LsAssignment, SchedulabilityReport};
+use pmcs_core::SolverStats;
 use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
 
 /// One task's verdict inside an [`ApproachReport`].
@@ -43,6 +44,10 @@ pub struct ApproachReport {
     pub assignment: Option<LsAssignment>,
     /// Greedy rounds performed, where applicable.
     pub rounds: Option<usize>,
+    /// Solver effort this analysis spent (B&B nodes, LP pivots, presolve
+    /// reductions, warm-start hits). All-zero for closed-form approaches
+    /// and for analyzers run outside an engine-stack context.
+    pub solver: SolverStats,
 }
 
 impl ApproachReport {
@@ -74,7 +79,15 @@ impl ApproachReport {
                 .collect(),
             assignment: Some(r.assignment().clone()),
             rounds: Some(r.rounds()),
+            solver: SolverStats::default(),
         }
+    }
+
+    /// A copy carrying the solver effort spent producing it.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverStats) -> Self {
+        self.solver = solver;
+        self
     }
 
     /// Builds a report from the closed-form WP results (deadlines looked
@@ -96,6 +109,7 @@ impl ApproachReport {
                 .collect(),
             assignment: None,
             rounds: None,
+            solver: SolverStats::default(),
         }
     }
 
@@ -116,6 +130,7 @@ impl ApproachReport {
                 .collect(),
             assignment: None,
             rounds: None,
+            solver: SolverStats::default(),
         }
     }
 }

@@ -49,10 +49,12 @@ COMMANDS:
     analyze  run every registered analysis approach on the demo set
 
 OPTIONS:
-    --seed <N>     RNG seed for workload generation      [default: 42]
-    --tasks <N>    number of tasks in the generated set  [default: 5]
-    --util <X>     total utilization of the set          [default: 0.5]
-    -h, --help     print this help
+    --seed <N>       RNG seed for workload generation      [default: 42]
+    --tasks <N>      number of tasks in the generated set  [default: 5]
+    --util <X>       total utilization of the set          [default: 0.5]
+    --lp-backend <B> LP backend: dense | revised (milp/analyze; beats
+                     PMCS_LP_BACKEND)
+    -h, --help       print this help
 ";
 
 struct Options {
@@ -75,6 +77,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command: Option<String> = None;
     let mut opts = Options::default();
+    let mut cli = CliOverrides::default();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -82,6 +85,17 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            "--lp-backend" => {
+                let Some(value) = it.next() else {
+                    eprintln!("error: --lp-backend requires dense|revised");
+                    return ExitCode::FAILURE;
+                };
+                let Some(kind) = pmcs_core::BackendKind::parse(value) else {
+                    eprintln!("error: unknown LP backend {value:?}; use dense|revised");
+                    return ExitCode::FAILURE;
+                };
+                cli.lp_backend = Some(kind);
             }
             "--seed" | "--tasks" | "--util" => {
                 let Some(value) = it.next() else {
@@ -118,9 +132,9 @@ fn main() -> ExitCode {
     }
 
     // Resolve the typed analysis configuration exactly once, at the CLI
-    // edge: environment knobs (PMCS_AUDIT, PMCS_JOBS) are honored here and
-    // nowhere deeper in the stack.
-    let cfg = AnalysisConfig::resolve(&CliOverrides::default());
+    // edge: environment knobs (PMCS_AUDIT, PMCS_JOBS, PMCS_LP_BACKEND)
+    // are honored here and nowhere deeper in the stack.
+    let cfg = AnalysisConfig::resolve(&cli);
 
     match command.as_deref() {
         Some("trace") => cmd_trace(&opts),
@@ -233,7 +247,9 @@ fn corrupt_copy_in(result: &SimResult) -> Option<(SimResult, pmcs_model::JobId)>
 fn cmd_milp(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
     let set = demo_set(opts);
     let engine = milp_engine(cfg);
-    let solver = Solver::new();
+    // The audit always verifies against the original problem, so the
+    // backend choice only changes how the candidate solution is found.
+    let solver = Solver::new().with_backend(cfg.lp_backend.unwrap_or_default());
     let mut failed = false;
 
     for task in set.iter() {

@@ -23,7 +23,7 @@
 use std::time::Instant;
 
 use pmcs_analysis::{AnalysisConfig, AnalysisContext, AnalysisError, Registry};
-use pmcs_core::CacheStats;
+use pmcs_core::{CacheStats, SolverStats};
 use pmcs_workload::{derive_seed, TaskSetConfig, TaskSetGenerator};
 
 use crate::parallel::parallel_map_with;
@@ -91,6 +91,9 @@ pub struct SweepOutcome {
     pub jobs: usize,
     /// End-to-end wall-clock seconds.
     pub wall_secs: f64,
+    /// Solver effort per approach, in registry order (summed over every
+    /// point and task set; all-zero for closed-form approaches).
+    pub solver: Vec<SolverStats>,
 }
 
 impl SweepOutcome {
@@ -110,12 +113,32 @@ pub fn evaluate_set(
     registry: &Registry,
     ctx: &AnalysisContext,
 ) -> Vec<SetOutcome> {
+    evaluate_set_with_stats(set, registry, ctx)
+        .into_iter()
+        .map(|(outcome, _)| outcome)
+        .collect()
+}
+
+/// As [`evaluate_set`], additionally returning the solver effort each
+/// approach's report attributed to this set (zero for failed analyses —
+/// their effort is not meaningfully attributable).
+pub fn evaluate_set_with_stats(
+    set: &pmcs_model::TaskSet,
+    registry: &Registry,
+    ctx: &AnalysisContext,
+) -> Vec<(SetOutcome, SolverStats)> {
     registry
         .iter()
         .map(|analyzer| match analyzer.analyze_with(set, ctx) {
-            Ok(report) if report.schedulable() => SetOutcome::Schedulable,
-            Ok(_) => SetOutcome::Unschedulable,
-            Err(e) => SetOutcome::Failed(e),
+            Ok(report) => {
+                let outcome = if report.schedulable() {
+                    SetOutcome::Schedulable
+                } else {
+                    SetOutcome::Unschedulable
+                };
+                (outcome, report.solver)
+            }
+            Err(e) => (SetOutcome::Failed(e), SolverStats::default()),
         })
         .collect()
 }
@@ -147,7 +170,7 @@ pub fn sweep_with(
             let t0 = Instant::now();
             let seed = derive_seed(base_seed, pi as u64, si as u64);
             let set = TaskSetGenerator::new(points[pi].config.clone(), seed).generate();
-            let outcomes = evaluate_set(&set, registry, ctx);
+            let outcomes = evaluate_set_with_stats(&set, registry, ctx);
             (outcomes, t0.elapsed().as_secs_f64())
         },
     );
@@ -156,10 +179,12 @@ pub fn sweep_with(
     let mut wins = vec![vec![0usize; n_approaches]; points.len()];
     let mut fails = vec![vec![0usize; n_approaches]; points.len()];
     let mut point_secs = vec![0.0f64; points.len()];
+    let mut solver = vec![SolverStats::default(); n_approaches];
     for (&(pi, _), (outcomes, secs)) in items.iter().zip(&evaluated) {
-        for (ai, o) in outcomes.iter().enumerate() {
+        for (ai, (o, stats)) in outcomes.iter().enumerate() {
             wins[pi][ai] += usize::from(o.schedulable());
             fails[pi][ai] += usize::from(o.failed());
+            solver[ai].merge(*stats);
         }
         point_secs[pi] += secs;
     }
@@ -187,6 +212,7 @@ pub fn sweep_with(
         cache,
         jobs: cfg.jobs,
         wall_secs,
+        solver,
     }
 }
 
@@ -277,6 +303,11 @@ mod tests {
         assert_eq!(out.total_failures(), 0);
         // 4 sets × 2 points: the fixed points alone guarantee lookups.
         assert!(out.cache.hits + out.cache.misses > 0);
+        // Solver effort: one entry per approach; the engine-backed
+        // "proposed" column spends search nodes, closed-form columns none.
+        assert_eq!(out.solver.len(), out.labels.len());
+        assert!(out.solver[0].bb_nodes > 0);
+        assert!(out.solver[1].is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use pmcs_core::CacheStats;
+use pmcs_core::{CacheStats, SolverStats};
 
 /// One labeled timing entry (a sweep point, a figure inset, a config row).
 #[derive(Debug, Clone)]
@@ -61,6 +61,32 @@ impl PerfRecord {
     /// Attaches a string field.
     pub fn extra_str(&mut self, key: &str, value: &str) {
         self.extras.push((key.to_string(), json_str(value)));
+    }
+
+    /// Attaches one solver-effort record under `prefix` (B&B nodes, LP
+    /// solves/pivots, warm-start attempts/hits/rate, presolve
+    /// reductions), e.g. `solver_proposed_bb_nodes`.
+    pub fn extra_solver(&mut self, prefix: &str, stats: SolverStats) {
+        self.extra_num(&format!("{prefix}_bb_nodes"), stats.bb_nodes as f64);
+        self.extra_num(&format!("{prefix}_lp_solves"), stats.lp_solves as f64);
+        self.extra_num(&format!("{prefix}_lp_pivots"), stats.lp_pivots as f64);
+        self.extra_num(
+            &format!("{prefix}_warm_start_attempts"),
+            stats.warm_start_attempts as f64,
+        );
+        self.extra_num(
+            &format!("{prefix}_warm_start_hits"),
+            stats.warm_start_hits as f64,
+        );
+        self.extra_num(&format!("{prefix}_warm_hit_rate"), stats.warm_hit_rate());
+        self.extra_num(
+            &format!("{prefix}_presolve_vars_fixed"),
+            stats.presolve_vars_fixed as f64,
+        );
+        self.extra_num(
+            &format!("{prefix}_presolve_rows_removed"),
+            stats.presolve_rows_removed as f64,
+        );
     }
 
     /// Renders the record as a JSON object.
@@ -181,6 +207,23 @@ mod tests {
         assert!(j.contains("\\\"quoted\\\"\\nline"));
         assert!(j.contains("{\"label\": \"fig2a\", \"secs\": 0.25},"));
         assert!(j.ends_with("}\n"));
+    }
+
+    #[test]
+    fn solver_extras_are_prefixed() {
+        let mut r = PerfRecord::new("x");
+        r.extra_solver(
+            "solver_proposed",
+            SolverStats {
+                bb_nodes: 7,
+                warm_start_attempts: 4,
+                warm_start_hits: 3,
+                ..SolverStats::default()
+            },
+        );
+        let j = r.to_json();
+        assert!(j.contains("\"solver_proposed_bb_nodes\": 7"));
+        assert!(j.contains("\"solver_proposed_warm_hit_rate\": 0.75"));
     }
 
     #[test]

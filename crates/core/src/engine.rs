@@ -143,6 +143,10 @@ impl Scratch {
 pub struct ExactEngine {
     max_states: usize,
     scratch: RefCell<Scratch>,
+    /// Cumulative search nodes across every solve (reported as `bb_nodes`
+    /// in [`ExactEngine::solver_stats`] — the DP's branch points play the
+    /// same role as B&B nodes in the MILP pipeline).
+    nodes: std::cell::Cell<u64>,
 }
 
 /// Default memoization-entry budget of [`ExactEngine`] (the solver
@@ -174,6 +178,7 @@ impl ExactEngine {
         ExactEngine {
             max_states,
             scratch: RefCell::new(Scratch::default()),
+            nodes: std::cell::Cell::new(0),
         }
     }
 
@@ -181,13 +186,25 @@ impl ExactEngine {
     pub fn max_states(&self) -> usize {
         self.max_states
     }
+
+    /// Cumulative solver effort across every solve so far: the DP search
+    /// nodes, surfaced in the same [`SolverStats`](pmcs_milp::SolverStats)
+    /// shape the MILP engines report so engine stacks aggregate uniformly.
+    pub fn solver_stats(&self) -> pmcs_milp::SolverStats {
+        pmcs_milp::SolverStats {
+            bb_nodes: self.nodes.get(),
+            ..pmcs_milp::SolverStats::default()
+        }
+    }
 }
 
 impl DelayEngine for ExactEngine {
     fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
         let mut scratch = self.scratch.borrow_mut();
         let mut search = Search::new(w, self.max_states, &mut scratch);
-        match search.run() {
+        let outcome = search.run();
+        self.nodes.set(self.nodes.get() + search.nodes);
+        match outcome {
             Some(best) => Ok(DelayBound {
                 delay: Time::from_ticks(best),
                 exact: true,

@@ -24,9 +24,13 @@
 //! * The task under analysis never appears as a cancellation victim: its
 //!   copy-in is pinned to `I_{N−2}` by Constraint 12.
 
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
 use pmcs_milp::{
-    AuditReport, AuditedOutcome, Cmp, Limits, LinExpr, MilpError, MilpSolution, Problem, Solver,
-    Var,
+    presolve, AuditReport, AuditedOutcome, BackendKind, Basis, Cmp, Limits, LinExpr, MilpError,
+    MilpSolution, Objective, PresolveOutcome, PresolvedProblem, Problem, Solver, SolverStats, Var,
 };
 use pmcs_model::Time;
 
@@ -60,6 +64,44 @@ pub struct MilpEngine {
     /// arithmetic and a refuted answer is an error. Off by default;
     /// callers honoring [`AUDIT_ENV_VAR`] set it explicitly.
     pub audit: bool,
+    /// LP backend for the relaxations. [`BackendKind::Dense`] (the
+    /// default) keeps the reference pipeline: every round rebuilds and
+    /// solves the full problem on the dense tableau. [`BackendKind::Revised`]
+    /// enables the incremental path: the window program is presolved once
+    /// per structure, across fixed-point rounds only the `C7_j` budget-row
+    /// right-hand sides are mutated in place, and each re-solve warm-starts
+    /// from the previous round's root basis.
+    pub backend: BackendKind,
+    /// Effort gate: windows whose formulation has more than this many
+    /// integral variables are not solved at all — the engine returns the
+    /// formulation's deterministic safe delay cap (`N · M`, an upper
+    /// bound on the objective `Σ_k Δ_k`) with `exact = false` instead.
+    ///
+    /// The big-M placement formulation has an LP relaxation too weak to
+    /// prune its highly symmetric branch-and-bound tree, so large windows
+    /// are intractable for *any* LP backend (the paper solves them with
+    /// CPLEX's cut generation, which this reproduction does not have).
+    /// The gate keeps bounded-effort sweeps deterministic: whether a
+    /// window is solved depends only on the problem, never on the
+    /// backend, so `dense` and `revised` produce identical verdicts by
+    /// construction. `None` (the default) never gates — the historical
+    /// behavior for validation-sized windows.
+    pub bin_budget: Option<usize>,
+    /// Presolved program reused across solves of structurally identical
+    /// windows (revised backend only).
+    program: RefCell<Option<ProgramCache>>,
+    /// Cumulative solver effort across every solve this engine performed.
+    stats: Cell<SolverStats>,
+}
+
+/// Cached incremental state: one presolved window program plus the basis
+/// that re-solves of the same structure warm-start from.
+#[derive(Debug, Clone)]
+struct ProgramCache {
+    /// Hash of the problem structure (everything except budget-row RHS).
+    fingerprint: u64,
+    program: Box<PresolvedProblem>,
+    basis: Option<Basis>,
 }
 
 impl MilpEngine {
@@ -77,16 +119,49 @@ impl MilpEngine {
         }
     }
 
+    /// Selects the LP backend (see the `backend` field).
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the effort gate (see the `bin_budget` field).
+    #[must_use]
+    pub fn with_bin_budget(mut self, bin_budget: Option<usize>) -> Self {
+        self.bin_budget = bin_budget;
+        self
+    }
+
+    /// Cumulative solver effort (LP pivots, presolve reductions, B&B
+    /// nodes, warm-start hits) across every solve so far.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats.get()
+    }
+
+    fn record(&self, stats: SolverStats) {
+        let mut cur = self.stats.get();
+        cur.merge(stats);
+        self.stats.set(cur);
+    }
+
     /// Builds the MILP for a window (exposed for inspection and tests).
     pub fn build_problem(&self, w: &WindowModel) -> Problem {
         Formulation::build(w).problem
     }
 
     fn solve(&self, problem: &Problem) -> Result<MilpSolution, CoreError> {
-        let solver = Solver::with_limits(self.limits.clone());
+        let solver = Solver::with_limits(self.limits.clone()).with_backend(self.backend);
         if !self.audit {
+            if self.backend == BackendKind::Revised {
+                return self.solve_incremental(problem);
+            }
             return Ok(solver.solve(problem)?);
         }
+        // Audited solves always run the full pipeline: `Solver::solve`
+        // restores through the inverse transforms before the audit checks
+        // the answer against the original problem, so a presolve bug is a
+        // refutation, never a silent shift.
         let audited = solver.solve_audited(problem)?;
         if audited.report.failed() {
             return Err(audit_error(&audited.report));
@@ -99,6 +174,83 @@ impl MilpEngine {
             AuditedOutcome::Infeasible => Err(MilpError::Infeasible.into()),
         }
     }
+
+    /// The incremental path: presolve once per window structure, then per
+    /// fixed-point round mutate only the budget-row RHS values and re-solve
+    /// warm-started from the previous round's root basis.
+    fn solve_incremental(&self, problem: &Problem) -> Result<MilpSolution, CoreError> {
+        let budget_rows: Vec<(usize, f64)> = problem
+            .constraints()
+            .filter(|c| c.name().is_some_and(|n| n.starts_with("C7_")))
+            .map(|c| (c.index(), c.rhs()))
+            .collect();
+        let fingerprint = structural_fingerprint(problem, &budget_rows);
+
+        let mut slot = self.program.borrow_mut();
+        let reuse = matches!(&*slot, Some(c) if c.fingerprint == fingerprint);
+        if reuse {
+            let cache = slot.as_mut().expect("reuse implies a cached program");
+            for &(row, rhs) in &budget_rows {
+                cache.program.update_rhs(row, rhs)?;
+            }
+        } else {
+            let mutable: Vec<usize> = budget_rows.iter().map(|&(r, _)| r).collect();
+            let program = match presolve(problem, &mutable)? {
+                PresolveOutcome::Reduced(p) => p,
+                // See `solve`: the windows are feasible by construction.
+                PresolveOutcome::Infeasible(_) => return Err(MilpError::Infeasible.into()),
+            };
+            *slot = Some(ProgramCache {
+                fingerprint,
+                program,
+                basis: None,
+            });
+        }
+        let cache = slot.as_mut().expect("populated above");
+        let solver = Solver::with_limits(self.limits.clone()).with_backend(BackendKind::Revised);
+        let solved = solver.solve_program(&cache.program, cache.basis.as_ref())?;
+        if solved.basis.is_some() {
+            cache.basis = solved.basis;
+        }
+        Ok(solved.solution)
+    }
+}
+
+/// Hashes everything about `problem` except the RHS of the budget rows:
+/// two fixed-point rounds with equal fingerprints differ at most in those
+/// RHS values, so the presolved program can be reused via
+/// [`PresolvedProblem::update_rhs`].
+fn structural_fingerprint(problem: &Problem, budget_rows: &[(usize, f64)]) -> u64 {
+    let mut h = DefaultHasher::new();
+    problem.num_vars().hash(&mut h);
+    matches!(problem.direction(), Objective::Maximize).hash(&mut h);
+    for v in problem.vars() {
+        let (lo, hi) = problem.var_bounds(v);
+        lo.to_bits().hash(&mut h);
+        hi.to_bits().hash(&mut h);
+        problem.var_kind(v).is_integral().hash(&mut h);
+    }
+    for c in problem.constraints() {
+        c.name().hash(&mut h);
+        (c.cmp() as u8).hash(&mut h);
+        for (var, coeff) in c.expr().iter() {
+            var.index().hash(&mut h);
+            coeff.to_bits().hash(&mut h);
+        }
+        c.expr().constant().to_bits().hash(&mut h);
+        if budget_rows
+            .binary_search_by_key(&c.index(), |&(r, _)| r)
+            .is_err()
+        {
+            c.rhs().to_bits().hash(&mut h);
+        }
+    }
+    for (var, coeff) in problem.objective().iter() {
+        var.index().hash(&mut h);
+        coeff.to_bits().hash(&mut h);
+    }
+    problem.objective().constant().to_bits().hash(&mut h);
+    h.finish()
 }
 
 /// Maps the first failed check of `report` to [`CoreError::AuditFailed`].
@@ -121,11 +273,25 @@ fn audit_error(report: &AuditReport) -> CoreError {
 impl DelayEngine for MilpEngine {
     fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
         let f = Formulation::build(w);
+        if let Some(budget) = self.bin_budget {
+            if f.problem.integral_vars().count() > budget {
+                return Ok(DelayBound {
+                    delay: Time::from_f64_ceil(f.delay_cap - 1e-6),
+                    exact: false,
+                    nodes: 0,
+                });
+            }
+        }
         let sol = self.solve(&f.problem)?;
+        self.record(sol.stats());
         let (value, exact) = if sol.is_optimal() {
             (sol.objective(), true)
         } else {
-            (sol.proven_bound(), false)
+            // Node limit hit: fall back to the formulation's own cap, not
+            // the search's remaining-tree bound. Both are safe upper
+            // bounds, but the cap is a function of the problem alone, so
+            // every LP backend reports the same (conservative) delay.
+            (f.delay_cap, false)
         };
         // All durations are integer ticks, so the optimum is integral;
         // round defensively toward the safe side.
@@ -144,6 +310,10 @@ type VarGrid = Vec<Vec<Option<Var>>>;
 
 struct Formulation {
     problem: Problem,
+    /// Deterministic upper bound on the objective: `N` intervals, each
+    /// `Δ_k ≤ M` by its variable bound, so `Σ_k Δ_k ≤ N·M`. Used as the
+    /// safe fallback delay when a solve is gated or hits its node limit.
+    delay_cap: f64,
 }
 
 impl Formulation {
@@ -395,7 +565,10 @@ impl Formulation {
         }
         p.set_objective(obj);
 
-        Formulation { problem: p }
+        Formulation {
+            problem: p,
+            delay_cap: n as f64 * big_m,
+        }
     }
 }
 
@@ -487,6 +660,45 @@ mod tests {
     }
 
     #[test]
+    fn effort_gate_returns_the_deterministic_cap_for_both_backends() {
+        let w = window(
+            vec![
+                test_task(0, 10, 1, 1, 10_000, 0, false),
+                test_task(1, 500, 1, 1, 10_000, 1, false),
+            ],
+            0,
+            WindowCase::Nls,
+            12,
+        );
+        // A zero budget gates every window; the bound must not depend on
+        // the backend (it is computed from the formulation, not a search).
+        let gated: Vec<DelayBound> = [BackendKind::Dense, BackendKind::Revised]
+            .into_iter()
+            .map(|k| {
+                MilpEngine::new()
+                    .with_backend(k)
+                    .with_bin_budget(Some(0))
+                    .max_total_delay(&w)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(gated[0].delay, gated[1].delay);
+        assert!(!gated[0].exact && gated[0].nodes == 0);
+        // The cap dominates the true optimum (515 here): it is a safe,
+        // conservative over-approximation, never an underestimate.
+        let full = MilpEngine::default().max_total_delay(&w).unwrap();
+        assert!(full.exact);
+        assert!(gated[0].delay >= full.delay);
+        // An ample budget never gates.
+        let ungated = MilpEngine::new()
+            .with_bin_budget(Some(10_000))
+            .max_total_delay(&w)
+            .unwrap();
+        assert_eq!(ungated.delay, full.delay);
+        assert!(ungated.exact);
+    }
+
+    #[test]
     fn problem_size_scales_with_intervals() {
         let w = window(
             vec![
@@ -500,6 +712,58 @@ mod tests {
         let p = MilpEngine::default().build_problem(&w);
         assert!(p.num_vars() > 4 * w.n());
         assert!(p.num_constraints() >= 2 * w.n());
+    }
+
+    #[test]
+    fn revised_backend_matches_dense_and_warm_starts() {
+        let tasks = || {
+            vec![
+                test_task(0, 10, 2, 2, 100, 0, false),
+                test_task(1, 20, 4, 4, 200, 1, false),
+                test_task(2, 30, 5, 5, 300, 2, true),
+            ]
+        };
+        let dense = MilpEngine::default();
+        let revised = MilpEngine::default().with_backend(BackendKind::Revised);
+        // Several window lengths: structure changes as n grows, and the
+        // repeat of each length exercises the fingerprint-reuse path the
+        // fixed-point iteration takes once budgets stabilize.
+        for t in [10, 25, 25, 50, 50] {
+            let w = window(tasks(), 0, WindowCase::Nls, t);
+            let a = dense.max_total_delay(&w).unwrap();
+            let b = revised.max_total_delay(&w).unwrap();
+            assert_eq!(a.delay, b.delay, "t={t}");
+            assert_eq!(a.exact, b.exact, "t={t}");
+        }
+        let stats = revised.solver_stats();
+        assert!(stats.lp_solves > 0);
+        assert!(
+            stats.warm_start_hits > 0,
+            "repeated structures must warm-start: {stats}"
+        );
+        assert!(
+            dense.solver_stats().warm_start_attempts == 0,
+            "dense reference path never warm-starts"
+        );
+        assert!(dense.solver_stats().bb_nodes > 0);
+    }
+
+    #[test]
+    fn audited_revised_backend_is_certified() {
+        let w = window(
+            vec![
+                test_task(0, 10, 2, 2, 100, 0, false),
+                test_task(1, 20, 4, 4, 200, 1, false),
+            ],
+            0,
+            WindowCase::Nls,
+            20,
+        );
+        let audited = MilpEngine::audited().with_backend(BackendKind::Revised);
+        let plain = MilpEngine::default();
+        let a = audited.max_total_delay(&w).unwrap();
+        let b = plain.max_total_delay(&w).unwrap();
+        assert_eq!(a.delay, b.delay);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub use error::CoreError;
 pub use formulation::{MilpEngine, AUDIT_ENV_VAR};
 pub use ls_search::{exhaustive_ls_assignment, ExhaustiveResult};
 pub use partitioning::{analyze_platform, partition, Heuristic, Partitioning};
+pub use pmcs_milp::{BackendKind, SolverStats};
 pub use protocol::{ProtocolRule, RULES};
 pub use schedulability::{
     analyze_task_set, promotion_affects, LsAssignment, SchedulabilityReport, TaskVerdict,

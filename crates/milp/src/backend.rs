@@ -1,0 +1,251 @@
+//! Pluggable LP backends for the staged solver pipeline.
+//!
+//! Branch & bound ([`crate::branch`]) no longer calls the dense simplex
+//! directly; it prices each node's relaxation through the [`LpBackend`]
+//! trait. Two implementations exist:
+//!
+//! * [`DenseBackend`] — the original dense-tableau two-phase simplex
+//!   ([`crate::simplex`]), kept verbatim as the *reference* backend. It
+//!   solves the original (un-presolved) problem and is the oracle the
+//!   differential tests compare against.
+//! * [`RevisedBackend`] — the sparse revised simplex with explicit basis
+//!   factorization ([`crate::revised`]). It can adopt a starting
+//!   [`Basis`] (warm start) and exports the optimal basis of every solve,
+//!   which branch & bound feeds to child nodes and
+//!   [`Solver::solve_program`](crate::Solver::solve_program) carries
+//!   across fixed-point rounds.
+//!
+//! A [`Basis`] is a snapshot of column statuses over the *standardized*
+//! column space of the revised backend (structural columns, split
+//! negative parts, slacks, equality artificials — a deterministic
+//! function of the problem structure). Bases are only meaningful for the
+//! backend and problem shape that produced them; backends must reject
+//! anything that does not fit ([`WarmStart::Miss`]) and fall back to a
+//! cold start.
+
+use std::fmt;
+
+use crate::error::MilpError;
+use crate::problem::Problem;
+use crate::revised::RevisedSimplex;
+use crate::simplex::{LpOutcome, Simplex};
+
+/// Which LP backend a [`Solver`](crate::Solver) routes node relaxations
+/// through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// Reference dense-tableau simplex on the original problem (no
+    /// presolve, no warm starts). The correctness oracle.
+    #[default]
+    Dense,
+    /// Presolve + sparse revised simplex with basis warm starts.
+    Revised,
+}
+
+impl BackendKind {
+    /// Parses a CLI/env spelling (`dense` / `revised`).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "dense" => Some(BackendKind::Dense),
+            "revised" => Some(BackendKind::Revised),
+            _ => None,
+        }
+    }
+
+    /// Canonical lowercase name (the spelling [`parse`](Self::parse)
+    /// accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Dense => "dense",
+            BackendKind::Revised => "revised",
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Status of one standardized column in a [`Basis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BasisStatus {
+    /// Basic in the given row slot.
+    Basic(usize),
+    /// Non-basic at its lower bound.
+    AtLower,
+    /// Non-basic at its upper bound.
+    AtUpper,
+}
+
+/// A simplex basis snapshot: one [`BasisStatus`] per standardized column.
+///
+/// Produced by backends that support warm starts; opaque to callers,
+/// which only shuttle it between solves of structurally identical
+/// problems (parent → child B&B nodes, round → round window re-solves).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Basis {
+    pub(crate) statuses: Vec<BasisStatus>,
+}
+
+impl Basis {
+    /// Number of standardized columns the basis covers.
+    pub fn len(&self) -> usize {
+        self.statuses.len()
+    }
+
+    /// `true` iff the basis covers no columns.
+    pub fn is_empty(&self) -> bool {
+        self.statuses.is_empty()
+    }
+}
+
+/// Whether a warm-start basis offered to a backend was adopted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStart {
+    /// No basis was offered, or the backend does not support warm starts.
+    NotAttempted,
+    /// The offered basis was adopted (the solve started from it, possibly
+    /// after primal repair pivots).
+    Hit,
+    /// The offered basis did not fit (wrong shape, incomplete row cover,
+    /// or singular factorization); the backend cold-started instead.
+    Miss,
+}
+
+/// Result of one LP solve through an [`LpBackend`].
+#[derive(Debug, Clone)]
+pub struct LpRun {
+    /// The LP verdict.
+    pub outcome: LpOutcome,
+    /// Optimal basis, when the backend exports one (only on `Optimal`).
+    pub basis: Option<Basis>,
+    /// Simplex iterations performed (pivots and bound flips).
+    pub pivots: u64,
+    /// Warm-start disposition of this solve.
+    pub warm: WarmStart,
+}
+
+/// An LP solver usable as the relaxation engine of branch & bound.
+///
+/// Implementations must be deterministic: identical `(problem, bounds,
+/// warm)` inputs must produce identical outcomes, since the analysis
+/// pipeline pins byte-identical results across backends and thread
+/// counts.
+pub trait LpBackend: fmt::Debug {
+    /// Canonical backend name (for stats and reports).
+    fn name(&self) -> &'static str;
+
+    /// Solves the LP relaxation of `problem` under `bounds` overrides,
+    /// optionally warm-starting from `warm`.
+    ///
+    /// # Errors
+    ///
+    /// [`MilpError::InvalidProblem`] for malformed input and
+    /// [`MilpError::NumericalTrouble`] on convergence failure; an
+    /// infeasible or unbounded LP is an [`LpOutcome`], not an error.
+    fn solve_lp(
+        &self,
+        problem: &Problem,
+        bounds: &[(f64, f64)],
+        warm: Option<&Basis>,
+    ) -> Result<LpRun, MilpError>;
+}
+
+/// The reference backend: dense-tableau two-phase simplex.
+#[derive(Debug, Clone, Default)]
+pub struct DenseBackend {
+    /// The wrapped dense simplex configuration.
+    pub simplex: Simplex,
+}
+
+impl LpBackend for DenseBackend {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn solve_lp(
+        &self,
+        problem: &Problem,
+        bounds: &[(f64, f64)],
+        _warm: Option<&Basis>,
+    ) -> Result<LpRun, MilpError> {
+        let (outcome, pivots) = self.simplex.solve_with_bounds_counted(problem, bounds)?;
+        Ok(LpRun {
+            outcome,
+            basis: None,
+            pivots,
+            warm: WarmStart::NotAttempted,
+        })
+    }
+}
+
+/// The sparse revised-simplex backend with warm starts.
+#[derive(Debug, Clone, Default)]
+pub struct RevisedBackend {
+    /// The wrapped revised simplex configuration.
+    pub simplex: RevisedSimplex,
+}
+
+impl LpBackend for RevisedBackend {
+    fn name(&self) -> &'static str {
+        "revised"
+    }
+
+    fn solve_lp(
+        &self,
+        problem: &Problem,
+        bounds: &[(f64, f64)],
+        warm: Option<&Basis>,
+    ) -> Result<LpRun, MilpError> {
+        self.simplex.solve_with_bounds(problem, bounds, warm)
+    }
+}
+
+/// Materializes the backend for a [`BackendKind`].
+pub fn backend_for(kind: BackendKind) -> Box<dyn LpBackend> {
+    match kind {
+        BackendKind::Dense => Box::new(DenseBackend::default()),
+        BackendKind::Revised => Box::new(RevisedBackend::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Cmp;
+
+    #[test]
+    fn kind_parsing_round_trips() {
+        assert_eq!(BackendKind::parse("dense"), Some(BackendKind::Dense));
+        assert_eq!(BackendKind::parse("revised"), Some(BackendKind::Revised));
+        assert_eq!(BackendKind::parse("simplex"), None);
+        for kind in [BackendKind::Dense, BackendKind::Revised] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(BackendKind::default(), BackendKind::Dense);
+    }
+
+    #[test]
+    fn dense_backend_counts_pivots_and_never_warm_starts() {
+        let mut p = Problem::maximize();
+        let x = p.continuous("x", 0.0, f64::INFINITY);
+        let y = p.continuous("y", 0.0, f64::INFINITY);
+        p.constrain(x + y, Cmp::Le, 4.0);
+        p.set_objective(x + 2.0 * y);
+        let bounds = vec![(0.0, f64::INFINITY); 2];
+        let run = DenseBackend::default().solve_lp(&p, &bounds, None).unwrap();
+        assert!(matches!(run.outcome, LpOutcome::Optimal(_)));
+        assert!(run.pivots > 0, "a nontrivial LP takes at least one pivot");
+        assert!(run.basis.is_none());
+        assert_eq!(run.warm, WarmStart::NotAttempted);
+    }
+
+    #[test]
+    fn backend_for_matches_kinds() {
+        assert_eq!(backend_for(BackendKind::Dense).name(), "dense");
+        assert_eq!(backend_for(BackendKind::Revised).name(), "revised");
+    }
+}

@@ -29,6 +29,12 @@ pub struct LpSolution {
 }
 
 impl LpSolution {
+    /// Assembles a solution from extracted values (used by the LP
+    /// backends; `objective` must already include the constant term).
+    pub(crate) fn from_parts(values: Vec<f64>, objective: f64) -> LpSolution {
+        LpSolution { values, objective }
+    }
+
     /// Value of a variable at the optimum.
     pub fn value(&self, var: Var) -> f64 {
         self.values[var.index()]
@@ -200,6 +206,23 @@ impl Simplex {
         problem: &Problem,
         bounds: &[(f64, f64)],
     ) -> Result<LpOutcome, MilpError> {
+        self.solve_with_bounds_counted(problem, bounds)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Simplex::solve_with_bounds`] plus the number of simplex
+    /// iterations performed (pivots and bound flips), feeding
+    /// [`SolverStats`](crate::SolverStats).
+    ///
+    /// # Errors
+    ///
+    /// See [`Simplex::solve_with_bounds`].
+    pub fn solve_with_bounds_counted(
+        &self,
+        problem: &Problem,
+        bounds: &[(f64, f64)],
+    ) -> Result<(LpOutcome, u64), MilpError> {
+        let mut pivots = 0u64;
         problem.validate()?;
         if bounds.len() != problem.num_vars() {
             return Err(MilpError::InvalidProblem(format!(
@@ -336,7 +359,12 @@ impl Simplex {
             tab.cost[j] = 1.0;
         }
         tab.refresh_reduced_costs();
-        match self.run_phase(&mut tab, /*phase=*/ 1, /*allow_art=*/ true)? {
+        match self.run_phase(
+            &mut tab,
+            /*phase=*/ 1,
+            /*allow_art=*/ true,
+            &mut pivots,
+        )? {
             PhaseResult::Unbounded => {
                 // Phase-1 objective is bounded below by 0; this cannot
                 // happen with exact arithmetic.
@@ -348,7 +376,7 @@ impl Simplex {
             PhaseResult::Converged => {}
         }
         if tab.objective() > self.tol * (1.0 + b_norm(problem)) {
-            return Ok(LpOutcome::Infeasible);
+            return Ok((LpOutcome::Infeasible, pivots));
         }
         // Drive basic artificials out where possible (degenerate pivots).
         for r in 0..m {
@@ -394,8 +422,8 @@ impl Simplex {
             }
         }
         tab.refresh_reduced_costs();
-        match self.run_phase(&mut tab, 2, false)? {
-            PhaseResult::Unbounded => return Ok(LpOutcome::Unbounded),
+        match self.run_phase(&mut tab, 2, false, &mut pivots)? {
+            PhaseResult::Unbounded => return Ok((LpOutcome::Unbounded, pivots)),
             PhaseResult::Converged => {}
         }
 
@@ -405,7 +433,7 @@ impl Simplex {
             values[i] = tab.x[pos] - neg.map(|c| tab.x[c]).unwrap_or(0.0);
         }
         let objective = problem.objective.evaluate(&values);
-        Ok(LpOutcome::Optimal(LpSolution { values, objective }))
+        Ok((LpOutcome::Optimal(LpSolution { values, objective }), pivots))
     }
 
     /// Runs one simplex phase to optimality.
@@ -414,6 +442,7 @@ impl Simplex {
         tab: &mut Tableau,
         phase: u8,
         allow_artificial_entering: bool,
+        pivots: &mut u64,
     ) -> Result<PhaseResult, MilpError> {
         let mut degenerate_run = 0usize;
         let mut use_bland = false;
@@ -458,6 +487,7 @@ impl Simplex {
             let Some((q, _, sigma)) = entering else {
                 return Ok(PhaseResult::Converged);
             };
+            *pivots += 1;
 
             // --- Ratio test ---------------------------------------------
             // Entering variable moves by σ·t, basic values change by

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::expr::Var;
+use crate::stats::SolverStats;
 
 /// How the branch & bound run ended.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,7 +28,7 @@ pub struct MilpSolution {
     pub(crate) values: Vec<f64>,
     pub(crate) objective: f64,
     pub(crate) status: SolveStatus,
-    pub(crate) nodes: usize,
+    pub(crate) stats: SolverStats,
 }
 
 impl MilpSolution {
@@ -62,7 +63,13 @@ impl MilpSolution {
 
     /// Branch-and-bound nodes explored.
     pub fn nodes(&self) -> usize {
-        self.nodes
+        self.stats.bb_nodes as usize
+    }
+
+    /// Full solver-effort record for this solve (nodes, LP solves,
+    /// pivots, warm starts, presolve reductions).
+    pub fn stats(&self) -> SolverStats {
+        self.stats
     }
 
     /// `true` iff the solution is proven optimal.
@@ -77,7 +84,7 @@ impl fmt::Display for MilpSolution {
             f,
             "objective {} ({} nodes, {})",
             self.objective,
-            self.nodes,
+            self.stats.bb_nodes,
             match self.status {
                 SolveStatus::Optimal => "optimal".to_string(),
                 SolveStatus::LimitReached { bound } => format!("limit reached, bound {bound}"),
@@ -96,7 +103,10 @@ mod tests {
             values: vec![1.0, 0.0],
             objective: 5.0,
             status: SolveStatus::Optimal,
-            nodes: 3,
+            stats: SolverStats {
+                bb_nodes: 3,
+                ..SolverStats::default()
+            },
         };
         assert_eq!(s.value(Var(0)), 1.0);
         assert_eq!(s.values(), &[1.0, 0.0]);
@@ -113,7 +123,10 @@ mod tests {
             values: vec![],
             objective: 4.0,
             status: SolveStatus::LimitReached { bound: 6.0 },
-            nodes: 100,
+            stats: SolverStats {
+                bb_nodes: 100,
+                ..SolverStats::default()
+            },
         };
         assert!(!s.is_optimal());
         assert_eq!(s.proven_bound(), 6.0);
