@@ -22,6 +22,12 @@ pub const JOBS_ENV_VAR: &str = "PMCS_JOBS";
 /// and the MILP engine, where used, runs its dense reference backend.
 pub const LP_BACKEND_ENV_VAR: &str = "PMCS_LP_BACKEND";
 
+/// Environment variable naming the number of adversarial release plans
+/// to cross-validate per schedulable set (CLI edge only; an explicit
+/// `--cross-validate` flag wins). `0` (the default) disables
+/// cross-validation.
+pub const CROSS_VALIDATE_ENV_VAR: &str = "PMCS_CROSS_VALIDATE";
+
 /// Resolved analysis configuration.
 ///
 /// Construction paths:
@@ -50,6 +56,10 @@ pub struct AnalysisConfig {
     /// presolve, incremental RHS updates and warm starts). `None` (the
     /// default) keeps the exact combinatorial engine.
     pub lp_backend: Option<BackendKind>,
+    /// Number of adversarial release plans to simulate per schedulable
+    /// set, checking observed worst responses against the analytical WCRT
+    /// bounds (`0` disables cross-validation).
+    pub cross_validate: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -60,6 +70,7 @@ impl Default for AnalysisConfig {
             audit: false,
             max_states: pmcs_core::engine::DEFAULT_MAX_STATES,
             lp_backend: None,
+            cross_validate: 0,
         }
     }
 }
@@ -79,6 +90,8 @@ pub struct CliOverrides {
     pub max_states: Option<usize>,
     /// `--lp-backend dense|revised`.
     pub lp_backend: Option<BackendKind>,
+    /// `--cross-validate N`.
+    pub cross_validate: Option<usize>,
 }
 
 impl AnalysisConfig {
@@ -115,12 +128,21 @@ impl AnalysisConfig {
                 .ok()
                 .and_then(|v| BackendKind::parse(&v))
         });
+        let cross_validate = cli
+            .cross_validate
+            .or_else(|| {
+                std::env::var(CROSS_VALIDATE_ENV_VAR)
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(defaults.cross_validate);
         AnalysisConfig {
             jobs,
             cache: cli.cache.unwrap_or(defaults.cache),
             audit,
             max_states: cli.max_states.unwrap_or(defaults.max_states).max(1),
             lp_backend,
+            cross_validate,
         }
     }
 
@@ -140,6 +162,13 @@ impl AnalysisConfig {
     /// (`None` restores the exact-engine base).
     pub fn with_lp_backend(mut self, backend: Option<BackendKind>) -> Self {
         self.lp_backend = backend;
+        self
+    }
+
+    /// A copy with a different number of cross-validation plans per
+    /// schedulable set (`0` disables cross-validation).
+    pub fn with_cross_validate(mut self, plans: usize) -> Self {
+        self.cross_validate = plans;
         self
     }
 }
@@ -165,12 +194,14 @@ mod tests {
             audit: Some(true),
             max_states: Some(7),
             lp_backend: Some(BackendKind::Revised),
+            cross_validate: Some(5),
         });
         assert_eq!(cfg.jobs, 3);
         assert!(!cfg.cache);
         assert!(cfg.audit);
         assert_eq!(cfg.max_states, 7);
         assert_eq!(cfg.lp_backend, Some(BackendKind::Revised));
+        assert_eq!(cfg.cross_validate, 5);
     }
 
     #[test]
@@ -193,8 +224,17 @@ mod tests {
 
     #[test]
     fn builder_helpers_compose() {
-        let cfg = AnalysisConfig::default().with_jobs(4).with_cache(false);
+        let cfg = AnalysisConfig::default()
+            .with_jobs(4)
+            .with_cache(false)
+            .with_cross_validate(3);
         assert_eq!(cfg.jobs, 4);
         assert!(!cfg.cache);
+        assert_eq!(cfg.cross_validate, 3);
+    }
+
+    #[test]
+    fn cross_validate_defaults_off() {
+        assert_eq!(AnalysisConfig::default().cross_validate, 0);
     }
 }

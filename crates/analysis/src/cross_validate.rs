@@ -1,0 +1,478 @@
+//! Simulation-vs-analysis cross-validation: a mass falsification harness
+//! for the analytical WCRT bounds.
+//!
+//! The paper's protocol is defined operationally (rules R1–R6) while its
+//! guarantees are analytical (the WCRT bounds of Sections V–VI). This
+//! module closes the loop: for a task set and an analysis approach it
+//! simulates a family of adversarial release plans under the *simulating*
+//! policy of the same approach (looked up in [`pmcs_sim::Registry`]),
+//! validates every trace (Properties 1–4 plus R1–R6 conformance, where
+//! the trace has interval structure), and asserts
+//! `observed worst response ≤ analytical WCRT` for every task.
+//!
+//! **Semantics.** Any violation is a [`Refutation`]: a machine-readable
+//! record naming the approach, the plan (family + seed — fully
+//! reproducing the run), the task, the observed response, the violated
+//! bound and a trace excerpt. A refutation *refutes the analysis* (or the
+//! simulator — either way the stack is broken). A clean pass is
+//! **necessary, not sufficient**: simulation explores finitely many
+//! plans, analysis quantifies over all of them.
+//!
+//! Bounds are only checked when the approach reports the set
+//! *schedulable*: for unschedulable sets the analytical per-task numbers
+//! are not sound operational bounds (inter-job precedence defers releases
+//! once some task overruns, shifting every later response).
+
+use std::time::Instant;
+
+use pmcs_model::{TaskId, TaskSet, Time};
+use pmcs_sim::{
+    check_conformance, simulate_with, validate_trace, ProtocolPolicy, ReleasePlan, SimResult,
+};
+use pmcs_workload::{adversarial_plan, adversarial_specs, PlanSpec};
+
+use crate::analyzer::AnalysisContext;
+use crate::error::AnalysisError;
+use crate::registry::Registry;
+use crate::report::ApproachReport;
+
+/// Aggregate simulation-effort counters for one cross-validation run
+/// (the `sim_*` keys of the bench perf records).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimCounters {
+    /// Release plans simulated.
+    pub plans_run: u64,
+    /// Traces checked against Properties 1–4 and R1–R6 (serialized NPS
+    /// traces have no interval structure and are not counted).
+    pub traces_validated: u64,
+    /// Refutations found (bound violations, invalid traces,
+    /// non-conformant traces).
+    pub refutations: u64,
+    /// Wall-clock seconds spent simulating and validating.
+    pub sim_secs: f64,
+}
+
+impl SimCounters {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: &SimCounters) {
+        self.plans_run += other.plans_run;
+        self.traces_validated += other.traces_validated;
+        self.refutations += other.refutations;
+        self.sim_secs += other.sim_secs;
+    }
+}
+
+/// What a refutation refutes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefutationKind {
+    /// A task's observed worst response exceeded its analytical WCRT.
+    BoundExceeded {
+        /// The violating task.
+        task: TaskId,
+        /// Observed worst response under the plan.
+        observed: Time,
+        /// The violated analytical bound.
+        bound: Time,
+    },
+    /// The trace violated one of the paper's Properties 1–4.
+    InvalidTrace {
+        /// Rendered violation list.
+        violations: String,
+    },
+    /// The trace violated the R1–R6 conformance rules.
+    NonConformant {
+        /// Rendered diagnostic list.
+        diagnostics: String,
+    },
+}
+
+/// A machine-readable cross-validation failure: enough to reproduce the
+/// run (approach + plan spec) and to locate the defect (kind + excerpt).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Refutation {
+    /// Name of the refuted analysis approach.
+    pub approach: String,
+    /// The adversarial plan that produced the counterexample (its seed
+    /// fully reproduces the plan).
+    pub plan: PlanSpec,
+    /// What went wrong.
+    pub kind: RefutationKind,
+    /// A short excerpt of the offending trace region.
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Refutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "REFUTATION approach={} plan={}",
+            self.approach, self.plan
+        )?;
+        match &self.kind {
+            RefutationKind::BoundExceeded {
+                task,
+                observed,
+                bound,
+            } => write!(
+                f,
+                " kind=bound-exceeded task={task} observed={observed} bound={bound}"
+            ),
+            RefutationKind::InvalidTrace { violations } => {
+                write!(f, " kind=invalid-trace violations=[{violations}]")
+            }
+            RefutationKind::NonConformant { diagnostics } => {
+                write!(f, " kind=non-conformant diagnostics=[{diagnostics}]")
+            }
+        }?;
+        write!(f, " excerpt=[{}]", self.excerpt)
+    }
+}
+
+/// The horizon over which adversarial plans release jobs: several
+/// periods of the slowest task plus slack, so every task sees multiple
+/// activations under every plan family.
+pub fn plan_horizon(set: &TaskSet) -> Time {
+    let max_t = set
+        .iter()
+        .filter_map(|t| t.arrival().min_inter_arrival())
+        .max()
+        .unwrap_or(Time::ZERO);
+    let total_wcet: i64 = set.iter().map(|t| t.wcet_serialized().as_ticks()).sum();
+    max_t * 3 + Time::from_ticks(2 * total_wcet)
+}
+
+/// The simulation horizon: the plan horizon plus enough tail for every
+/// released job of a schedulable set to complete (jobs cut by the
+/// horizon are skipped by `worst_response` — conservative, part of why a
+/// pass is necessary-not-sufficient).
+fn sim_horizon(set: &TaskSet) -> Time {
+    let max_d = set.iter().map(|t| t.deadline()).max().unwrap_or(Time::ZERO);
+    let total_wcet: i64 = set.iter().map(|t| t.wcet_serialized().as_ticks()).sum();
+    plan_horizon(set) + max_d + Time::from_ticks(2 * total_wcet)
+}
+
+/// A compact excerpt of the trace around a task's worst-response job
+/// (or the trace tail when no task is singled out).
+fn trace_excerpt(result: &SimResult, task: Option<TaskId>) -> String {
+    let events: Vec<String> = match task {
+        Some(task) => result
+            .events()
+            .iter()
+            .filter(|e| e.job.task() == task)
+            .map(|e| e.to_string())
+            .collect(),
+        None => result.events().iter().map(|e| e.to_string()).collect(),
+    };
+    let tail = events.len().saturating_sub(6);
+    events[tail..].join("; ")
+}
+
+/// The innermost driver: simulates each plan spec under `policy` and
+/// checks the supplied `(task, bound)` pairs directly.
+///
+/// This is the layer negative tests target: hand it a deliberately
+/// weakened bound (analytical WCRT minus one tick) and it must produce a
+/// [`RefutationKind::BoundExceeded`] naming the task, plan seed and
+/// observed response.
+pub fn cross_validate_bounds(
+    set: &TaskSet,
+    policy: &dyn ProtocolPolicy,
+    bounds: &[(TaskId, Time)],
+    specs: &[PlanSpec],
+    approach: &str,
+) -> (SimCounters, Vec<Refutation>) {
+    let started = Instant::now();
+    let mut counters = SimCounters::default();
+    let mut refutations = Vec::new();
+    let release_horizon = plan_horizon(set);
+    let horizon = sim_horizon(set);
+
+    for &spec in specs {
+        let plan: ReleasePlan = adversarial_plan(set, release_horizon, spec);
+        let result = simulate_with(set, &plan, policy, horizon);
+        counters.plans_run += 1;
+
+        if policy.interval_structured() {
+            let violations = validate_trace(set, &result, policy.ls_rules());
+            if !violations.is_empty() {
+                refutations.push(Refutation {
+                    approach: approach.to_string(),
+                    plan: spec,
+                    kind: RefutationKind::InvalidTrace {
+                        violations: violations
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    },
+                    excerpt: trace_excerpt(&result, None),
+                });
+            }
+            let conformance = check_conformance(set, &result, policy.ls_rules());
+            if conformance.applicable && !conformance.is_conformant() {
+                refutations.push(Refutation {
+                    approach: approach.to_string(),
+                    plan: spec,
+                    kind: RefutationKind::NonConformant {
+                        diagnostics: conformance
+                            .diagnostics
+                            .iter()
+                            .map(|d| d.to_string())
+                            .collect::<Vec<_>>()
+                            .join("; "),
+                    },
+                    excerpt: trace_excerpt(&result, None),
+                });
+            }
+            counters.traces_validated += 1;
+        }
+
+        for &(task, bound) in bounds {
+            if let Some(observed) = result.worst_response(task) {
+                if observed > bound {
+                    refutations.push(Refutation {
+                        approach: approach.to_string(),
+                        plan: spec,
+                        kind: RefutationKind::BoundExceeded {
+                            task,
+                            observed,
+                            bound,
+                        },
+                        excerpt: trace_excerpt(&result, Some(task)),
+                    });
+                }
+            }
+        }
+    }
+
+    counters.refutations = refutations.len() as u64;
+    counters.sim_secs = started.elapsed().as_secs_f64();
+    (counters, refutations)
+}
+
+/// Cross-validates an [`ApproachReport`] against simulation.
+///
+/// Applies the report's final LS marking to the set (the proposed
+/// analysis chooses sensitivities; the simulator must run the set the
+/// analysis actually bounded), always validates traces, and checks WCRT
+/// bounds only when the report says *schedulable* (see the module docs
+/// for why unschedulable bounds are not operational).
+///
+/// # Errors
+///
+/// Returns a model error if the report's sensitivity marking references
+/// tasks absent from `set`.
+pub fn cross_validate_report(
+    set: &TaskSet,
+    policy: &dyn ProtocolPolicy,
+    report: &ApproachReport,
+    specs: &[PlanSpec],
+) -> Result<(SimCounters, Vec<Refutation>), AnalysisError> {
+    let mut marked = set.clone();
+    for task in &report.tasks {
+        if let Some(s) = task.sensitivity {
+            marked = marked
+                .with_sensitivity(task.task, s)
+                .map_err(|e| AnalysisError::Core(pmcs_core::CoreError::Model(e)))?;
+        }
+    }
+    let bounds: Vec<(TaskId, Time)> = if report.schedulable() {
+        report.tasks.iter().map(|t| (t.task, t.wcrt)).collect()
+    } else {
+        Vec::new()
+    };
+    Ok(cross_validate_bounds(
+        &marked,
+        policy,
+        &bounds,
+        specs,
+        &report.approach,
+    ))
+}
+
+/// The one-call convenience: analyzes `set` under the named approach,
+/// looks up its simulating policy, and cross-validates the resulting
+/// report over `plans` adversarial plans seeded from `base_seed`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::UnknownApproach`] if `approach` is in
+/// neither the analyzer registry nor the simulator registry, or any
+/// error the analysis itself produces.
+pub fn cross_validate(
+    set: &TaskSet,
+    approach: &str,
+    plans: usize,
+    base_seed: u64,
+    ctx: &AnalysisContext,
+) -> Result<(ApproachReport, SimCounters, Vec<Refutation>), AnalysisError> {
+    let analyzers = Registry::standard();
+    let analyzer = analyzers.require(approach)?;
+    let sims = pmcs_sim::Registry::standard();
+    let policy = sims
+        .get(approach)
+        .ok_or_else(|| AnalysisError::UnknownApproach(approach.to_string()))?;
+    let report = analyzer.analyze_with(set, ctx)?;
+    let specs = adversarial_specs(plans, base_seed);
+    let (counters, refutations) = cross_validate_report(set, policy, &report, &specs)?;
+    Ok((report, counters, refutations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use pmcs_core::window::test_task;
+
+    fn two_task_set() -> TaskSet {
+        TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 1_000, 0, false),
+            test_task(1, 20, 4, 4, 2_000, 1, false),
+        ])
+        .expect("valid test task set")
+    }
+
+    #[test]
+    fn clean_set_produces_no_refutations_for_all_approaches() {
+        let set = two_task_set();
+        let ctx = AnalysisContext::new(&AnalysisConfig::default());
+        for approach in ["proposed", "wp", "nps", "nps-classic"] {
+            let (report, counters, refutations) =
+                cross_validate(&set, approach, 6, 42, &ctx).expect("cross-validation runs");
+            assert!(report.schedulable(), "{approach}: demo set is schedulable");
+            assert_eq!(counters.plans_run, 6, "{approach}");
+            assert!(
+                refutations.is_empty(),
+                "{approach}: unexpected refutations: {refutations:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn weakened_bound_is_refuted_with_task_seed_and_response() {
+        // Single task: completion is exactly l + C + u = 2 + 10 + 2 = 14
+        // under the proposed protocol, so the analytical WCRT is tight.
+        let set = TaskSet::new(vec![test_task(0, 10, 2, 2, 1_000, 0, false)])
+            .expect("valid test task set");
+        let specs = adversarial_specs(3, 7);
+        let tight = Time::from_ticks(14);
+        let weakened = tight - Time::TICK;
+        let (counters, refutations) = cross_validate_bounds(
+            &set,
+            &pmcs_sim::policy::Proposed,
+            &[(TaskId(0), weakened)],
+            &specs,
+            "proposed",
+        );
+        assert!(counters.refutations > 0, "weakened bound must be refuted");
+        let r = refutations
+            .iter()
+            .find(|r| {
+                matches!(
+                    r.kind,
+                    RefutationKind::BoundExceeded { task, observed, bound }
+                        if task == TaskId(0) && observed == tight && bound == weakened
+                )
+            })
+            .expect("a bound-exceeded refutation naming task, observed, bound");
+        let line = r.to_string();
+        assert!(line.contains("REFUTATION"), "{line}");
+        assert!(line.contains("approach=proposed"), "{line}");
+        assert!(line.contains("seed="), "{line}");
+        assert!(line.contains("task=τ0"), "{line}");
+        assert!(line.contains("observed=14"), "{line}");
+        // The tight bound itself passes.
+        let (_, ok) = cross_validate_bounds(
+            &set,
+            &pmcs_sim::policy::Proposed,
+            &[(TaskId(0), tight)],
+            &specs,
+            "proposed",
+        );
+        assert!(ok.is_empty(), "tight bound must not be refuted: {ok:?}");
+    }
+
+    #[test]
+    fn nps_blocking_bound_is_tight_and_weakening_it_refutes() {
+        // The classical NPS blocking example: τ0 (T=1000, serialized 12)
+        // released at 1 behind lp τ1 (serialized 62) released at 0. The
+        // classic analysis bounds R(τ0) = B + C' = 61 + 12 = 73 and the
+        // burst plan family observes exactly that.
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 1, 1, 1_000, 0, false),
+            test_task(1, 60, 1, 1, 10_000, 1, false),
+        ])
+        .expect("valid test task set");
+        let specs = adversarial_specs(6, 11);
+        let (_, refuted) = cross_validate_bounds(
+            &set,
+            &pmcs_sim::policy::Nps,
+            &[(TaskId(0), Time::from_ticks(72))],
+            &specs,
+            "nps-classic",
+        );
+        assert!(
+            refuted
+                .iter()
+                .any(|r| matches!(r.kind, RefutationKind::BoundExceeded { task, .. } if task == TaskId(0))),
+            "weakened NPS bound must be refuted: {refuted:?}"
+        );
+        let (_, ok) = cross_validate_bounds(
+            &set,
+            &pmcs_sim::policy::Nps,
+            &[(TaskId(0), Time::from_ticks(73))],
+            &specs,
+            "nps-classic",
+        );
+        assert!(ok.is_empty(), "classic bound holds: {ok:?}");
+    }
+
+    #[test]
+    fn unschedulable_reports_skip_bound_checks_but_still_validate() {
+        let set = two_task_set();
+        let ctx = AnalysisContext::new(&AnalysisConfig::default());
+        let analyzers = Registry::standard();
+        let analyzer = analyzers.require("wp").expect("wp registered");
+        let mut report = analyzer.analyze_with(&set, &ctx).expect("analysis runs");
+        // Forge an unschedulable verdict with absurd (tiny) bounds: they
+        // must NOT be checked.
+        for t in &mut report.tasks {
+            t.wcrt = Time::ZERO;
+            t.schedulable = false;
+        }
+        let specs = adversarial_specs(3, 5);
+        let (counters, refutations) =
+            cross_validate_report(&set, &pmcs_sim::policy::WaslyPellizzoni, &report, &specs)
+                .expect("cross-validation runs");
+        assert!(refutations.is_empty(), "{refutations:?}");
+        assert_eq!(counters.traces_validated, 3);
+    }
+
+    #[test]
+    fn unknown_approach_errors() {
+        let set = two_task_set();
+        let ctx = AnalysisContext::new(&AnalysisConfig::default());
+        assert!(cross_validate(&set, "bogus", 1, 1, &ctx).is_err());
+    }
+
+    #[test]
+    fn counters_merge() {
+        let mut a = SimCounters {
+            plans_run: 2,
+            traces_validated: 1,
+            refutations: 0,
+            sim_secs: 0.5,
+        };
+        let b = SimCounters {
+            plans_run: 3,
+            traces_validated: 3,
+            refutations: 2,
+            sim_secs: 1.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.plans_run, 5);
+        assert_eq!(a.traces_validated, 4);
+        assert_eq!(a.refutations, 2);
+        assert!((a.sim_secs - 1.5).abs() < 1e-9);
+    }
+}

@@ -50,6 +50,7 @@
 pub mod analyzer;
 pub mod approaches;
 pub mod config;
+pub mod cross_validate;
 pub mod engine_stack;
 pub mod error;
 pub mod registry;
@@ -57,7 +58,13 @@ pub mod report;
 
 pub use analyzer::{AnalysisContext, Analyzer};
 pub use approaches::{NpsAnalyzer, ProposedAnalyzer, WpAnalyzer, WpMilpAnalyzer};
-pub use config::{AnalysisConfig, CliOverrides, JOBS_ENV_VAR, LP_BACKEND_ENV_VAR};
+pub use config::{
+    AnalysisConfig, CliOverrides, CROSS_VALIDATE_ENV_VAR, JOBS_ENV_VAR, LP_BACKEND_ENV_VAR,
+};
+pub use cross_validate::{
+    cross_validate, cross_validate_bounds, cross_validate_report, plan_horizon, Refutation,
+    RefutationKind, SimCounters,
+};
 pub use engine_stack::{milp_engine, AuditedEngine, EngineStack, StackEngine};
 pub use error::AnalysisError;
 pub use registry::Registry;

@@ -11,7 +11,13 @@
 //! * `lint` — run the formulation linter over the same problems, plus a
 //!   deliberately sloppy demo problem that trips every lint code;
 //! * `analyze` — run every approach of the standard `pmcs-analysis`
-//!   registry on the demo set and print the uniform per-task reports.
+//!   registry on the demo set and print the uniform per-task reports;
+//! * `simulate` — cross-validate every approach against the event-kernel
+//!   simulator under adversarial release plans (observed worst response
+//!   must stay within the analytical WCRT, traces must satisfy
+//!   Properties 1–4 and R1–R6), then deliberately weaken the proposed
+//!   bounds to one tick below the observed responses and confirm the
+//!   driver refutes them.
 //!
 //! Engines are built through the `pmcs-analysis` facade: the typed
 //! [`AnalysisConfig`] is resolved once here at the CLI edge (so
@@ -27,14 +33,19 @@
 
 use std::process::ExitCode;
 
-use pmcs_analysis::{milp_engine, AnalysisConfig, AnalysisContext, CliOverrides, Registry};
+use pmcs_analysis::{
+    cross_validate, cross_validate_bounds, milp_engine, plan_horizon, AnalysisConfig,
+    AnalysisContext, CliOverrides, RefutationKind, Registry,
+};
 use pmcs_audit::{check_conformance, lint, Severity, LINT_CODES};
 use pmcs_core::window::case_for;
 use pmcs_core::WindowModel;
 use pmcs_milp::{AuditedOutcome, Cmp, Problem, Solver};
-use pmcs_model::{Sensitivity, TaskSet, Time};
-use pmcs_sim::{simulate, Policy, SimResult, TraceUnit};
-use pmcs_workload::{random_sporadic_plan, TaskSetConfig, TaskSetGenerator};
+use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
+use pmcs_sim::{simulate, simulate_with, Policy, SimResult, TraceUnit};
+use pmcs_workload::{
+    adversarial_plan, adversarial_specs, random_sporadic_plan, TaskSetConfig, TaskSetGenerator,
+};
 
 const USAGE: &str = "\
 pmcs-audit — static analysis over the pmcs analysis pipeline
@@ -47,13 +58,17 @@ COMMANDS:
     milp     solve the WCRT window formulations with exact-arithmetic audits
     lint     lint the window formulations (codes A001-A006)
     analyze  run every registered analysis approach on the demo set
+    simulate cross-validate every approach against adversarial simulation,
+             then refute deliberately weakened bounds
 
 OPTIONS:
     --seed <N>       RNG seed for workload generation      [default: 42]
     --tasks <N>      number of tasks in the generated set  [default: 5]
     --util <X>       total utilization of the set          [default: 0.5]
-    --lp-backend <B> LP backend: dense | revised (milp/analyze; beats
-                     PMCS_LP_BACKEND)
+    --plans <N>      adversarial release plans per approach
+                     (simulate)                            [default: 8]
+    --lp-backend <B> LP backend: dense | revised (milp/analyze/simulate;
+                     beats PMCS_LP_BACKEND)
     -h, --help       print this help
 ";
 
@@ -61,6 +76,7 @@ struct Options {
     seed: u64,
     tasks: usize,
     util: f64,
+    plans: usize,
 }
 
 impl Default for Options {
@@ -69,6 +85,7 @@ impl Default for Options {
             seed: 42,
             tasks: 5,
             util: 0.5,
+            plans: 8,
         }
     }
 }
@@ -97,7 +114,7 @@ fn main() -> ExitCode {
                 };
                 cli.lp_backend = Some(kind);
             }
-            "--seed" | "--tasks" | "--util" => {
+            "--seed" | "--tasks" | "--util" | "--plans" => {
                 let Some(value) = it.next() else {
                     eprintln!("error: {arg} requires a value");
                     return ExitCode::FAILURE;
@@ -105,6 +122,7 @@ fn main() -> ExitCode {
                 let ok = match arg.as_str() {
                     "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
                     "--tasks" => value.parse().map(|v| opts.tasks = v).is_ok(),
+                    "--plans" => value.parse().map(|v| opts.plans = v).is_ok(),
                     _ => value.parse().map(|v| opts.util = v).is_ok(),
                 };
                 if !ok {
@@ -141,6 +159,7 @@ fn main() -> ExitCode {
         Some("milp") => cmd_milp(&opts, &cfg),
         Some("lint") => cmd_lint(&opts, &cfg),
         Some("analyze") => cmd_analyze(&opts, &cfg),
+        Some("simulate") => cmd_simulate(&opts, &cfg),
         Some(other) => {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -391,6 +410,149 @@ fn cmd_analyze(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
                 failed = true;
             }
         }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+// --- simulate -----------------------------------------------------------
+
+fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
+    let set = demo_set(opts);
+    let ctx = AnalysisContext::new(cfg);
+    let analyzers = Registry::standard();
+    let sims = pmcs_sim::Registry::standard();
+    let mut failed = false;
+    let mut proposed: Option<(pmcs_analysis::ApproachReport, Vec<pmcs_workload::PlanSpec>)> = None;
+
+    println!(
+        "cross-validating {} registered approaches against {} adversarial plans each:",
+        analyzers.len(),
+        opts.plans,
+    );
+    for analyzer in analyzers.iter() {
+        let name = analyzer.name();
+        if sims.get(name).is_none() {
+            println!("  {name}: no simulator policy of that name — skipped");
+            continue;
+        }
+        match cross_validate(&set, name, opts.plans, opts.seed, &ctx) {
+            Ok((report, counters, refutations)) => {
+                println!(
+                    "  {name}: {} plan(s) simulated, {} trace(s) validated, \
+                     {} refutation(s) — {}",
+                    counters.plans_run,
+                    counters.traces_validated,
+                    refutations.len(),
+                    if refutations.is_empty() {
+                        "bounds hold"
+                    } else {
+                        "REFUTED"
+                    }
+                );
+                for r in &refutations {
+                    println!("    {r}");
+                    failed = true;
+                }
+                if name == "proposed" {
+                    proposed = Some((report, adversarial_specs(opts.plans, opts.seed)));
+                }
+            }
+            Err(e) => {
+                eprintln!("  {name}: cross-validation FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // Weakened-bound demo: lower every proposed bound to one tick below
+    // the *observed* worst response and confirm the driver refutes it —
+    // proof the pass above was earned, not vacuous. Like the other
+    // deliberately broken demo inputs, the refutations here are expected
+    // and failing to produce them is the bug.
+    let Some((report, specs)) = proposed else {
+        eprintln!("proposed approach missing from the registry — this is a bug");
+        return ExitCode::FAILURE;
+    };
+    // Apply the report's LS marking so the simulator runs the set the
+    // analysis actually bounded (mirrors `cross_validate_report`).
+    let mut marked = set.clone();
+    for t in &report.tasks {
+        if let Some(s) = t.sensitivity {
+            marked = marked
+                .with_sensitivity(t.task, s)
+                .expect("report tasks come from this set");
+        }
+    }
+    let policy = sims
+        .get("proposed")
+        .expect("standard registry has proposed");
+    let release_horizon = plan_horizon(&marked);
+    let max_d = marked
+        .iter()
+        .map(|t| t.deadline())
+        .max()
+        .unwrap_or(Time::ZERO);
+    let tail: i64 = marked.iter().map(|t| t.wcet_serialized().as_ticks()).sum();
+    let horizon = release_horizon + max_d + Time::from_ticks(2 * tail);
+    let mut observed: Vec<(TaskId, Time)> = Vec::new();
+    for &spec in &specs {
+        let result = simulate_with(
+            &marked,
+            &adversarial_plan(&marked, release_horizon, spec),
+            policy,
+            horizon,
+        );
+        for task in marked.iter() {
+            if let Some(worst) = result.worst_response(task.id()) {
+                match observed.iter_mut().find(|(t, _)| *t == task.id()) {
+                    Some((_, cur)) => *cur = (*cur).max(worst),
+                    None => observed.push((task.id(), worst)),
+                }
+            }
+        }
+    }
+    let weakened: Vec<(TaskId, Time)> = observed
+        .iter()
+        .map(|&(t, worst)| (t, worst - Time::TICK))
+        .collect();
+    let (_, refutations) =
+        cross_validate_bounds(&marked, policy, &weakened, &specs, "proposed-weakened");
+    println!(
+        "\nweakened-bound demo: proposed bounds lowered to observed worst \
+         response minus one tick ({} task(s), {} plan(s)):",
+        weakened.len(),
+        specs.len(),
+    );
+    let refuted: Vec<TaskId> = weakened
+        .iter()
+        .map(|&(t, _)| t)
+        .filter(|&t| {
+            refutations
+                .iter()
+                .any(|r| matches!(r.kind, RefutationKind::BoundExceeded { task, .. } if task == t))
+        })
+        .collect();
+    if refuted.len() < weakened.len() {
+        println!(
+            "  only {}/{} weakened bounds were refuted — this is a bug",
+            refuted.len(),
+            weakened.len()
+        );
+        failed = true;
+    } else {
+        println!(
+            "  all {} weakened bounds refuted ({} refutation(s)); first:",
+            weakened.len(),
+            refutations.len()
+        );
+    }
+    if let Some(first) = refutations.first() {
+        println!("  {first}");
     }
 
     if failed {

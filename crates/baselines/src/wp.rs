@@ -17,9 +17,11 @@
 //!   `l̂ = max_j l_j`, `û = max_j u_j` (the DMA may copy out any task and
 //!   copy in any task in that interval). The response bound solves
 //!   `R̄ = B̂ + Σ_{j∈hp} (η_j(t)+1)·Î_j + max(C_i, l̂+û) + u_i` with
-//!   `t = R̄ − C_i − u_i` and `B̂` the sum of the two largest `Î_l` over
-//!   *distinct* lower-priority tasks (up to two blocking intervals, one
-//!   task each).
+//!   `t = R̄ − C_i − u_i` and `B̂` charging two blocking intervals: the
+//!   two largest `Î_l` over distinct lower-priority tasks, or — with a
+//!   single lower-priority task — its `Î_l` plus a standalone copy-in
+//!   interval (`l̂ + û`), since one lp job spans its copy-in interval and
+//!   its execution interval.
 //! * [`wp_milp_analysis`] — the paper's own formulation with **all tasks
 //!   NLS** (rules R3–R5 never trigger, so the proposed protocol degenerates
 //!   to \[3\]); the paper points out this doubles as an improved analysis
@@ -100,11 +102,21 @@ impl WpAnalysis {
         let dma = set.max_copy_in() + set.max_copy_out(); // l̂ + û
 
         let interval = |c: Time| c.max(dma);
-        // Up to two blocking intervals, each hosting a *distinct*
-        // lower-priority task: charge the two largest lp interval bounds.
+        // Up to two blocking intervals. With two or more lower-priority
+        // tasks the worst charge is the two largest lp execution-interval
+        // bounds (distinct tasks, one job each). A *single* lp task still
+        // blocks through two intervals — its standalone DMA copy-in
+        // interval (no execution, length ≤ l̂+û) followed by its execution
+        // interval — and `interval(C) ≥ l̂+û` makes the two-execution
+        // charge dominate that alternative whenever a second lp task
+        // exists.
         let mut lp_bounds: Vec<Time> = set.lower_priority(id).map(|j| interval(j.exec())).collect();
         lp_bounds.sort_unstable_by(|a, b| b.cmp(a));
-        let blocking: Time = lp_bounds.iter().take(2).copied().sum();
+        let blocking: Time = match lp_bounds.len() {
+            0 => Time::ZERO,
+            1 => lp_bounds[0] + dma,
+            _ => lp_bounds[0] + lp_bounds[1],
+        };
         let hp: Vec<_> = set.higher_priority(id).collect();
 
         // The interval executing τ_i also carries DMA work for neighbors.
@@ -192,6 +204,20 @@ mod tests {
         let r = WpAnalysis::default().analyze_task(&set, TaskId(0));
         // B̂ = 400 + 300 (two largest distinct lp tasks); last = 10; + u = 1.
         assert_eq!(r.wcrt, Time::from_ticks(400 + 300 + 10 + 1));
+    }
+
+    #[test]
+    fn single_lp_task_still_charges_two_blocking_intervals() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 1_000, 0, false),
+            test_task(1, 20, 4, 4, 2_000, 1, false),
+        ])
+        .unwrap();
+        let r = WpAnalysis::default().analyze_task(&set, TaskId(0));
+        // The lone lp job blocks via its standalone copy-in interval
+        // (≤ l̂+û = 8) and its execution interval (max(20, 8) = 20);
+        // last = max(10, 8) = 10; + u = 2.
+        assert_eq!(r.wcrt, Time::from_ticks(8 + 20 + 10 + 2));
     }
 
     #[test]

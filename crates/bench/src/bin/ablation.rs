@@ -21,17 +21,24 @@
 //! the greedy pass solve many identical windows. A perf record goes to
 //! `BENCH_ablation.json`.
 //!
-//! Usage: `cargo run --release -p pmcs-bench --bin ablation -- [--sets N] [--jobs N]`
+//! With `--cross-validate N` (or `PMCS_CROSS_VALIDATE`), every analyzed
+//! set is simulated under `N` adversarial release plans per column whose
+//! name has a simulator policy (`wp`, `proposed`; the all-NLS `wp-milp`
+//! column has none and is skipped), checking observed worst responses
+//! against the analytical bounds; refutations exit nonzero.
+//!
+//! Usage: `cargo run --release -p pmcs-bench --bin ablation -- \
+//!     [--sets N] [--jobs N] [--cross-validate N]`
 
 use std::time::Instant;
 
 use pmcs_analysis::{
-    AnalysisConfig, AnalysisContext, CliOverrides, ProposedAnalyzer, Registry, WpAnalyzer,
-    WpMilpAnalyzer,
+    cross_validate_report, AnalysisConfig, AnalysisContext, CliOverrides, ProposedAnalyzer,
+    Registry, SimCounters, WpAnalyzer, WpMilpAnalyzer,
 };
 use pmcs_bench::{parallel_map_with, PerfPoint, PerfRecord};
 use pmcs_core::CacheStats;
-use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
+use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
 
 fn main() {
     let mut sets = 50usize;
@@ -42,6 +49,13 @@ fn main() {
             "--sets" => sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N"),
             "--jobs" => {
                 cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+            }
+            "--cross-validate" => {
+                cli.cross_validate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cross-validate N"),
+                );
             }
             _ => {}
         }
@@ -76,22 +90,43 @@ fn main() {
                 },
                 0xAB1A ^ step,
             );
+            let sim_registry = pmcs_sim::Registry::standard();
+            let mut sim = SimCounters::default();
+            let mut refutations: Vec<String> = Vec::new();
             let (mut closed, mut all_nls, mut greedy) = (0usize, 0usize, 0usize);
-            for _ in 0..sets {
+            for si in 0..sets {
                 let set = generator.generate();
-                let verdict = |name: &str| {
+                let analyze = |name: &str| {
                     registry
                         .require(name)
                         .expect("registered above")
                         .analyze_with(&set, ctx)
                         .expect("analysis")
-                        .schedulable()
                 };
-                closed += usize::from(verdict("wp"));
-                all_nls += usize::from(verdict("wp-milp"));
+                let reports = [analyze("wp"), analyze("wp-milp"), analyze("proposed")];
+                closed += usize::from(reports[0].schedulable());
+                all_nls += usize::from(reports[1].schedulable());
                 // Identical to the proposed pipeline when all-NLS already
                 // passes; the greedy adds LS promotions on top.
-                greedy += usize::from(verdict("proposed"));
+                greedy += usize::from(reports[2].schedulable());
+                if cfg.cross_validate > 0 {
+                    for (ai, report) in reports.iter().enumerate() {
+                        // Columns without a same-named simulator policy
+                        // (the all-NLS `wp-milp` bound) cannot be
+                        // cross-validated and are skipped.
+                        let Some(policy) = sim_registry.get(&report.approach) else {
+                            continue;
+                        };
+                        let specs = adversarial_specs(
+                            cfg.cross_validate,
+                            derive_seed(0xAB1A ^ step, si as u64, ai as u64),
+                        );
+                        let (counters, refs) = cross_validate_report(&set, policy, report, &specs)
+                            .expect("cross-validation");
+                        sim.merge(&counters);
+                        refutations.extend(refs.iter().map(|r| format!("U={u:.2} set={si} {r}")));
+                    }
+                }
             }
             let r = |v: usize| v as f64 / sets as f64;
             let line = format!(
@@ -102,7 +137,7 @@ fn main() {
                 r(all_nls) - r(closed),
                 r(greedy) - r(all_nls),
             );
-            (u, line, t0.elapsed().as_secs_f64())
+            (u, line, sim, refutations, t0.elapsed().as_secs_f64())
         },
     );
 
@@ -110,7 +145,7 @@ fn main() {
         "{:>5} | {:>10} {:>12} {:>12} | {:>10} {:>10}",
         "U", "wp-closed", "all-NLS", "greedy-LS", "Δ analysis", "Δ LS"
     );
-    for (_, line, _) in &lines {
+    for (_, line, _, _, _) in &lines {
         println!("{line}");
     }
     println!(
@@ -127,12 +162,28 @@ fn main() {
     }
     perf.cache = cache;
     perf.extra_num("sets_per_step", sets as f64);
-    for (u, _, secs) in &lines {
+    let mut sim = SimCounters::default();
+    let mut refutations: Vec<String> = Vec::new();
+    for (u, _, step_sim, step_refs, secs) in &lines {
+        sim.merge(step_sim);
+        refutations.extend(step_refs.iter().cloned());
         perf.points.push(PerfPoint {
             label: format!("U={u:.2}"),
             secs: *secs,
         });
     }
+    perf.extra_sim(&sim);
     let path = perf.write().expect("write perf record");
     println!("perf record: {} (cache: {})", path.display(), perf.cache);
+
+    if !refutations.is_empty() {
+        eprintln!(
+            "cross-validation REFUTED {} analytical bound(s):",
+            refutations.len()
+        );
+        for line in &refutations {
+            eprintln!("{line}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -105,6 +105,16 @@ fn main() {
             secs: *secs,
         });
     }
+    // One simulated plan per scenario; the interval-structured policies
+    // (WP, proposed) have their traces validated, NPS has no interval
+    // structure to check. Nothing here is bound-checked, so refutations
+    // are structurally zero.
+    perf.extra_sim(&pmcs_analysis::SimCounters {
+        plans_run: scenarios.len() as u64,
+        traces_validated: scenarios.iter().filter(|(p, _)| *p != Policy::Nps).count() as u64,
+        refutations: 0,
+        sim_secs: rendered.iter().map(|(_, secs)| secs).sum(),
+    });
     let path = perf.write().expect("write perf record");
     println!("perf record: {}", path.display());
 }

@@ -5,7 +5,7 @@
 //! ```text
 //! cargo run --release -p pmcs-bench --bin fig2 -- <a|b|c|d|e|f|all> \
 //!     [--sets N] [--seed S] [--jobs N] [--no-cache] [--audit] \
-//!     [--lp-backend dense|revised] [--baseline]
+//!     [--lp-backend dense|revised] [--cross-validate N] [--baseline]
 //! ```
 //!
 //! Execution knobs resolve through `AnalysisConfig::resolve` at this CLI
@@ -18,7 +18,12 @@
 //! `revised` additionally reruns every inset on the dense reference
 //! backend, asserts the rows are identical, and records the dense vs.
 //! revised wall-clock comparison plus warm-start statistics in
-//! `BENCH_fig2.json`. `--baseline` additionally reruns everything
+//! `BENCH_fig2.json`. `--cross-validate N` (or `PMCS_CROSS_VALIDATE`)
+//! simulates every analyzed set under `N` adversarial release plans per
+//! approach, validates the traces, and checks observed worst responses
+//! against the analytical WCRT bounds; any refutation is printed as a
+//! machine-readable line (identical for every thread count) and makes
+//! the binary exit nonzero. `--baseline` additionally reruns everything
 //! single-threaded and uncached to measure the parallel speedup.
 //!
 //! Results are printed as a table plus an ASCII chart and written to
@@ -74,6 +79,13 @@ fn main() {
                         .unwrap_or_else(|| panic!("unknown LP backend '{v}'; use dense|revised")),
                 );
             }
+            "--cross-validate" => {
+                cli.cross_validate = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cross-validate needs a number of plans"),
+                );
+            }
             "--baseline" => baseline = true,
             "all" => insets.extend(Fig2Inset::ALL),
             other => match Fig2Inset::parse(other) {
@@ -95,6 +107,8 @@ fn main() {
     perf.jobs = cfg.jobs;
     let mut cache_stats = CacheStats::default();
     let mut failures = 0usize;
+    let mut sim = pmcs_analysis::SimCounters::default();
+    let mut refutations: Vec<String> = Vec::new();
     let mut rows_by_inset = Vec::new();
     let mut solver_by_label: Vec<(String, SolverStats)> = Vec::new();
     let started = Instant::now();
@@ -137,6 +151,19 @@ fn main() {
                 outcome.total_failures()
             );
         }
+        if cfg.cross_validate > 0 {
+            println!(
+                "cross-validation: {} plans simulated, {} traces validated, {} refutations",
+                outcome.sim.plans_run, outcome.sim.traces_validated, outcome.sim.refutations
+            );
+        }
+        sim.merge(&outcome.sim);
+        refutations.extend(
+            outcome
+                .refutations
+                .iter()
+                .map(|line| format!("fig2{} {line}", inset.letter())),
+        );
         cache_stats.merge(outcome.cache);
         failures += outcome.total_failures();
         for (label, stats) in outcome.labels.iter().zip(&outcome.solver) {
@@ -168,6 +195,7 @@ fn main() {
     for (label, stats) in &solver_by_label {
         perf.extra_solver(&format!("solver_{label}"), *stats);
     }
+    perf.extra_sim(&sim);
 
     if cfg.lp_backend == Some(BackendKind::Revised) {
         // Differential rerun on the dense reference backend: the revised
@@ -241,4 +269,15 @@ fn main() {
 
     let path = perf.write().expect("write perf record");
     println!("perf record: {}", path.display());
+
+    if !refutations.is_empty() {
+        eprintln!(
+            "cross-validation REFUTED {} analytical bound(s):",
+            refutations.len()
+        );
+        for line in &refutations {
+            eprintln!("{line}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -14,15 +14,24 @@
 //! rather than cross-set memoization. A perf record goes to
 //! `BENCH_runtime_table.json`.
 //!
+//! With `--cross-validate N` (or `PMCS_CROSS_VALIDATE`), every analyzed
+//! set is additionally simulated under `N` adversarial release plans
+//! (outside the timed region, so the runtime numbers are unaffected),
+//! checking observed worst responses against the proposed bounds;
+//! refutations exit nonzero.
+//!
 //! Usage: `cargo run --release -p pmcs-bench --bin runtime_table -- \
-//!     [--sets N] [--jobs N] [--no-cache]`
+//!     [--sets N] [--jobs N] [--no-cache] [--cross-validate N]`
 
 use std::time::Instant;
 
-use pmcs_analysis::{AnalysisConfig, AnalysisContext, Analyzer, CliOverrides, ProposedAnalyzer};
+use pmcs_analysis::{
+    cross_validate_report, AnalysisConfig, AnalysisContext, Analyzer, CliOverrides,
+    ProposedAnalyzer, SimCounters,
+};
 use pmcs_bench::{parallel_map, PerfPoint, PerfRecord};
 use pmcs_core::CacheStats;
-use pmcs_workload::{TaskSetConfig, TaskSetGenerator};
+use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
 
 fn main() {
     let mut sets = 25usize;
@@ -35,6 +44,13 @@ fn main() {
                 cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
             }
             "--no-cache" => cli.cache = Some(false),
+            "--cross-validate" => {
+                cli.cross_validate = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--cross-validate N"),
+                );
+            }
             _ => {}
         }
     }
@@ -48,7 +64,7 @@ fn main() {
     }
 
     let started = Instant::now();
-    let measured = parallel_map(&configs, cfg.jobs, |_, &(n, u)| {
+    let measured = parallel_map(&configs, cfg.jobs, |ci, &(n, u)| {
         let ts_cfg = TaskSetConfig {
             n,
             utilization: u,
@@ -62,7 +78,10 @@ fn main() {
         let mut schedulable = 0usize;
         let mut failures = 0usize;
         let mut stats = CacheStats::default();
-        for _ in 0..sets {
+        let sim_registry = pmcs_sim::Registry::standard();
+        let mut sim = SimCounters::default();
+        let mut refutations: Vec<String> = Vec::new();
+        for si in 0..sets {
             let set = generator.generate();
             // One cold engine stack per set: the timing measures a single
             // analysis, caching only within it (fixed-point iterations
@@ -75,7 +94,25 @@ fn main() {
             total += elapsed;
             max = max.max(elapsed);
             match report {
-                Ok(r) => schedulable += usize::from(r.schedulable()),
+                Ok(r) => {
+                    schedulable += usize::from(r.schedulable());
+                    // Cross-validation runs outside the timed region so
+                    // the runtime numbers stay comparable.
+                    if cfg.cross_validate > 0 {
+                        let policy = sim_registry
+                            .get(&r.approach)
+                            .expect("proposed policy is registered");
+                        let specs = adversarial_specs(
+                            cfg.cross_validate,
+                            derive_seed(99, ci as u64, si as u64),
+                        );
+                        let (counters, refs) = cross_validate_report(&set, policy, &r, &specs)
+                            .expect("cross-validation");
+                        sim.merge(&counters);
+                        refutations
+                            .extend(refs.iter().map(|r| format!("n={n} U={u:.2} set={si} {r}")));
+                    }
+                }
                 Err(_) => failures += 1,
             }
         }
@@ -87,14 +124,14 @@ fn main() {
             max,
             schedulable as f64 / sets.max(1) as f64
         );
-        (line, total.as_secs_f64(), stats, failures)
+        (line, total.as_secs_f64(), stats, failures, sim, refutations)
     });
 
     println!(
         "{:>3} {:>6} {:>6} {:>6} | {:>12} {:>12} {:>12}",
         "n", "U", "gamma", "beta", "avg", "max", "sched-ratio"
     );
-    for (line, _, _, _) in &measured {
+    for (line, _, _, _, _, _) in &measured {
         println!("{line}");
     }
     println!(
@@ -108,9 +145,13 @@ fn main() {
     perf.wall_secs = started.elapsed().as_secs_f64();
     let mut merged = CacheStats::default();
     let mut failures = 0usize;
-    for ((n, u), (_, secs, stats, fails)) in configs.iter().zip(&measured) {
+    let mut sim = SimCounters::default();
+    let mut refutations: Vec<String> = Vec::new();
+    for ((n, u), (_, secs, stats, fails, cfg_sim, cfg_refs)) in configs.iter().zip(&measured) {
         merged.merge(*stats);
         failures += fails;
+        sim.merge(cfg_sim);
+        refutations.extend(cfg_refs.iter().cloned());
         perf.points.push(PerfPoint {
             label: format!("n={n},U={u:.2}"),
             secs: *secs,
@@ -123,6 +164,18 @@ fn main() {
     perf.extra_num("sets_per_config", sets as f64);
     perf.extra_num("analysis_failures", failures as f64);
     perf.extra_str("cache_enabled", if cfg.cache { "yes" } else { "no" });
+    perf.extra_sim(&sim);
     let path = perf.write().expect("write perf record");
     println!("perf record: {}", path.display());
+
+    if !refutations.is_empty() {
+        eprintln!(
+            "cross-validation REFUTED {} analytical bound(s):",
+            refutations.len()
+        );
+        for line in &refutations {
+            eprintln!("{line}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -19,14 +19,31 @@
 //! convention — but are additionally tallied per approach in
 //! [`SweepRow::failures`] and surfaced through
 //! [`SweepOutcome::total_failures`], never silently folded away.
+//!
+//! With [`AnalysisConfig::cross_validate`] `> 0`, every analyzed set is
+//! additionally simulated under that many adversarial release plans per
+//! approach (policies resolved by name from the simulator registry), the
+//! traces validated, and observed worst responses checked against the
+//! analytical bounds. Counters land in [`SweepOutcome::sim`]; any
+//! refutations appear as machine-readable lines in
+//! [`SweepOutcome::refutations`], ordered by `(point, set, approach,
+//! plan)` — byte-identical for every thread count.
 
 use std::time::Instant;
 
-use pmcs_analysis::{AnalysisConfig, AnalysisContext, AnalysisError, Registry};
+use pmcs_analysis::{
+    cross_validate_report, AnalysisConfig, AnalysisContext, AnalysisError, ApproachReport,
+    Registry, SimCounters,
+};
 use pmcs_core::{CacheStats, SolverStats};
-use pmcs_workload::{derive_seed, TaskSetConfig, TaskSetGenerator};
+use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
 
 use crate::parallel::parallel_map_with;
+
+/// Stream tag separating cross-validation plan seeds from the task-set
+/// generation seeds derived from the same `(base_seed, point, set)` item
+/// seed.
+const CV_SEED_STREAM: u64 = 0xadd7_e55a;
 
 /// Outcome of one approach on one task set: a verdict, or a *failed*
 /// analysis (distinct from "analyzed fine, deadlines missed").
@@ -94,6 +111,14 @@ pub struct SweepOutcome {
     /// Solver effort per approach, in registry order (summed over every
     /// point and task set; all-zero for closed-form approaches).
     pub solver: Vec<SolverStats>,
+    /// Simulation cross-validation counters, merged over every point, set
+    /// and approach (all-zero when `cross_validate` is off).
+    pub sim: SimCounters,
+    /// Machine-readable refutation lines, in deterministic
+    /// `(point, set, approach, plan)` order — byte-identical for every
+    /// thread count. Empty when the analyses are sound (or
+    /// cross-validation is off).
+    pub refutations: Vec<String>,
 }
 
 impl SweepOutcome {
@@ -127,6 +152,20 @@ pub fn evaluate_set_with_stats(
     registry: &Registry,
     ctx: &AnalysisContext,
 ) -> Vec<(SetOutcome, SolverStats)> {
+    evaluate_set_with_reports(set, registry, ctx)
+        .into_iter()
+        .map(|(outcome, stats, _)| (outcome, stats))
+        .collect()
+}
+
+/// As [`evaluate_set_with_stats`], additionally keeping each successful
+/// analysis's full [`ApproachReport`] (needed downstream for simulation
+/// cross-validation; `None` for failed analyses).
+pub fn evaluate_set_with_reports(
+    set: &pmcs_model::TaskSet,
+    registry: &Registry,
+    ctx: &AnalysisContext,
+) -> Vec<(SetOutcome, SolverStats, Option<ApproachReport>)> {
     registry
         .iter()
         .map(|analyzer| match analyzer.analyze_with(set, ctx) {
@@ -136,11 +175,52 @@ pub fn evaluate_set_with_stats(
                 } else {
                     SetOutcome::Unschedulable
                 };
-                (outcome, report.solver)
+                let solver = report.solver;
+                (outcome, solver, Some(report))
             }
-            Err(e) => (SetOutcome::Failed(e), SolverStats::default()),
+            Err(e) => (SetOutcome::Failed(e), SolverStats::default(), None),
         })
         .collect()
+}
+
+/// Cross-validates every approach's report on one task set against
+/// `plans` adversarial release plans, returning merged counters plus
+/// formatted refutation lines (in registry/plan order).
+///
+/// Approaches without a registered simulator policy of the same name are
+/// skipped; failed analyses (no report) are skipped. Plan seeds derive
+/// from `(item_seed, CV_SEED_STREAM, approach index)`, so results are
+/// independent of scheduling order.
+fn cross_validate_item(
+    set: &pmcs_model::TaskSet,
+    registry: &Registry,
+    reports: &[(SetOutcome, SolverStats, Option<ApproachReport>)],
+    plans: usize,
+    item_seed: u64,
+) -> (SimCounters, Vec<String>) {
+    let sim_registry = pmcs_sim::Registry::standard();
+    let mut sim = SimCounters::default();
+    let mut lines = Vec::new();
+    for (ai, analyzer) in registry.iter().enumerate() {
+        let Some(report) = reports[ai].2.as_ref() else {
+            continue;
+        };
+        let Some(policy) = sim_registry.get(analyzer.name()) else {
+            continue;
+        };
+        let specs = adversarial_specs(plans, derive_seed(item_seed, CV_SEED_STREAM, ai as u64));
+        match cross_validate_report(set, policy, report, &specs) {
+            Ok((counters, refutations)) => {
+                sim.merge(&counters);
+                lines.extend(refutations.iter().map(|r| r.to_string()));
+            }
+            Err(e) => lines.push(format!(
+                "ERROR approach={} cross-validation failed: {e}",
+                analyzer.name()
+            )),
+        }
+    }
+    (sim, lines)
 }
 
 /// Runs a sweep: for each point, generates `sets_per_point` task sets
@@ -170,8 +250,13 @@ pub fn sweep_with(
             let t0 = Instant::now();
             let seed = derive_seed(base_seed, pi as u64, si as u64);
             let set = TaskSetGenerator::new(points[pi].config.clone(), seed).generate();
-            let outcomes = evaluate_set_with_stats(&set, registry, ctx);
-            (outcomes, t0.elapsed().as_secs_f64())
+            let outcomes = evaluate_set_with_reports(&set, registry, ctx);
+            let (sim, refutations) = if cfg.cross_validate > 0 {
+                cross_validate_item(&set, registry, &outcomes, cfg.cross_validate, seed)
+            } else {
+                (SimCounters::default(), Vec::new())
+            };
+            (outcomes, sim, refutations, t0.elapsed().as_secs_f64())
         },
     );
     let wall_secs = started.elapsed().as_secs_f64();
@@ -180,12 +265,20 @@ pub fn sweep_with(
     let mut fails = vec![vec![0usize; n_approaches]; points.len()];
     let mut point_secs = vec![0.0f64; points.len()];
     let mut solver = vec![SolverStats::default(); n_approaches];
-    for (&(pi, _), (outcomes, secs)) in items.iter().zip(&evaluated) {
-        for (ai, (o, stats)) in outcomes.iter().enumerate() {
+    let mut sim = SimCounters::default();
+    let mut refutations = Vec::new();
+    for (&(pi, si), (outcomes, item_sim, item_refs, secs)) in items.iter().zip(&evaluated) {
+        for (ai, (o, stats, _)) in outcomes.iter().enumerate() {
             wins[pi][ai] += usize::from(o.schedulable());
             fails[pi][ai] += usize::from(o.failed());
             solver[ai].merge(*stats);
         }
+        sim.merge(item_sim);
+        refutations.extend(
+            item_refs
+                .iter()
+                .map(|line| format!("point={pi} set={si} {line}")),
+        );
         point_secs[pi] += secs;
     }
     let rows = points
@@ -213,6 +306,8 @@ pub fn sweep_with(
         jobs: cfg.jobs,
         wall_secs,
         solver,
+        sim,
+        refutations,
     }
 }
 
@@ -345,6 +440,98 @@ mod tests {
                 detail: "injected failure".into(),
             }))
         }
+    }
+
+    #[test]
+    fn cross_validation_counts_plans_and_finds_no_refutations() {
+        let points = small_points();
+        let out = sweep_with(
+            &points,
+            2,
+            42,
+            &Registry::standard(),
+            &AnalysisConfig::default().with_cross_validate(3),
+        );
+        assert_eq!(
+            out.refutations,
+            Vec::<String>::new(),
+            "sound analyses must survive adversarial plans"
+        );
+        // 2 points × 2 sets × 4 approaches × 3 plans (every approach has
+        // a same-named simulator policy).
+        assert_eq!(out.sim.plans_run, 2 * 2 * 4 * 3);
+        assert_eq!(out.sim.refutations, 0);
+        assert!(out.sim.sim_secs > 0.0);
+        // NPS policies have no interval structure to validate; the two
+        // interval-structured approaches validate every trace.
+        assert_eq!(out.sim.traces_validated, 2 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn cross_validation_off_leaves_counters_zero() {
+        let out = sweep_with(
+            &small_points(),
+            2,
+            42,
+            &Registry::standard(),
+            &AnalysisConfig::default(),
+        );
+        assert_eq!(out.sim, SimCounters::default());
+        assert!(out.refutations.is_empty());
+    }
+
+    /// An analyzer that claims schedulability with absurdly small bounds,
+    /// forcing refutations on every plan — used to observe the refutation
+    /// report path and its thread-count determinism.
+    struct WeakenedProposed;
+
+    impl Analyzer for WeakenedProposed {
+        fn name(&self) -> &str {
+            "proposed"
+        }
+
+        fn analyze_with(
+            &self,
+            set: &TaskSet,
+            ctx: &AnalysisContext,
+        ) -> Result<ApproachReport, AnalysisError> {
+            let mut report = pmcs_analysis::ProposedAnalyzer.analyze_with(set, ctx)?;
+            for task in &mut report.tasks {
+                task.wcrt = pmcs_model::Time::TICK;
+                task.schedulable = true;
+            }
+            Ok(report)
+        }
+    }
+
+    #[test]
+    fn refutation_reports_are_identical_for_any_thread_count() {
+        let mut registry = Registry::new();
+        registry.register(Box::new(WeakenedProposed));
+        let points = small_points();
+        let run = |jobs: usize| {
+            sweep_with(
+                &points,
+                3,
+                42,
+                &registry,
+                &AnalysisConfig::default()
+                    .with_jobs(jobs)
+                    .with_cross_validate(2),
+            )
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert!(
+            !serial.refutations.is_empty(),
+            "a one-tick bound must be refuted"
+        );
+        assert_eq!(serial.refutations, parallel.refutations);
+        assert_eq!(serial.sim.refutations, parallel.sim.refutations);
+        let first = &serial.refutations[0];
+        assert!(first.starts_with("point=0 set=0 REFUTATION"), "{first}");
+        assert!(first.contains("seed="), "{first}");
+        assert!(first.contains("observed="), "{first}");
     }
 
     #[test]

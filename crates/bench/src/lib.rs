@@ -36,8 +36,8 @@ pub mod perf;
 pub mod report;
 
 pub use experiment::{
-    evaluate_set, evaluate_set_with_stats, sweep, sweep_with, SetOutcome, SweepOutcome, SweepPoint,
-    SweepRow,
+    evaluate_set, evaluate_set_with_reports, evaluate_set_with_stats, sweep, sweep_with,
+    SetOutcome, SweepOutcome, SweepPoint, SweepRow,
 };
 pub use figures::{fig1_task_set, fig2_inset, Fig2Inset};
 pub use parallel::{parallel_map, parallel_map_with};

@@ -11,6 +11,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use pmcs_analysis::SimCounters;
 use pmcs_core::{CacheStats, SolverStats};
 
 /// One labeled timing entry (a sweep point, a figure inset, a config row).
@@ -87,6 +88,15 @@ impl PerfRecord {
             &format!("{prefix}_presolve_rows_removed"),
             stats.presolve_rows_removed as f64,
         );
+    }
+
+    /// Attaches the simulation cross-validation counters as the four
+    /// `sim_*` keys (all zero when cross-validation was off).
+    pub fn extra_sim(&mut self, sim: &SimCounters) {
+        self.extra_num("sim_plans_run", sim.plans_run as f64);
+        self.extra_num("sim_traces_validated", sim.traces_validated as f64);
+        self.extra_num("sim_refutations", sim.refutations as f64);
+        self.extra_num("sim_secs", sim.sim_secs);
     }
 
     /// Renders the record as a JSON object.
@@ -224,6 +234,22 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"solver_proposed_bb_nodes\": 7"));
         assert!(j.contains("\"solver_proposed_warm_hit_rate\": 0.75"));
+    }
+
+    #[test]
+    fn sim_counters_land_under_sim_keys() {
+        let mut r = PerfRecord::new("x");
+        r.extra_sim(&SimCounters {
+            plans_run: 12,
+            traces_validated: 9,
+            refutations: 1,
+            sim_secs: 0.25,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"sim_plans_run\": 12"));
+        assert!(j.contains("\"sim_traces_validated\": 9"));
+        assert!(j.contains("\"sim_refutations\": 1"));
+        assert!(j.contains("\"sim_secs\": 0.25"));
     }
 
     #[test]

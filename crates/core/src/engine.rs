@@ -238,6 +238,9 @@ struct Search<'a> {
     l_i: i64,
     c_i: i64,
     last_lp_exec: usize,
+    /// Total job budget still unplaced (Σ budgets); tracked so the DP can
+    /// detect slots that must stay idle (more slots than jobs).
+    remaining_budget: u64,
     max_states: usize,
     nodes: u64,
     aborted: bool,
@@ -310,6 +313,7 @@ impl<'a> Search<'a> {
             total += bits;
         }
         let key_feasible = total <= 128;
+        let remaining_budget: u64 = scratch.budget.iter().sum();
 
         Search {
             n: w.n(),
@@ -321,6 +325,7 @@ impl<'a> Search<'a> {
             l_i: w.copy_in_i.as_ticks(),
             c_i: w.exec_i.as_ticks(),
             last_lp_exec: w.last_lp_exec_interval(),
+            remaining_budget,
             max_states,
             nodes: 0,
             aborted: false,
@@ -475,8 +480,10 @@ impl<'a> Search<'a> {
                 };
                 any_candidate = true;
                 self.s.budget[task] -= 1;
+                self.remaining_budget -= 1;
                 let v = d + self.dp(k + 1, cand, prev);
                 self.s.budget[task] += 1;
+                self.remaining_budget += 1;
                 best = best.max(v);
             }
         }
@@ -484,13 +491,19 @@ impl<'a> Search<'a> {
         // a job that would otherwise stay unplaced into the idle slot only
         // grows Δ terms) EXCEPT when (a) a free cancellation can charge
         // the preceding DMA slot with a copy-in larger than any placeable
-        // job's, or (b) lower-priority jobs are stranded past their
+        // job's, (b) lower-priority jobs are stranded past their
         // placement region (Constraint 3), so an idle slot genuinely
-        // remains and its position matters for the pairing.
+        // remains and its position matters for the pairing, or (c) the
+        // window has more slots than unplaced jobs — an idle slot is then
+        // inevitable and *where* it falls matters, because an idle slot's
+        // DMA still carries the copy-in of the next slot's job (this is
+        // the standalone copy-in interval of a blocking lp job: CPU idle,
+        // Δ_k = l_j + copy-out, with the execution following in I_{k+1}).
         let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
         let stranded_lp =
             k > self.last_lp_exec && (0..m).any(|j| !self.s.hp[j] && self.s.budget[j] > 0);
-        if !any_candidate || idle_useful || stranded_lp {
+        let surplus_slot = (self.n - 1 - k) as u64 > self.remaining_budget;
+        if !any_candidate || idle_useful || stranded_lp || surplus_slot {
             if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
                 let v = d + self.dp(k + 1, Choice::Idle, prev);
                 best = best.max(v);
@@ -639,10 +652,12 @@ mod tests {
         ])
         .expect("valid task set");
         let d = bound(&set, 0, WindowCase::Nls, 12);
-        // N = 2 (no hp jobs, one lp task → one blocking interval).
-        // Δ_0 = max(C_lp = 500, l_i + max_u = 2) = 500 (its copy-in is
-        // pre-window). Δ_1 = max(10, max_l + u(τ1) = 2) = 10. Total 510.
-        assert_eq!(d, 510);
+        // N = 3 (no hp jobs, one lp task → two blocking intervals: its
+        // standalone copy-in interval and its execution interval).
+        // Δ_0 = l(τ1) + max_u = 2 (CPU idle, DMA loads τ1);
+        // Δ_1 = max(C_lp = 500, l_i + u-boundary) = 500;
+        // Δ_2 = max(10, max_l + u(τ1) = 2) = 10. Total 512.
+        assert_eq!(d, 512);
     }
 
     #[test]

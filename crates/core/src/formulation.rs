@@ -611,7 +611,9 @@ mod tests {
             WindowCase::Nls,
             12,
         );
-        assert_eq!(milp_delay(&w), 510);
+        // Matches the exact engine: 2 (standalone copy-in interval of the
+        // lp job) + 500 (its execution interval) + 10 (τ_i's execution).
+        assert_eq!(milp_delay(&w), 512);
     }
 
     #[test]

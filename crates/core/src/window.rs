@@ -127,17 +127,27 @@ impl WindowModel {
                 budget,
             });
         }
-        // Theorem 1 / Corollary 1 with the blocking count refined to the
-        // number of lower-priority tasks that actually exist: each
-        // blocking interval hosts a *distinct* lp task (Constraint 7 caps
-        // lp tasks at one job per window), so a task with fewer than
-        // 2 (resp. 1) lp tasks cannot be blocked that often and the
-        // corresponding intervals are dropped. (The paper's "+3"/"+2"
-        // silently assume enough lp tasks; keeping the phantom intervals
-        // would only add spurious pessimism.) At least two intervals are
-        // always needed: τ_i's copy-in and its execution.
+        // Theorem 1 / Corollary 1: the paper's "+3" (NLS) is two blocking
+        // intervals plus τ_i's own execution interval, and the "+2" of LS
+        // case (a) drops one blocking interval. Both blocking intervals
+        // exist as soon as a *single* lower-priority task does: one lp job
+        // released just before τ_i can occupy τ_i's release interval with
+        // its standalone DMA copy-in (CPU idle, rule R2 already committed
+        // the interval's transfer) and then execute in the next interval —
+        // two full blocking intervals from one job. Only with no lp task
+        // at all do the blocking intervals vanish. (An earlier refinement
+        // capped blocking at `lp_count`, assuming each blocking interval
+        // hosts a distinct lp task; simulation cross-validation refuted
+        // that with exactly this copy-in-then-execute chain.) At least two
+        // intervals are always needed: τ_i's copy-in and its execution.
         let blocking = match case {
-            WindowCase::Nls => lp_count.min(2),
+            WindowCase::Nls => {
+                if lp_count == 0 {
+                    0
+                } else {
+                    2
+                }
+            }
             WindowCase::LsCaseA => lp_count.min(1),
         };
         let n_intervals = (hp_jobs as usize + blocking + 1).max(2);
@@ -337,7 +347,7 @@ mod tests {
     }
 
     #[test]
-    fn blocking_intervals_capped_by_lp_task_count() {
+    fn no_lp_tasks_means_no_blocking_intervals() {
         let set = set3();
         // τ2 (lowest priority) has no lp tasks: no blocking intervals in
         // either case.
@@ -359,8 +369,8 @@ mod tests {
         assert_eq!(w.tasks[hp[0]].budget, 3);
         let lp: Vec<_> = w.lp_indices().collect();
         assert_eq!(w.tasks[lp[0]].budget, 1);
-        // N = 3 hp jobs + min(2, 1 lp) + 1 = 5.
-        assert_eq!(w.n(), 5);
+        // N = 3 hp jobs + 2 blocking (one lp job spans two intervals) + 1.
+        assert_eq!(w.n(), 6);
     }
 
     #[test]

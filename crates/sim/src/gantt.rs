@@ -13,6 +13,13 @@ use crate::trace::{SimResult, TraceUnit};
 /// `<`, canceled copy-in `x`, idle `.`; interval boundaries are marked
 /// with `|` on the ruler row.
 ///
+/// The renderer works off the unified trace of all three policies. For
+/// interval-structured traces (proposed, WP) the ruler marks the R1/R6
+/// interval starts; for serialized traces (NPS, which have no intervals)
+/// it marks the non-preemptive dispatch instants — the start of each
+/// job's copy-in block on the CPU — so Figure 1(b)-style charts keep
+/// their job boundaries.
+///
 /// # Example
 ///
 /// ```
@@ -20,7 +27,7 @@ use crate::trace::{SimResult, TraceUnit};
 /// use pmcs_model::{TaskSet, Time};
 /// use pmcs_sim::{render_gantt, simulate, Policy, ReleasePlan};
 ///
-/// let set = TaskSet::new(vec![test_task(0, 4, 2, 1, 50, 0, false)]).unwrap();
+/// let set = TaskSet::new(vec![test_task(0, 4, 2, 1, 50, 0, false)]).expect("valid test task set");
 /// let plan = ReleasePlan::periodic(&set, Time::from_ticks(50));
 /// let r = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(50));
 /// let chart = render_gantt(&r, Time::from_ticks(20), Time::TICK);
@@ -34,7 +41,19 @@ pub fn render_gantt(result: &SimResult, window: Time, scale: Time) -> String {
     let mut dma = vec!['.'; cols];
     let mut ruler = vec![' '; cols];
 
-    for &start in result.interval_starts() {
+    let marks: Vec<Time> = if result.interval_starts().is_empty() {
+        // Serialized trace (NPS): mark non-preemptive dispatch instants,
+        // i.e. the start of each job's copy-in block.
+        result
+            .events()
+            .iter()
+            .filter(|e| e.phase == Phase::CopyIn)
+            .map(|e| e.start)
+            .collect()
+    } else {
+        result.interval_starts().to_vec()
+    };
+    for start in marks {
         if start < window {
             let c = (start.as_ticks() / scale.as_ticks()) as usize;
             if c < cols {
@@ -90,7 +109,7 @@ mod tests {
             test_task(0, 4, 2, 1, 100, 0, false),
             test_task(1, 6, 3, 2, 100, 1, false),
         ])
-        .unwrap();
+        .expect("valid test task set");
         let plan = ReleasePlan::from_pairs(vec![
             (TaskId(0), vec![Time::ZERO]),
             (TaskId(1), vec![Time::ZERO]),
@@ -106,7 +125,8 @@ mod tests {
 
     #[test]
     fn scaling_reduces_width() {
-        let set = TaskSet::new(vec![test_task(0, 40, 20, 10, 1_000, 0, false)]).unwrap();
+        let set = TaskSet::new(vec![test_task(0, 40, 20, 10, 1_000, 0, false)])
+            .expect("valid test task set");
         let plan = ReleasePlan::periodic(&set, Time::from_ticks(1_000));
         let r = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(1_000));
         let fine = render_gantt(&r, Time::from_ticks(100), Time::TICK);
@@ -119,5 +139,96 @@ mod tests {
     fn zero_scale_panics() {
         let r = SimResult::default();
         let _ = render_gantt(&r, Time::from_ticks(10), Time::ZERO);
+    }
+
+    /// The Figure 1 scenario of the paper (DESIGN.md §4): τ_i (= τ0,
+    /// l=C=u=2, D=10) released at t=4 over two pending lower-priority
+    /// tasks released at t=1 and a previously-running lowest-priority
+    /// task released at t=0.
+    fn figure1() -> (TaskSet, ReleasePlan) {
+        let tau_i = pmcs_model::Task::builder(TaskId(0))
+            .name("tau_i")
+            .exec(Time::from_ticks(2))
+            .copy_in(Time::from_ticks(2))
+            .copy_out(Time::from_ticks(2))
+            .sporadic(Time::from_ticks(1_000))
+            .deadline(Time::from_ticks(10))
+            .priority(pmcs_model::Priority(0))
+            .sensitivity(pmcs_model::Sensitivity::Ls)
+            .build()
+            .expect("τ_i is a valid task");
+        let set = TaskSet::new(vec![
+            tau_i,
+            test_task(1, 3, 1, 1, 1_000, 1, false), // τ_lp1
+            test_task(2, 4, 3, 2, 1_000, 2, false), // τ_lp2
+            test_task(3, 2, 1, 2, 1_000, 3, false), // τ_p
+        ])
+        .expect("Figure 1 set is valid");
+        let plan = ReleasePlan::from_pairs(vec![
+            (TaskId(0), vec![Time::from_ticks(4)]),
+            (TaskId(1), vec![Time::from_ticks(1)]),
+            (TaskId(2), vec![Time::from_ticks(1)]),
+            (TaskId(3), vec![Time::ZERO]),
+        ]);
+        (set, plan)
+    }
+
+    #[test]
+    fn figure_1a_wp_schedule_renders_from_unified_trace() {
+        // Figure 1(a): under WP, τ_i is blocked by lower-priority copy
+        // traffic and misses its deadline (release 4 + D 10 = 14).
+        let (set, plan) = figure1();
+        let horizon = Time::from_ticks(40);
+        let r = simulate(&set, &plan, Policy::WaslyPellizzoni, horizon);
+        let tau_i = r
+            .jobs()
+            .iter()
+            .find(|j| j.job.task() == TaskId(0))
+            .expect("τ_i job recorded");
+        assert!(
+            !tau_i.met_deadline(),
+            "Figure 1(a): τ_i must miss its deadline under WP"
+        );
+        let chart = render_gantt(&r, Time::from_ticks(30), Time::TICK);
+        // Interval ruler present, τ_i's execution visible on the CPU row.
+        assert!(chart.contains('|'), "{chart}");
+        assert!(
+            chart.lines().next().expect("CPU row").contains('0'),
+            "{chart}"
+        );
+    }
+
+    #[test]
+    fn figure_1b_nps_schedule_renders_from_unified_trace() {
+        // Figure 1(b): under NPS, τ_i waits only for the in-flight job
+        // and meets its deadline.
+        let (set, plan) = figure1();
+        let horizon = Time::from_ticks(40);
+        let r = simulate(&set, &plan, Policy::Nps, horizon);
+        let tau_i = r
+            .jobs()
+            .iter()
+            .find(|j| j.job.task() == TaskId(0))
+            .expect("τ_i job recorded");
+        assert!(
+            tau_i.met_deadline(),
+            "Figure 1(b): τ_i must meet its deadline under NPS"
+        );
+        let chart = render_gantt(&r, Time::from_ticks(30), Time::TICK);
+        let mut lines = chart.lines();
+        let cpu = lines.next().expect("CPU row");
+        let dma = lines.next().expect("DMA row");
+        let ruler = lines.next().expect("ruler row");
+        // Serialized mode: everything on the CPU, the DMA row stays idle,
+        // and the ruler marks the non-preemptive dispatch boundaries.
+        assert!(
+            cpu.contains('0') && cpu.contains('>') && cpu.contains('<'),
+            "{chart}"
+        );
+        assert!(!dma.contains('>') && !dma.contains('<'), "{chart}");
+        assert!(
+            ruler.contains('|'),
+            "NPS ruler must mark dispatches:\n{chart}"
+        );
     }
 }

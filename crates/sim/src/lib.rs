@@ -4,16 +4,27 @@
 //! paper: one core with a dual-ported local memory split into two
 //! partitions, a private DMA engine, and three-phase tasks.
 //!
-//! Three scheduling policies are implemented:
+//! The simulator is an event-driven [`kernel`] parameterized by a
+//! [`ProtocolPolicy`]: the kernel owns the platform mechanics (release
+//! activation, partitions, event emission, the horizon cut) and consults
+//! the policy at every protocol decision point — CPU dispatch (R5),
+//! copy-in target selection (R2), cancellation (R3), urgent promotion
+//! (R4). Three policies ship, all running on the same kernel and
+//! producing the same trace format:
 //!
-//! * [`Policy::Proposed`] — the paper's protocol, rules R1–R6 (copy-in
+//! * [`policy::Proposed`] — the paper's protocol, rules R1–R6 (copy-in
 //!   cancellation and urgent promotion for latency-sensitive tasks);
-//! * [`Policy::WaslyPellizzoni`] — the protocol of reference \[3\]: same
+//! * [`policy::WaslyPellizzoni`] — the protocol of reference \[3\]: same
 //!   interval structure, but no cancellation/urgency (rules R1, R2, R5
 //!   without the urgent branch, R6);
-//! * [`Policy::Nps`] — classical non-preemptive fixed-priority scheduling
+//! * [`policy::Nps`] — classical non-preemptive fixed-priority scheduling
 //!   with the memory phases serialized on the CPU (no DMA use), as in
 //!   Figure 1(b).
+//!
+//! A name-keyed [`Registry`] maps the analyzer-registry approach names
+//! (`proposed`, `wp`, `nps`, `nps-classic`) to their simulating policies
+//! for cross-validation drivers; the convenience [`Policy`] enum covers
+//! the common three-way choice.
 //!
 //! The simulator is exact on the integer `Time` tick grid
 //! and fully deterministic; [`validate`] re-checks the paper's
@@ -42,8 +53,9 @@
 
 pub mod conformance;
 pub mod gantt;
-pub mod interval_sim;
-pub mod nps_sim;
+pub mod kernel;
+pub mod policy;
+pub mod registry;
 pub mod release;
 pub mod stats;
 pub mod trace;
@@ -51,6 +63,9 @@ pub mod validate;
 
 pub use conformance::{check_conformance, ConformanceReport, RuleDiagnostic, RuleTag};
 pub use gantt::render_gantt;
+pub use kernel::{JobState, KernelView};
+pub use policy::{CancelWindow, CpuAction, IntervalOutcome, ProtocolPolicy};
+pub use registry::Registry;
 pub use release::ReleasePlan;
 pub use stats::{trace_stats, DurationStats, TraceStats};
 pub use trace::{JobRecord, SimResult, TraceEvent, TraceUnit};
@@ -58,7 +73,8 @@ pub use validate::{validate_trace, Violation};
 
 use pmcs_model::{TaskSet, Time};
 
-/// Scheduling policy to simulate.
+/// Scheduling policy to simulate (the three shipped
+/// [`ProtocolPolicy`] implementations as a convenience enum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// The paper's protocol (rules R1–R6).
@@ -69,6 +85,17 @@ pub enum Policy {
     Nps,
 }
 
+impl Policy {
+    /// The [`ProtocolPolicy`] implementation this variant selects.
+    pub fn protocol(self) -> &'static dyn ProtocolPolicy {
+        match self {
+            Policy::Proposed => &policy::Proposed,
+            Policy::WaslyPellizzoni => &policy::WaslyPellizzoni,
+            Policy::Nps => &policy::Nps,
+        }
+    }
+}
+
 /// Simulates `set` under `policy` with the given release plan until
 /// `horizon` (events starting at or after the horizon are not begun).
 ///
@@ -76,9 +103,21 @@ pub enum Policy {
 ///
 /// Panics if the plan references tasks outside the set.
 pub fn simulate(set: &TaskSet, plan: &ReleasePlan, policy: Policy, horizon: Time) -> SimResult {
-    match policy {
-        Policy::Proposed => interval_sim::run(set, plan, true, horizon),
-        Policy::WaslyPellizzoni => interval_sim::run(set, plan, false, horizon),
-        Policy::Nps => nps_sim::run(set, plan, horizon),
-    }
+    kernel::run(set, plan, policy.protocol(), horizon)
+}
+
+/// Simulates `set` under an arbitrary [`ProtocolPolicy`] — the extension
+/// point a fourth policy would use (registry-driven callers go through
+/// [`Registry::get`] and land here).
+///
+/// # Panics
+///
+/// Panics if the plan references tasks outside the set.
+pub fn simulate_with(
+    set: &TaskSet,
+    plan: &ReleasePlan,
+    policy: &dyn ProtocolPolicy,
+    horizon: Time,
+) -> SimResult {
+    kernel::run(set, plan, policy, horizon)
 }

@@ -1,0 +1,299 @@
+//! The [`ProtocolPolicy`] trait and the three shipped policies.
+//!
+//! The kernel ([`crate::kernel`]) owns every *mechanic* of the platform —
+//! release activation, inter-job precedence, partition bookkeeping, event
+//! emission, horizon handling — and delegates every *decision* of the
+//! scheduling protocol to a policy:
+//!
+//! 1. **dispatch order** — what the CPU serves at a slot start
+//!    ([`ProtocolPolicy::dispatch`], rule R5);
+//! 2. **copy-in target selection** — which ready task the DMA prefetches
+//!    ([`ProtocolPolicy::copy_in_target`], rule R2; the copy-out of the
+//!    previous interval's output is a kernel mechanic, rules R1/R2);
+//! 3. **cancellation** — whether an in-flight copy-in is aborted
+//!    ([`ProtocolPolicy::cancel_copy_in`], rule R3);
+//! 4. **urgent promotion** — whether a latency-sensitive task is served
+//!    by the CPU itself next interval
+//!    ([`ProtocolPolicy::promote_urgent`], rule R4).
+//!
+//! [`Proposed`] implements all of R1–R6; [`WaslyPellizzoni`] keeps the
+//! interval structure but never cancels or promotes; [`Nps`] serializes
+//! all three phases on the CPU and uses neither the DMA nor intervals.
+//! All three produce the same trace shape ([`crate::SimResult`]) through
+//! the same kernel.
+
+use pmcs_model::Time;
+
+use crate::kernel::{JobState, KernelView};
+
+/// What the CPU does in one scheduling slot (rule R5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuAction {
+    /// Nothing to execute this slot (the DMA may still work).
+    Idle,
+    /// Serve the urgent task: CPU copy-in followed by execution (R5,
+    /// urgent branch). The operand is the task index.
+    ServeUrgent(usize),
+    /// Execute the task loaded in the CPU partition (R5, loaded branch).
+    ExecuteLoaded(usize),
+    /// Serve all three phases (copy-in, execute, copy-out) back to back
+    /// on the CPU — classical non-preemptive scheduling without DMA.
+    ServeSerialized(usize),
+}
+
+/// The time window the kernel offers a policy when asking whether an
+/// in-flight copy-in is canceled (rule R3).
+///
+/// R3 guards the copy-in for the *whole interval* in which it is
+/// scheduled, not just the transfer: the decision window runs from the
+/// interval start to the tentative interval end, while any cancellation
+/// instant the policy returns is clamped by the kernel to the transfer
+/// itself (`[transfer_start, transfer_end]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CancelWindow {
+    /// Start of the enclosing interval.
+    pub interval_start: Time,
+    /// Instant the DMA transfer begins (after the copy-out, if any).
+    pub transfer_start: Time,
+    /// Instant the transfer would complete if not canceled.
+    pub transfer_end: Time,
+    /// Tentative interval end (`max(cpu_end, transfer_end)`) — the right
+    /// edge of the R3 guard window.
+    pub tentative_end: Time,
+}
+
+/// What happened in the interval that just ended, offered to the policy
+/// when it decides on urgent promotion (rule R4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalOutcome {
+    /// Interval start.
+    pub start: Time,
+    /// Interval end (R6: `max` of the CPU and DMA unit chains).
+    pub end: Time,
+    /// A copy-in was canceled mid-interval (R3 fired).
+    pub copy_in_canceled: bool,
+    /// A copy-in ran to completion and loaded a partition.
+    pub copy_in_committed: bool,
+}
+
+/// A scheduling protocol: the decision points of rules R2–R5 over the
+/// kernel's mechanics.
+///
+/// Implementations must be deterministic pure functions of the offered
+/// [`KernelView`] — the simulator's reproducibility contract (identical
+/// traces for identical inputs) rests on it.
+pub trait ProtocolPolicy: Send + Sync {
+    /// Stable policy name (used in diagnostics; registry keys may differ —
+    /// two analysis conventions can share one simulating policy).
+    fn name(&self) -> &'static str;
+
+    /// `true` iff the policy schedules in R1/R6 intervals (partition
+    /// swaps, interval-indexed events). `false` selects the serialized
+    /// no-DMA mode: events carry `interval == usize::MAX` and the trace
+    /// has no interval starts.
+    fn interval_structured(&self) -> bool {
+        true
+    }
+
+    /// `true` iff the policy implements the latency-sensitive rules
+    /// (R3/R4) — the flag trace validation and conformance checking key
+    /// their blocking bounds on.
+    fn ls_rules(&self) -> bool;
+
+    /// Rule R5: what the CPU serves at the slot starting at `view.now()`.
+    fn dispatch(&self, view: &KernelView<'_>) -> CpuAction;
+
+    /// Rule R2: the task whose copy-in the DMA performs this interval,
+    /// selected at the interval start among ready tasks (`None` leaves
+    /// the DMA idle after the copy-out).
+    fn copy_in_target(&self, view: &KernelView<'_>) -> Option<usize>;
+
+    /// Rule R3: the instant at which the copy-in of `target` is canceled,
+    /// or `None` to let it commit. The kernel clamps the returned instant
+    /// to the transfer span of `window`.
+    fn cancel_copy_in(
+        &self,
+        view: &KernelView<'_>,
+        target: usize,
+        window: CancelWindow,
+    ) -> Option<Time>;
+
+    /// Rule R4: the task promoted to urgent at the end of an interval
+    /// (served by the CPU itself next interval), or `None`.
+    fn promote_urgent(&self, view: &KernelView<'_>, outcome: IntervalOutcome) -> Option<usize>;
+}
+
+impl std::fmt::Debug for dyn ProtocolPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProtocolPolicy({})", self.name())
+    }
+}
+
+/// The paper's protocol: rules R1–R6 with copy-in cancellation and
+/// urgent promotion for latency-sensitive tasks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Proposed;
+
+impl ProtocolPolicy for Proposed {
+    fn name(&self) -> &'static str {
+        "proposed"
+    }
+
+    fn ls_rules(&self) -> bool {
+        true
+    }
+
+    fn dispatch(&self, view: &KernelView<'_>) -> CpuAction {
+        interval_dispatch(view)
+    }
+
+    fn copy_in_target(&self, view: &KernelView<'_>) -> Option<usize> {
+        view.highest_priority_ready()
+    }
+
+    fn cancel_copy_in(
+        &self,
+        view: &KernelView<'_>,
+        target: usize,
+        window: CancelWindow,
+    ) -> Option<Time> {
+        earliest_canceling_release(view, target, window.interval_start, window.tentative_end)
+    }
+
+    fn promote_urgent(&self, view: &KernelView<'_>, outcome: IntervalOutcome) -> Option<usize> {
+        // R4 applies only when the interval ends without a committed
+        // copy-in: either none was started or it was canceled (R3).
+        if outcome.copy_in_committed && !outcome.copy_in_canceled {
+            return None;
+        }
+        // "Released in the interval": the boundary is taken inclusive so
+        // that the release that canceled the copy-in (which by R6 may
+        // coincide with the interval end) is eligible for promotion.
+        (0..view.len())
+            .filter(|&i| view.task(i).is_ls())
+            .filter(|&i| {
+                matches!(view.job_state(i), Some(JobState::Ready))
+                    && view
+                        .activation(i)
+                        .is_some_and(|a| a >= outcome.start && a <= outcome.end)
+            })
+            .min_by_key(|&i| view.task(i).priority())
+    }
+}
+
+/// The protocol of Wasly & Pellizzoni \[3\]: the same interval structure
+/// (R1, R2, R5 loaded branch, R6), but no cancellation and no urgency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaslyPellizzoni;
+
+impl ProtocolPolicy for WaslyPellizzoni {
+    fn name(&self) -> &'static str {
+        "wp"
+    }
+
+    fn ls_rules(&self) -> bool {
+        false
+    }
+
+    fn dispatch(&self, view: &KernelView<'_>) -> CpuAction {
+        interval_dispatch(view)
+    }
+
+    fn copy_in_target(&self, view: &KernelView<'_>) -> Option<usize> {
+        view.highest_priority_ready()
+    }
+
+    fn cancel_copy_in(
+        &self,
+        _view: &KernelView<'_>,
+        _target: usize,
+        _window: CancelWindow,
+    ) -> Option<Time> {
+        None
+    }
+
+    fn promote_urgent(&self, _view: &KernelView<'_>, _outcome: IntervalOutcome) -> Option<usize> {
+        None
+    }
+}
+
+/// Classical non-preemptive fixed-priority scheduling: the DMA is unused
+/// and all three phases run serialized on the CPU (Figure 1(b)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Nps;
+
+impl ProtocolPolicy for Nps {
+    fn name(&self) -> &'static str {
+        "nps"
+    }
+
+    fn interval_structured(&self) -> bool {
+        false
+    }
+
+    fn ls_rules(&self) -> bool {
+        false
+    }
+
+    fn dispatch(&self, view: &KernelView<'_>) -> CpuAction {
+        view.highest_priority_ready()
+            .map(CpuAction::ServeSerialized)
+            .unwrap_or(CpuAction::Idle)
+    }
+
+    fn copy_in_target(&self, _view: &KernelView<'_>) -> Option<usize> {
+        None
+    }
+
+    fn cancel_copy_in(
+        &self,
+        _view: &KernelView<'_>,
+        _target: usize,
+        _window: CancelWindow,
+    ) -> Option<Time> {
+        None
+    }
+
+    fn promote_urgent(&self, _view: &KernelView<'_>, _outcome: IntervalOutcome) -> Option<usize> {
+        None
+    }
+}
+
+/// The shared R5 dispatch of the interval-structured policies: the urgent
+/// task first (CPU copy-in plus execution), else whatever is loaded in
+/// the CPU partition.
+fn interval_dispatch(view: &KernelView<'_>) -> CpuAction {
+    if let Some(ti) = view.urgent() {
+        CpuAction::ServeUrgent(ti)
+    } else if let Some(ti) = view.cpu_loaded() {
+        CpuAction::ExecuteLoaded(ti)
+    } else {
+        CpuAction::Idle
+    }
+}
+
+/// Earliest activation inside `[start, end)` of an LS task with priority
+/// higher than the copy-in target (rule R3).
+///
+/// The window is closed on the left: a task whose activation was deferred
+/// to exactly the interval start by a same-instant copy-out completion
+/// (inter-job precedence) missed the R2 target selection — without the
+/// cancellation it would be blocked a second time, violating Property 4.
+/// Tasks that were plainly released at the interval start are already in
+/// the ready queue (their job state is set) and are filtered out here.
+fn earliest_canceling_release(
+    view: &KernelView<'_>,
+    target: usize,
+    start: Time,
+    end: Time,
+) -> Option<Time> {
+    let target_prio = view.task(target).priority();
+    (0..view.len())
+        .filter(|&i| view.task(i).is_ls() && view.task(i).priority().is_higher_than(target_prio))
+        .filter(|&i| view.job_state(i).is_none())
+        .filter_map(|i| {
+            let a = view.pending_activation(i)?;
+            (a >= start && a < end).then_some(a)
+        })
+        .min()
+}

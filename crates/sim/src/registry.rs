@@ -1,0 +1,128 @@
+//! Name-keyed simulator registry, aligned with the analyzer registry of
+//! `pmcs-analysis`.
+//!
+//! Analysis approaches and simulating policies are not one-to-one: the
+//! two NPS analysis conventions (`nps`, `nps-classic`) bound the *same*
+//! operational protocol, so both names map to the same [`Nps`] policy.
+//! [`Registry::standard`] registers the paper's four approach names in
+//! the analyzer registry's column order — cross-validation drivers look
+//! the simulating policy up by the analyzer's name and the two registries
+//! stay aligned by construction (property-tested in `pmcs-analysis`).
+
+use crate::policy::{Nps, Proposed, ProtocolPolicy, WaslyPellizzoni};
+
+/// An ordered collection of [`ProtocolPolicy`]s keyed by approach name.
+///
+/// Order is significant: it mirrors the analyzer registry's column order
+/// so the two can be zipped.
+#[derive(Default)]
+pub struct Registry {
+    entries: Vec<(String, Box<dyn ProtocolPolicy>)>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The paper's four approach names in analyzer-registry order:
+    /// `proposed`, `wp`, `nps`, `nps-classic` (the last two share the
+    /// [`Nps`] policy — two analysis conventions, one protocol).
+    pub fn standard() -> Self {
+        let mut r = Registry::new();
+        r.register("proposed", Box::new(Proposed));
+        r.register("wp", Box::new(WaslyPellizzoni));
+        r.register("nps", Box::new(Nps));
+        r.register("nps-classic", Box::new(Nps));
+        r
+    }
+
+    /// Appends a named policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered — duplicate names would
+    /// make `get` ambiguous.
+    pub fn register(&mut self, name: &str, policy: Box<dyn ProtocolPolicy>) {
+        assert!(
+            self.get(name).is_none(),
+            "simulator policy {name:?} is already registered"
+        );
+        self.entries.push((name.to_string(), policy));
+    }
+
+    /// Looks a policy up by its approach name.
+    pub fn get(&self, name: &str) -> Option<&dyn ProtocolPolicy> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, p)| p.as_ref())
+    }
+
+    /// Iterates `(name, policy)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &dyn ProtocolPolicy)> {
+        self.entries.iter().map(|(n, p)| (n.as_str(), p.as_ref()))
+    }
+
+    /// The registered names, in registration order.
+    pub fn labels(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Number of registered policies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("policies", &self.labels())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_matches_analyzer_column_order() {
+        let r = Registry::standard();
+        assert_eq!(r.labels(), ["proposed", "wp", "nps", "nps-classic"]);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn both_nps_conventions_share_one_policy() {
+        let r = Registry::standard();
+        let carry = r.get("nps").expect("nps registered");
+        let classic = r.get("nps-classic").expect("nps-classic registered");
+        assert_eq!(carry.name(), "nps");
+        assert_eq!(classic.name(), "nps");
+        assert!(!carry.interval_structured());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let r = Registry::standard();
+        assert!(r.get("proposed").is_some());
+        assert!(r.get("bogus").is_none());
+        assert_eq!(r.iter().count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_are_rejected() {
+        let mut r = Registry::standard();
+        r.register("wp", Box::new(WaslyPellizzoni));
+    }
+}

@@ -104,7 +104,8 @@ mod tests {
 
     #[test]
     fn periodic_plan_releases_on_the_grid() {
-        let set = TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).unwrap();
+        let set =
+            TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).expect("valid test task set");
         let plan = ReleasePlan::periodic(&set, Time::from_ticks(350));
         assert_eq!(
             plan.releases(TaskId(0)),
@@ -121,7 +122,8 @@ mod tests {
 
     #[test]
     fn offsets_shift_the_grid() {
-        let set = TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).unwrap();
+        let set =
+            TaskSet::new(vec![test_task(0, 5, 1, 1, 100, 0, false)]).expect("valid test task set");
         let plan = ReleasePlan::periodic_with_offsets(&set, Time::from_ticks(250), |_| {
             Time::from_ticks(30)
         });
@@ -149,7 +151,7 @@ mod tests {
             test_task(0, 5, 1, 1, 100, 0, false),
             test_task(1, 5, 1, 1, 60, 1, false),
         ])
-        .unwrap();
+        .expect("valid test task set");
         let plan = ReleasePlan::periodic(&set, Time::from_ticks(120));
         assert_eq!(plan.iter().count(), 2);
     }

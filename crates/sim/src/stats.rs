@@ -91,7 +91,7 @@ impl TraceStats {
 /// use pmcs_model::{TaskSet, Time};
 /// use pmcs_sim::{simulate, trace_stats, Policy, ReleasePlan};
 ///
-/// let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 50, 0, false)]).unwrap();
+/// let set = TaskSet::new(vec![test_task(0, 10, 3, 2, 50, 0, false)]).expect("valid test task set");
 /// let plan = ReleasePlan::periodic(&set, Time::from_ticks(500));
 /// let run = simulate(&set, &plan, Policy::Proposed, Time::from_ticks(500));
 /// let stats = trace_stats(&run);
@@ -167,7 +167,7 @@ mod tests {
             test_task(0, 10, 4, 1, 100, 0, true),
             test_task(1, 50, 10, 3, 200, 1, false),
         ])
-        .unwrap();
+        .expect("valid test task set");
         let plan = ReleasePlan::from_pairs(vec![
             (
                 pmcs_model::TaskId(0),

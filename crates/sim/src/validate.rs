@@ -203,7 +203,7 @@ mod tests {
     use pmcs_model::{TaskId, TaskSet};
 
     fn check(tasks: Vec<pmcs_model::Task>, plan: Vec<(u32, Vec<i64>)>, policy: Policy) {
-        let set = TaskSet::new(tasks).unwrap();
+        let set = TaskSet::new(tasks).expect("valid test task set");
         let plan = ReleasePlan::from_pairs(
             plan.into_iter()
                 .map(|(t, v)| {

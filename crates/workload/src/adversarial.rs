@@ -1,0 +1,248 @@
+//! Adversarial release-plan generators for simulation-vs-analysis
+//! cross-validation.
+//!
+//! Each generator targets a different worst-case mechanism of the
+//! analysis:
+//!
+//! * [`PlanKind::CriticalInstant`] — every task released synchronously at
+//!   `t = 0` and re-released as early as admitted, the classical
+//!   critical-instant pattern the response-time analyses are built
+//!   around;
+//! * [`PlanKind::Sporadic`] — random sporadic arrivals with seed-derived
+//!   jitter (via [`crate::random_sporadic_plan`]), probing interleavings
+//!   the synchronous pattern cannot reach;
+//! * [`PlanKind::Burst`] — maximum-interference bursts: the
+//!   lowest-priority task is released first so its non-preemptive /
+//!   copy-phase blocking is in flight when everyone else arrives one
+//!   tick later.
+//!
+//! Plans are identified by a [`PlanSpec`] whose seed comes from
+//! [`crate::derive_seed`], so a refutation report names the exact plan
+//! and any run — any thread count, any machine — reproduces it.
+
+use pmcs_model::{TaskSet, Time};
+use pmcs_sim::ReleasePlan;
+
+use crate::releases::random_sporadic_plan;
+use crate::seed::derive_seed;
+
+/// The adversarial plan families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// Synchronous release of all tasks at `t = 0`, repeating as early as
+    /// the arrival model admits.
+    CriticalInstant,
+    /// Random sporadic arrivals with seed-derived jitter.
+    Sporadic,
+    /// Lowest-priority task first, everyone else inside its serialized
+    /// execution — maximum blocking interference.
+    Burst,
+}
+
+impl PlanKind {
+    /// All families, in generation order.
+    pub const ALL: [PlanKind; 3] = [
+        PlanKind::CriticalInstant,
+        PlanKind::Sporadic,
+        PlanKind::Burst,
+    ];
+
+    /// Stable machine-readable name (used in refutation reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::CriticalInstant => "critical-instant",
+            PlanKind::Sporadic => "sporadic",
+            PlanKind::Burst => "burst",
+        }
+    }
+}
+
+/// A fully-determined adversarial plan: family plus derived seed.
+///
+/// The `index` is the plan's position in the generated family sequence
+/// (`0..count`), kept so reports stay human-orderable; `seed` alone
+/// already pins the plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanSpec {
+    /// The plan family.
+    pub kind: PlanKind,
+    /// Seed that fully determines the plan (from [`derive_seed`]).
+    pub seed: u64,
+    /// Position in the generated sequence.
+    pub index: usize,
+}
+
+impl std::fmt::Display for PlanSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}#{} seed={:#018x}",
+            self.kind.name(),
+            self.index,
+            self.seed
+        )
+    }
+}
+
+/// Enumerates `count` plan specs, cycling through the three families and
+/// deriving one seed per plan from `base_seed`.
+///
+/// Seeds are position-derived (not drawn from a shared RNG stream), so a
+/// parallel driver can evaluate plans in any order and still produce
+/// byte-identical reports.
+pub fn adversarial_specs(count: usize, base_seed: u64) -> Vec<PlanSpec> {
+    (0..count)
+        .map(|i| {
+            let kind = PlanKind::ALL[i % PlanKind::ALL.len()];
+            PlanSpec {
+                kind,
+                seed: derive_seed(
+                    base_seed,
+                    (i % PlanKind::ALL.len()) as u64,
+                    (i / PlanKind::ALL.len()) as u64,
+                ),
+                index: i,
+            }
+        })
+        .collect()
+}
+
+/// Materializes the release plan a [`PlanSpec`] describes for `set` over
+/// `[0, horizon)`.
+///
+/// # Panics
+///
+/// Panics if a task's arrival model has no positive minimum
+/// inter-arrival time (the generators need a release grid).
+pub fn adversarial_plan(set: &TaskSet, horizon: Time, spec: PlanSpec) -> ReleasePlan {
+    match spec.kind {
+        PlanKind::CriticalInstant => ReleasePlan::periodic(set, horizon),
+        PlanKind::Sporadic => {
+            // Seed-derived jitter amplitude in (0, 0.5].
+            let max_slack = ((spec.seed % 50) + 1) as f64 / 100.0;
+            random_sporadic_plan(set, horizon, max_slack, spec.seed)
+        }
+        PlanKind::Burst => burst_plan(set, horizon),
+    }
+}
+
+/// Maximum-interference burst: the lowest-priority task is released at
+/// `t = 0` so its blocking (copy phases, non-preemptive execution) is in
+/// flight when every other task arrives synchronously one tick later —
+/// the instant that maximizes the blocking the higher-priority tasks
+/// observe. Releases then repeat at the minimum inter-arrival distance.
+///
+/// The burst instant is deterministic by design (it *is* the worst
+/// case); the spec's seed identifies the plan but does not perturb it.
+fn burst_plan(set: &TaskSet, horizon: Time) -> ReleasePlan {
+    let blocker = set
+        .iter()
+        .max_by_key(|t| t.priority())
+        .expect("burst plan needs a non-empty task set");
+    let mut pairs = Vec::with_capacity(set.len());
+    for task in set.iter() {
+        let t = task
+            .arrival()
+            .min_inter_arrival()
+            .expect("burst plan needs a positive minimum inter-arrival time");
+        let offset = if task.id() == blocker.id() {
+            Time::ZERO
+        } else {
+            Time::TICK
+        };
+        let mut times = Vec::new();
+        let mut now = offset;
+        while now < horizon {
+            times.push(now);
+            now += t;
+        }
+        pairs.push((task.id(), times));
+    }
+    ReleasePlan::from_pairs(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmcs_core::window::test_task;
+    use pmcs_model::TaskId;
+
+    fn set() -> TaskSet {
+        TaskSet::new(vec![
+            test_task(0, 5, 1, 1, 50, 0, true),
+            test_task(1, 8, 2, 2, 80, 1, false),
+            test_task(2, 10, 3, 3, 100, 2, false),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn specs_cycle_families_and_derive_distinct_seeds() {
+        let specs = adversarial_specs(7, 42);
+        assert_eq!(specs.len(), 7);
+        assert_eq!(specs[0].kind, PlanKind::CriticalInstant);
+        assert_eq!(specs[1].kind, PlanKind::Sporadic);
+        assert_eq!(specs[2].kind, PlanKind::Burst);
+        assert_eq!(specs[3].kind, PlanKind::CriticalInstant);
+        let mut seeds: Vec<u64> = specs.iter().map(|s| s.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 7, "per-plan seeds must be distinct");
+    }
+
+    #[test]
+    fn specs_are_deterministic_in_base_seed() {
+        assert_eq!(adversarial_specs(9, 7), adversarial_specs(9, 7));
+        assert_ne!(adversarial_specs(9, 7), adversarial_specs(9, 8));
+    }
+
+    #[test]
+    fn critical_instant_releases_everyone_at_zero() {
+        let spec = adversarial_specs(1, 1)[0];
+        let plan = adversarial_plan(&set(), Time::from_ticks(500), spec);
+        for (_, releases) in plan.iter() {
+            assert_eq!(releases[0], Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn burst_releases_blocker_first() {
+        let spec = PlanSpec {
+            kind: PlanKind::Burst,
+            seed: 99,
+            index: 2,
+        };
+        let plan = adversarial_plan(&set(), Time::from_ticks(500), spec);
+        let blocker = plan.releases(TaskId(2));
+        assert_eq!(blocker[0], Time::ZERO);
+        let span = set().get(TaskId(2)).unwrap().wcet_serialized();
+        for victim in [TaskId(0), TaskId(1)] {
+            let first = plan.releases(victim)[0];
+            assert!(first > Time::ZERO && first <= span, "{victim}: {first}");
+        }
+    }
+
+    #[test]
+    fn all_plans_respect_min_inter_arrival() {
+        let s = set();
+        for spec in adversarial_specs(6, 11) {
+            let plan = adversarial_plan(&s, Time::from_ticks(2_000), spec);
+            for (task, releases) in plan.iter() {
+                let t = s.get(task).unwrap().arrival().min_inter_arrival().unwrap();
+                for w in releases.windows(2) {
+                    assert!(w[1] - w[0] >= t, "{spec}: {task} gap {}", w[1] - w[0]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_display_is_machine_readable() {
+        let spec = PlanSpec {
+            kind: PlanKind::Sporadic,
+            seed: 0xdead_beef,
+            index: 4,
+        };
+        assert_eq!(format!("{spec}"), "sporadic#4 seed=0x00000000deadbeef");
+    }
+}

@@ -19,11 +19,13 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod generator;
 pub mod releases;
 pub mod seed;
 pub mod uunifast;
 
+pub use adversarial::{adversarial_plan, adversarial_specs, PlanKind, PlanSpec};
 pub use generator::{TaskSetConfig, TaskSetGenerator};
 pub use releases::random_sporadic_plan;
 pub use seed::derive_seed;
