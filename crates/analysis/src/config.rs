@@ -28,6 +28,14 @@ pub const LP_BACKEND_ENV_VAR: &str = "PMCS_LP_BACKEND";
 /// cross-validation.
 pub const CROSS_VALIDATE_ENV_VAR: &str = "PMCS_CROSS_VALIDATE";
 
+/// Environment variable enabling certificate emission (`1`/`true`; CLI
+/// edge only, an explicit `--emit-certs` flag wins). When on, every
+/// analyzed set is re-certified *outside* the timed regions: the
+/// proposed analysis re-runs with its proof transcript recorded, the
+/// resulting bundle is validated by the independent `pmcs-cert` checker,
+/// and `cert_*` counters land in the perf record.
+pub const EMIT_CERTS_ENV_VAR: &str = "PMCS_EMIT_CERTS";
+
 /// Resolved analysis configuration.
 ///
 /// Construction paths:
@@ -60,6 +68,10 @@ pub struct AnalysisConfig {
     /// set, checking observed worst responses against the analytical WCRT
     /// bounds (`0` disables cross-validation).
     pub cross_validate: usize,
+    /// Emit a machine-checkable certificate bundle for every analyzed
+    /// set (outside the timed regions) and validate it with the
+    /// independent `pmcs-cert` checker.
+    pub emit_certs: bool,
 }
 
 impl Default for AnalysisConfig {
@@ -71,6 +83,7 @@ impl Default for AnalysisConfig {
             max_states: pmcs_core::engine::DEFAULT_MAX_STATES,
             lp_backend: None,
             cross_validate: 0,
+            emit_certs: false,
         }
     }
 }
@@ -92,6 +105,8 @@ pub struct CliOverrides {
     pub lp_backend: Option<BackendKind>,
     /// `--cross-validate N`.
     pub cross_validate: Option<usize>,
+    /// `--emit-certs`.
+    pub emit_certs: Option<bool>,
 }
 
 impl AnalysisConfig {
@@ -136,6 +151,11 @@ impl AnalysisConfig {
                     .and_then(|v| v.parse().ok())
             })
             .unwrap_or(defaults.cross_validate);
+        let emit_certs = cli.emit_certs.unwrap_or_else(|| {
+            std::env::var(EMIT_CERTS_ENV_VAR)
+                .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+                .unwrap_or(defaults.emit_certs)
+        });
         AnalysisConfig {
             jobs,
             cache: cli.cache.unwrap_or(defaults.cache),
@@ -143,6 +163,7 @@ impl AnalysisConfig {
             max_states: cli.max_states.unwrap_or(defaults.max_states).max(1),
             lp_backend,
             cross_validate,
+            emit_certs,
         }
     }
 
@@ -171,6 +192,12 @@ impl AnalysisConfig {
         self.cross_validate = plans;
         self
     }
+
+    /// A copy with certificate emission enabled or disabled.
+    pub fn with_emit_certs(mut self, emit: bool) -> Self {
+        self.emit_certs = emit;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -195,6 +222,7 @@ mod tests {
             max_states: Some(7),
             lp_backend: Some(BackendKind::Revised),
             cross_validate: Some(5),
+            emit_certs: Some(true),
         });
         assert_eq!(cfg.jobs, 3);
         assert!(!cfg.cache);
@@ -202,6 +230,7 @@ mod tests {
         assert_eq!(cfg.max_states, 7);
         assert_eq!(cfg.lp_backend, Some(BackendKind::Revised));
         assert_eq!(cfg.cross_validate, 5);
+        assert!(cfg.emit_certs);
     }
 
     #[test]
@@ -236,5 +265,11 @@ mod tests {
     #[test]
     fn cross_validate_defaults_off() {
         assert_eq!(AnalysisConfig::default().cross_validate, 0);
+    }
+
+    #[test]
+    fn emit_certs_defaults_off() {
+        assert!(!AnalysisConfig::default().emit_certs);
+        assert!(AnalysisConfig::default().with_emit_certs(true).emit_certs);
     }
 }

@@ -59,7 +59,8 @@ pub mod report;
 pub use analyzer::{AnalysisContext, Analyzer};
 pub use approaches::{NpsAnalyzer, ProposedAnalyzer, WpAnalyzer, WpMilpAnalyzer};
 pub use config::{
-    AnalysisConfig, CliOverrides, CROSS_VALIDATE_ENV_VAR, JOBS_ENV_VAR, LP_BACKEND_ENV_VAR,
+    AnalysisConfig, CliOverrides, CROSS_VALIDATE_ENV_VAR, EMIT_CERTS_ENV_VAR, JOBS_ENV_VAR,
+    LP_BACKEND_ENV_VAR,
 };
 pub use cross_validate::{
     cross_validate, cross_validate_bounds, cross_validate_report, plan_horizon, Refutation,

@@ -9,10 +9,12 @@
 //!    re-verified with `i128` rational arithmetic — primal feasibility,
 //!    integrality, the bound sandwich for limit-reached solves, and
 //!    Farkas-style infeasibility certificates.
-//! 2. **Formulation linting** ([`lint`]): structural diagnostics
-//!    (`A001`–`A006`) over [`pmcs_milp::Problem`] instances — unused
-//!    variables, contradictory bounds, unbounded objectives, duplicate
-//!    constraints, and big-M conditioning hazards.
+//! 2. **Formulation linting** ([`lint`], [`lint_sequence`]): structural
+//!    diagnostics (`A001`–`A010`) over [`pmcs_milp::Problem`] instances —
+//!    unused variables, contradictory bounds, unbounded objectives,
+//!    duplicate constraints, big-M conditioning and looseness hazards,
+//!    symmetric variable groups, presolve-ghost variables, and
+//!    budget-row monotonicity across fixed-point rounds.
 //! 3. **Protocol conformance analysis** (re-exported from
 //!    [`pmcs_sim::conformance`]): rule-addressable R1–R6 checks over
 //!    simulator traces, cross-referenced with
@@ -32,7 +34,10 @@
 
 pub mod lint;
 
-pub use lint::{lint, LintCode, LintDiagnostic, LintReport, Severity, BIG_M_SPREAD, LINT_CODES};
+pub use lint::{
+    lint, lint_sequence, LintCode, LintDiagnostic, LintReport, Severity, BIG_M_SPREAD,
+    BUDGET_ROW_PREFIX, LINT_CODES, LOOSE_BIG_M_FACTOR, SYMMETRY_GROUP_MIN,
+};
 
 // One-stop re-exports: the other two analysis passes live next to the
 // data they check, but `pmcs_audit::…` exposes the whole toolbox.

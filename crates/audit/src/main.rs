@@ -17,7 +17,12 @@
 //!   must stay within the analytical WCRT, traces must satisfy
 //!   Properties 1–4 and R1–R6), then deliberately weaken the proposed
 //!   bounds to one tick below the observed responses and confirm the
-//!   driver refutes them.
+//!   driver refutes them;
+//! * `cert emit` — run the certificate-emitting analysis on the demo set
+//!   and print (or write) the proof bundle as JSON, optionally applying
+//!   one targeted corruption for negative testing;
+//! * `cert check` — validate a certificate bundle file with the
+//!   independent `pmcs-cert` checker; any rejection exits nonzero.
 //!
 //! Engines are built through the `pmcs-analysis` facade: the typed
 //! [`AnalysisConfig`] is resolved once here at the CLI edge (so
@@ -37,10 +42,10 @@ use pmcs_analysis::{
     cross_validate, cross_validate_bounds, milp_engine, plan_horizon, AnalysisConfig,
     AnalysisContext, CliOverrides, RefutationKind, Registry,
 };
-use pmcs_audit::{check_conformance, lint, Severity, LINT_CODES};
+use pmcs_audit::{check_conformance, lint, lint_sequence, Severity, LINT_CODES};
 use pmcs_core::window::case_for;
 use pmcs_core::WindowModel;
-use pmcs_milp::{AuditedOutcome, Cmp, Problem, Solver};
+use pmcs_milp::{AuditedOutcome, Cmp, LinExpr, Problem, Solver};
 use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
 use pmcs_sim::{simulate, simulate_with, Policy, SimResult, TraceUnit};
 use pmcs_workload::{
@@ -56,10 +61,16 @@ USAGE:
 COMMANDS:
     trace    simulate a workload and conformance-check the trace (R1-R6)
     milp     solve the WCRT window formulations with exact-arithmetic audits
-    lint     lint the window formulations (codes A001-A006)
+    lint     lint the window formulations (codes A001-A010)
     analyze  run every registered analysis approach on the demo set
     simulate cross-validate every approach against adversarial simulation,
              then refute deliberately weakened bounds
+    cert emit [--corrupt K] [--out FILE]
+             emit the demo set's certificate bundle as JSON
+             (K: witness | tree | dominance applies one corruption)
+    cert check <FILE>
+             validate a certificate bundle with the independent
+             pmcs-cert checker; rejections exit nonzero
 
 OPTIONS:
     --seed <N>       RNG seed for workload generation      [default: 42]
@@ -69,6 +80,8 @@ OPTIONS:
                      (simulate)                            [default: 8]
     --lp-backend <B> LP backend: dense | revised (milp/analyze/simulate;
                      beats PMCS_LP_BACKEND)
+    --corrupt <K>    cert emit: corrupt the bundle before printing
+    --out <FILE>     cert emit: write the bundle here instead of stdout
     -h, --help       print this help
 ";
 
@@ -77,6 +90,8 @@ struct Options {
     tasks: usize,
     util: f64,
     plans: usize,
+    corrupt: Option<String>,
+    out: Option<String>,
 }
 
 impl Default for Options {
@@ -86,13 +101,15 @@ impl Default for Options {
             tasks: 5,
             util: 0.5,
             plans: 8,
+            corrupt: None,
+            out: None,
         }
     }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut command: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut opts = Options::default();
     let mut cli = CliOverrides::default();
 
@@ -114,7 +131,7 @@ fn main() -> ExitCode {
                 };
                 cli.lp_backend = Some(kind);
             }
-            "--seed" | "--tasks" | "--util" | "--plans" => {
+            "--seed" | "--tasks" | "--util" | "--plans" | "--corrupt" | "--out" => {
                 let Some(value) = it.next() else {
                     eprintln!("error: {arg} requires a value");
                     return ExitCode::FAILURE;
@@ -123,6 +140,14 @@ fn main() -> ExitCode {
                     "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
                     "--tasks" => value.parse().map(|v| opts.tasks = v).is_ok(),
                     "--plans" => value.parse().map(|v| opts.plans = v).is_ok(),
+                    "--corrupt" => {
+                        opts.corrupt = Some(value.clone());
+                        true
+                    }
+                    "--out" => {
+                        opts.out = Some(value.clone());
+                        true
+                    }
                     _ => value.parse().map(|v| opts.util = v).is_ok(),
                 };
                 if !ok {
@@ -130,8 +155,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            other if command.is_none() && !other.starts_with('-') => {
-                command = Some(other.to_string());
+            other if positionals.len() < 3 && !other.starts_with('-') => {
+                positionals.push(other.to_string());
             }
             other => {
                 eprintln!("error: unexpected argument {other:?}\n\n{USAGE}");
@@ -139,6 +164,7 @@ fn main() -> ExitCode {
             }
         }
     }
+    let command = positionals.first().cloned();
 
     if opts.tasks == 0 {
         eprintln!("error: --tasks must be at least 1");
@@ -154,12 +180,18 @@ fn main() -> ExitCode {
     // are honored here and nowhere deeper in the stack.
     let cfg = AnalysisConfig::resolve(&cli);
 
+    if command.as_deref() != Some("cert") && positionals.len() > 1 {
+        eprintln!("error: unexpected argument {:?}\n\n{USAGE}", positionals[1]);
+        return ExitCode::FAILURE;
+    }
+
     match command.as_deref() {
         Some("trace") => cmd_trace(&opts),
         Some("milp") => cmd_milp(&opts, &cfg),
         Some("lint") => cmd_lint(&opts, &cfg),
         Some("analyze") => cmd_analyze(&opts, &cfg),
         Some("simulate") => cmd_simulate(&opts, &cfg),
+        Some("cert") => cmd_cert(&opts, &positionals[1..]),
         Some(other) => {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -367,9 +399,41 @@ fn cmd_lint(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
         }
     }
 
-    println!("\nlint demo (deliberately sloppy problem, every code fires):");
+    // Cross-round pass: rebuild each window at two increasing lengths
+    // (as the fixed point would) and check the budget rows only ever
+    // grow (A010).
+    println!("\nlinting budget-row monotonicity across fixed-point rounds:");
+    for task in set.iter() {
+        let case = case_for(task.sensitivity());
+        let mut rounds = Vec::new();
+        for len in [(task.deadline() / 2).max(Time::from(1)), task.deadline()] {
+            match WindowModel::build(&set, task.id(), case, len) {
+                Ok(w) => rounds.push(engine.build_problem(&w)),
+                Err(e) => {
+                    eprintln!("{}: window construction failed at t={len}: {e}", task.id());
+                    failed = true;
+                }
+            }
+        }
+        let report = lint_sequence(&rounds);
+        println!(
+            "  {} ({case:?}): {} round(s) — {} finding(s)",
+            task.id(),
+            rounds.len(),
+            report.diagnostics().len(),
+        );
+        for d in report.diagnostics() {
+            println!("    {d}");
+        }
+        if report.has_errors() {
+            failed = true;
+        }
+    }
+
+    println!("\nlint demo (deliberately sloppy problem + rounds, every code fires):");
     let demo = sloppy_demo_problem();
-    let report = lint(&demo);
+    let mut report = lint(&demo);
+    report.merge(&lint_sequence(&sloppy_demo_rounds()));
     for d in report.diagnostics() {
         println!("  {d}");
     }
@@ -562,6 +626,156 @@ fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
     }
 }
 
+// --- cert ---------------------------------------------------------------
+
+fn cmd_cert(opts: &Options, rest: &[String]) -> ExitCode {
+    match rest.first().map(String::as_str) {
+        Some("emit") => cmd_cert_emit(opts),
+        Some("check") => match rest.get(1) {
+            Some(path) => cmd_cert_check(path),
+            None => {
+                eprintln!("error: cert check requires a bundle file\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("error: cert requires a subcommand (emit | check)\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_cert_emit(opts: &Options) -> ExitCode {
+    let set = demo_set(opts);
+    let engine = pmcs_core::ExactEngine::default();
+    let (report, mut bundle) = match pmcs_core::certify_task_set(&set, &engine) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: certificate emission failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(kind) = opts.corrupt.as_deref() {
+        let result = match kind {
+            "witness" => pmcs_cert::corrupt::corrupt_witness(&mut bundle),
+            "dominance" => pmcs_cert::corrupt::corrupt_dominance(&mut bundle),
+            "tree" => milp_tree_cert(&set).and_then(|cert| {
+                // The greedy pipeline proves its windows through the exact
+                // DP; graft one MILP-certified window (with a B&B proof
+                // tree) onto the bundle so the truncation has a target.
+                bundle.windows.push(cert);
+                pmcs_cert::corrupt::corrupt_truncate_tree(&mut bundle)
+            }),
+            other => {
+                eprintln!("error: unknown corruption {other:?}; use witness|tree|dominance");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = result {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("applied corruption '{kind}': the checker must reject this bundle");
+    }
+
+    let json = pmcs_cert::encode_certificate_set(&bundle);
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "wrote {path}: {} window(s), {} wcrt(s), schedulable={}",
+                bundle.windows.len(),
+                bundle.wcrts.len(),
+                report.schedulable(),
+            );
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Finds a window of `set` whose MILP certification yields a multi-node
+/// branch-and-bound proof tree (the `--corrupt tree` target).
+fn milp_tree_cert(set: &TaskSet) -> Result<pmcs_cert::DelayCertificate, String> {
+    use pmcs_core::wcrt::DelayEngine as _;
+    let exact = pmcs_core::ExactEngine::default();
+    let milp = pmcs_core::MilpEngine::default();
+    for task in set.iter() {
+        let case = case_for(task.sensitivity());
+        let half = Time::from_ticks((task.deadline().as_ticks() / 2).max(1));
+        for len in [task.deadline(), half] {
+            let Ok(w) = WindowModel::build(set, task.id(), case, len) else {
+                continue;
+            };
+            if w.n() < 2 {
+                continue;
+            }
+            let Ok(bound) = exact.max_total_delay(&w) else {
+                continue;
+            };
+            if !bound.exact {
+                continue;
+            }
+            let Ok(cert) = pmcs_core::certify_window_milp(
+                &milp,
+                &exact,
+                &w,
+                bound,
+                &pmcs_milp::CertifyLimits::default(),
+            ) else {
+                continue;
+            };
+            if let pmcs_cert::UpperProof::BbTree { ref tree, .. } = cert.upper {
+                if tree.nodes.len() > 1 {
+                    return Ok(cert);
+                }
+            }
+        }
+    }
+    Err(
+        "no window of the demo set produced a multi-node proof tree; \
+         try a different --seed/--tasks"
+            .to_string(),
+    )
+}
+
+fn cmd_cert_check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bundle = match pmcs_cert::decode_certificate_set(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot decode {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = pmcs_cert::check_certificate_set(&bundle);
+    println!(
+        "{path}: {} certificate(s) checked, {} rejection(s)",
+        report.checked,
+        report.rejections.len(),
+    );
+    for r in &report.rejections {
+        println!("  REJECTED code={} detail={}", r.code, r.detail);
+    }
+    if report.ok() {
+        println!("bundle ACCEPTED");
+        ExitCode::SUCCESS
+    } else {
+        println!("bundle REJECTED");
+        ExitCode::FAILURE
+    }
+}
+
 /// A small problem that trips all six lint codes at once.
 fn sloppy_demo_problem() -> Problem {
     let mut p = Problem::maximize();
@@ -571,11 +785,37 @@ fn sloppy_demo_problem() -> Problem {
     let inverted = p.continuous("inverted", 5.0, 1.0); // A002 (bounds)
     let free = p.continuous("free", 0.0, f64::INFINITY); // A003
     let gate = p.binary("gate");
+    let gate2 = p.binary("gate2");
+    let ghost = p.continuous("ghost", 0.0, 1.0);
     p.constrain(x + y, Cmp::Le, 4.0);
     p.constrain(2.0 * x + 2.0 * y, Cmp::Le, 8.0); // A004 (scaled duplicate)
     p.constrain(x + -1e9 * gate, Cmp::Le, 0.0); // A005 (big-M spread)
     p.constrain(x, Cmp::Le, 1e4); // A006 (never binds)
     p.constrain(x + inverted, Cmp::Ge, 100.0); // A002 (unachievable)
+                                               // A007: spread 1e5 stays under the A005 threshold, but y ∈ [0, 10]
+                                               // against rhs 2 means M = 8 already suffices — 1e5 is ~1e4x looser.
+    p.constrain(y + -1e5 * gate2, Cmp::Le, 2.0);
+    p.constrain(ghost, Cmp::Le, 50.0); // A009 (ghost's only row; presolve deletes it)
+                                       // A008: eight interchangeable slot binaries in one cardinality row.
+    let mut slots = LinExpr::default();
+    for i in 0..8 {
+        slots += 1.0 * p.binary(format!("slot{i}"));
+    }
+    p.constrain(slots, Cmp::Le, 3.0);
     p.set_objective(x + y + free);
     p
+}
+
+/// Successive "fixed-point rounds" whose budget row `C7_0` shrinks — the
+/// monotonicity violation `A010` exists to catch (a real iteration only
+/// grows windows, so budgets never decrease).
+fn sloppy_demo_rounds() -> Vec<Problem> {
+    let build = |budget: f64| {
+        let mut p = Problem::maximize();
+        let x = p.continuous("x", 0.0, 100.0);
+        p.constrain_named(Some("C7_0"), 1.0 * x, Cmp::Le, budget);
+        p.set_objective(x);
+        p
+    };
+    vec![build(8.0), build(6.0)] // A010 (RHS 8 → 6 across rounds)
 }

@@ -27,8 +27,14 @@
 //! column has none and is skipped), checking observed worst responses
 //! against the analytical bounds; refutations exit nonzero.
 //!
+//! With `--emit-certs` (or `PMCS_EMIT_CERTS=1`), every analyzed set is
+//! re-certified after the measured sweep: the proposed analysis re-runs
+//! with a recorded proof transcript and the bundle is validated by the
+//! independent `pmcs-cert` checker; `cert_*` counters land in the perf
+//! record and any rejection exits nonzero.
+//!
 //! Usage: `cargo run --release -p pmcs-bench --bin ablation -- \
-//!     [--sets N] [--jobs N] [--cross-validate N]`
+//!     [--sets N] [--jobs N] [--cross-validate N] [--emit-certs]`
 
 use std::time::Instant;
 
@@ -36,7 +42,9 @@ use pmcs_analysis::{
     cross_validate_report, AnalysisConfig, AnalysisContext, CliOverrides, ProposedAnalyzer,
     Registry, SimCounters, WpAnalyzer, WpMilpAnalyzer,
 };
-use pmcs_bench::{parallel_map_with, PerfPoint, PerfRecord};
+use pmcs_bench::{
+    certify_set, parallel_map, parallel_map_with, CertSummary, PerfPoint, PerfRecord,
+};
 use pmcs_core::CacheStats;
 use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
 
@@ -57,6 +65,7 @@ fn main() {
                         .expect("--cross-validate N"),
                 );
             }
+            "--emit-certs" => cli.emit_certs = Some(true),
             _ => {}
         }
     }
@@ -173,9 +182,56 @@ fn main() {
         });
     }
     perf.extra_sim(&sim);
+
+    // Certificate pass: after the measured sweep, regenerate every step's
+    // sets from the same per-step generator stream and certify each
+    // (proposed column only — the certified pipeline), validating the
+    // bundles with the independent pmcs-cert checker.
+    let mut certs = CertSummary::default();
+    if cfg.emit_certs {
+        let step_certs = parallel_map(&steps, cfg.jobs, |_, &step| {
+            let u = step as f64 * 0.05;
+            let mut generator = TaskSetGenerator::new(
+                TaskSetConfig {
+                    n: 6,
+                    utilization: u,
+                    gamma: 0.3,
+                    beta: 0.4,
+                    ..TaskSetConfig::default()
+                },
+                0xAB1A ^ step,
+            );
+            let mut summary = CertSummary::default();
+            for si in 0..sets {
+                let set = generator.generate();
+                summary.merge(&certify_set(&set, &format!("U={u:.2} set={si}")));
+            }
+            summary
+        });
+        for s in &step_certs {
+            certs.merge(s);
+        }
+        println!(
+            "certificates: {} bundle(s) emitted, {} proof(s) accepted, {} rejection(s) ({:.1}s)",
+            certs.emitted, certs.checked, certs.rejected, certs.secs,
+        );
+        for line in &certs.rejections {
+            eprintln!("{line}");
+        }
+    }
+    perf.extra_cert(&certs);
+    perf.extra_str("certs_enabled", if cfg.emit_certs { "yes" } else { "no" });
+
     let path = perf.write().expect("write perf record");
     println!("perf record: {} (cache: {})", path.display(), perf.cache);
 
+    if !certs.ok() {
+        eprintln!(
+            "certificate pass REJECTED {} certificate(s)",
+            certs.rejected
+        );
+        std::process::exit(1);
+    }
     if !refutations.is_empty() {
         eprintln!(
             "cross-validation REFUTED {} analytical bound(s):",

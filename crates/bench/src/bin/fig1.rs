@@ -8,15 +8,20 @@
 //!
 //! The three policy simulations are independent, so they run on the
 //! worker pool (`--jobs N` / `PMCS_JOBS`) and print in order afterwards;
-//! a perf record goes to `BENCH_fig1.json`.
+//! a perf record goes to `BENCH_fig1.json`. With `--emit-certs` (or
+//! `PMCS_EMIT_CERTS=1`) the Figure 1 task set is additionally analyzed
+//! with a recorded proof transcript (outside the timed region) and the
+//! emitted certificate bundle is validated by the independent
+//! `pmcs-cert` checker; a rejection exits nonzero.
 //!
-//! Usage: `cargo run --release -p pmcs-bench --bin fig1 -- [--jobs N]`
+//! Usage: `cargo run --release -p pmcs-bench --bin fig1 -- [--jobs N]
+//! [--emit-certs]`
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use pmcs_analysis::{AnalysisConfig, CliOverrides};
-use pmcs_bench::{fig1_task_set, parallel_map, PerfPoint, PerfRecord};
+use pmcs_bench::{certify_set, fig1_task_set, parallel_map, CertSummary, PerfPoint, PerfRecord};
 use pmcs_model::{TaskId, Time};
 use pmcs_sim::{render_gantt, simulate, validate_trace, Policy, ReleasePlan};
 
@@ -24,11 +29,16 @@ fn main() {
     let mut cli = CliOverrides::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--jobs" {
-            cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+        match a.as_str() {
+            "--jobs" => {
+                cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+            }
+            "--emit-certs" => cli.emit_certs = Some(true),
+            _ => {}
         }
     }
-    let jobs = AnalysisConfig::resolve(&cli).jobs;
+    let cfg = AnalysisConfig::resolve(&cli);
+    let jobs = cfg.jobs;
 
     let (set, releases) = fig1_task_set();
     let plan = ReleasePlan::from_pairs(releases);
@@ -115,6 +125,32 @@ fn main() {
         refutations: 0,
         sim_secs: rendered.iter().map(|(_, secs)| secs).sum(),
     });
+
+    // Certificate pass (outside the timed region): certify the proposed
+    // analysis of the Figure 1 set and validate the bundle with the
+    // independent checker.
+    let mut certs = CertSummary::default();
+    if cfg.emit_certs {
+        certs = certify_set(&set, "fig1");
+        println!(
+            "fig1: certificates — {} bundle(s) emitted, {} proof(s) accepted, \
+             {} rejection(s) ({:.1}s)",
+            certs.emitted, certs.checked, certs.rejected, certs.secs,
+        );
+        for line in &certs.rejections {
+            eprintln!("{line}");
+        }
+    }
+    perf.extra_cert(&certs);
+    perf.extra_str("certs_enabled", if cfg.emit_certs { "yes" } else { "no" });
+
     let path = perf.write().expect("write perf record");
     println!("perf record: {}", path.display());
+    if !certs.ok() {
+        eprintln!(
+            "certificate pass REJECTED {} certificate(s)",
+            certs.rejected
+        );
+        std::process::exit(1);
+    }
 }

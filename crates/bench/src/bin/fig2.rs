@@ -5,7 +5,8 @@
 //! ```text
 //! cargo run --release -p pmcs-bench --bin fig2 -- <a|b|c|d|e|f|all> \
 //!     [--sets N] [--seed S] [--jobs N] [--no-cache] [--audit] \
-//!     [--lp-backend dense|revised] [--cross-validate N] [--baseline]
+//!     [--lp-backend dense|revised] [--cross-validate N] [--baseline] \
+//!     [--emit-certs]
 //! ```
 //!
 //! Execution knobs resolve through `AnalysisConfig::resolve` at this CLI
@@ -25,6 +26,13 @@
 //! machine-readable line (identical for every thread count) and makes
 //! the binary exit nonzero. `--baseline` additionally reruns everything
 //! single-threaded and uncached to measure the parallel speedup.
+//! `--emit-certs` (or `PMCS_EMIT_CERTS=1`) re-certifies every analyzed
+//! set *after* the timed sweep — the proposed analysis re-runs with its
+//! proof transcript recorded and the bundle is validated by the
+//! independent `pmcs-cert` checker; `cert_emitted`/`cert_checked`/
+//! `cert_rejected` counters land in `BENCH_fig2.json`, the CSV rows are
+//! byte-identical with the flag on or off, and any rejected certificate
+//! makes the binary exit nonzero.
 //!
 //! Results are printed as a table plus an ASCII chart and written to
 //! `target/experiments/fig2<inset>.csv`; a machine-readable perf record
@@ -37,7 +45,8 @@ use std::time::Instant;
 use pmcs_analysis::{AnalysisConfig, CliOverrides, Registry};
 use pmcs_bench::report::text_table;
 use pmcs_bench::{
-    ascii_chart, fig2_inset, sweep_with, write_csv, Fig2Inset, PerfPoint, PerfRecord,
+    ascii_chart, certify_sweep, fig2_inset, sweep_with, write_csv, CertSummary, Fig2Inset,
+    PerfPoint, PerfRecord,
 };
 use pmcs_core::{BackendKind, CacheStats, SolverStats};
 
@@ -87,6 +96,7 @@ fn main() {
                 );
             }
             "--baseline" => baseline = true,
+            "--emit-certs" => cli.emit_certs = Some(true),
             "all" => insets.extend(Fig2Inset::ALL),
             other => match Fig2Inset::parse(other) {
                 Some(i) => insets.push(i),
@@ -267,9 +277,44 @@ fn main() {
         );
     }
 
+    // Certificate pass: outside every timed region and after the CSVs
+    // are written, so measured rows are byte-identical with the flag on
+    // or off. Each analyzed set is regenerated from the same seeds,
+    // re-analyzed with a recorded proof transcript, and the bundle is
+    // validated by the independent pmcs-cert checker.
+    let mut certs = CertSummary::default();
+    if cfg.emit_certs {
+        for &inset in &insets {
+            let points = fig2_inset(inset);
+            let inset_certs = certify_sweep(&points, sets_per_point, seed, cfg.jobs);
+            println!(
+                "fig2{}: certificates — {} bundle(s) emitted, {} proof(s) accepted, \
+                 {} rejection(s) ({:.1}s)",
+                inset.letter(),
+                inset_certs.emitted,
+                inset_certs.checked,
+                inset_certs.rejected,
+                inset_certs.secs,
+            );
+            for line in &inset_certs.rejections {
+                eprintln!("fig2{} {line}", inset.letter());
+            }
+            certs.merge(&inset_certs);
+        }
+    }
+    perf.extra_cert(&certs);
+    perf.extra_str("certs_enabled", if cfg.emit_certs { "yes" } else { "no" });
+
     let path = perf.write().expect("write perf record");
     println!("perf record: {}", path.display());
 
+    if !certs.ok() {
+        eprintln!(
+            "certificate pass REJECTED {} certificate(s)",
+            certs.rejected
+        );
+        std::process::exit(1);
+    }
     if !refutations.is_empty() {
         eprintln!(
             "cross-validation REFUTED {} analytical bound(s):",

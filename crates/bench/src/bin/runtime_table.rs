@@ -20,8 +20,16 @@
 //! checking observed worst responses against the proposed bounds;
 //! refutations exit nonzero.
 //!
+//! With `--emit-certs` (or `PMCS_EMIT_CERTS=1`), every analyzed set is
+//! re-certified after the timed measurements (outside the timed region):
+//! the proposed analysis re-runs with a recorded proof transcript and
+//! the bundle is validated by the independent `pmcs-cert` checker;
+//! `cert_*` counters land in the perf record and any rejection exits
+//! nonzero.
+//!
 //! Usage: `cargo run --release -p pmcs-bench --bin runtime_table -- \
-//!     [--sets N] [--jobs N] [--no-cache] [--cross-validate N]`
+//!     [--sets N] [--jobs N] [--no-cache] [--cross-validate N] \
+//!     [--emit-certs]`
 
 use std::time::Instant;
 
@@ -29,7 +37,7 @@ use pmcs_analysis::{
     cross_validate_report, AnalysisConfig, AnalysisContext, Analyzer, CliOverrides,
     ProposedAnalyzer, SimCounters,
 };
-use pmcs_bench::{parallel_map, PerfPoint, PerfRecord};
+use pmcs_bench::{certify_set, parallel_map, CertSummary, PerfPoint, PerfRecord};
 use pmcs_core::CacheStats;
 use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
 
@@ -51,6 +59,7 @@ fn main() {
                         .expect("--cross-validate N"),
                 );
             }
+            "--emit-certs" => cli.emit_certs = Some(true),
             _ => {}
         }
     }
@@ -165,9 +174,54 @@ fn main() {
     perf.extra_num("analysis_failures", failures as f64);
     perf.extra_str("cache_enabled", if cfg.cache { "yes" } else { "no" });
     perf.extra_sim(&sim);
+
+    // Certificate pass: after the timed measurements, regenerate every
+    // configuration's sets from the same generator stream and certify
+    // each, validating the bundles with the independent checker.
+    let mut certs = CertSummary::default();
+    if cfg.emit_certs {
+        let config_certs = parallel_map(&configs, cfg.jobs, |_, &(n, u)| {
+            let mut generator = TaskSetGenerator::new(
+                TaskSetConfig {
+                    n,
+                    utilization: u,
+                    gamma: 0.3,
+                    beta: 0.4,
+                    ..TaskSetConfig::default()
+                },
+                99,
+            );
+            let mut summary = CertSummary::default();
+            for si in 0..sets {
+                let set = generator.generate();
+                summary.merge(&certify_set(&set, &format!("n={n} U={u:.2} set={si}")));
+            }
+            summary
+        });
+        for s in &config_certs {
+            certs.merge(s);
+        }
+        println!(
+            "certificates: {} bundle(s) emitted, {} proof(s) accepted, {} rejection(s) ({:.1}s)",
+            certs.emitted, certs.checked, certs.rejected, certs.secs,
+        );
+        for line in &certs.rejections {
+            eprintln!("{line}");
+        }
+    }
+    perf.extra_cert(&certs);
+    perf.extra_str("certs_enabled", if cfg.emit_certs { "yes" } else { "no" });
+
     let path = perf.write().expect("write perf record");
     println!("perf record: {}", path.display());
 
+    if !certs.ok() {
+        eprintln!(
+            "certificate pass REJECTED {} certificate(s)",
+            certs.rejected
+        );
+        std::process::exit(1);
+    }
     if !refutations.is_empty() {
         eprintln!(
             "cross-validation REFUTED {} analytical bound(s):",

@@ -27,14 +27,17 @@
 //! for every thread count.
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod certs;
 pub mod experiment;
 pub mod figures;
 pub mod parallel;
 pub mod perf;
 pub mod report;
 
+pub use certs::{certify_set, certify_sweep, CertSummary};
 pub use experiment::{
     evaluate_set, evaluate_set_with_reports, evaluate_set_with_stats, sweep, sweep_with,
     SetOutcome, SweepOutcome, SweepPoint, SweepRow,

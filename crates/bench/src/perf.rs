@@ -90,6 +90,15 @@ impl PerfRecord {
         );
     }
 
+    /// Attaches the certificate-pass counters as the four `cert_*` keys
+    /// (all zero when certificate emission was off).
+    pub fn extra_cert(&mut self, certs: &crate::certs::CertSummary) {
+        self.extra_num("cert_emitted", certs.emitted as f64);
+        self.extra_num("cert_checked", certs.checked as f64);
+        self.extra_num("cert_rejected", certs.rejected as f64);
+        self.extra_num("cert_secs", certs.secs);
+    }
+
     /// Attaches the simulation cross-validation counters as the four
     /// `sim_*` keys (all zero when cross-validation was off).
     pub fn extra_sim(&mut self, sim: &SimCounters) {
@@ -234,6 +243,23 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"solver_proposed_bb_nodes\": 7"));
         assert!(j.contains("\"solver_proposed_warm_hit_rate\": 0.75"));
+    }
+
+    #[test]
+    fn cert_counters_land_under_cert_keys() {
+        let mut r = PerfRecord::new("x");
+        r.extra_cert(&crate::certs::CertSummary {
+            emitted: 5,
+            checked: 40,
+            rejected: 0,
+            secs: 0.5,
+            rejections: Vec::new(),
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"cert_emitted\": 5"));
+        assert!(j.contains("\"cert_checked\": 40"));
+        assert!(j.contains("\"cert_rejected\": 0"));
+        assert!(j.contains("\"cert_secs\": 0.5"));
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! Content addressing for certificate objects.
+//!
+//! Certificates reference windows by a 64-bit FNV-1a hash over a
+//! canonical field-by-field encoding. The hash is *not* cryptographic —
+//! it detects accidental corruption and mismatched references, while the
+//! checker re-derives every semantic fact from the hashed content itself.
+
+/// Incremental FNV-1a 64-bit hasher over a canonical encoding.
+///
+/// Every write is length-prefixed by construction (fixed-width
+/// little-endian integers; collections hash their length first), so two
+/// different field sequences cannot collide by concatenation.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// Creates a hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hashes raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Hashes a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `i64` as 8 little-endian bytes.
+    pub fn write_i64(&mut self, v: i64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u32` as 4 little-endian bytes.
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a boolean as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_bytes(&[u8::from(v)]);
+    }
+
+    /// The accumulated hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn field_order_matters() {
+        let mut a = Fnv64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn empty_is_offset_basis() {
+        assert_eq!(Fnv64::new().finish(), 0xcbf2_9ce4_8422_2325);
+    }
+}

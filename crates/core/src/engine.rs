@@ -94,6 +94,12 @@ impl Choice {
             Choice::Run { task, urgent } => 1 + 2 * task as u128 + u128::from(urgent),
         }
     }
+
+    /// The same encoding as a `u64` (the certificate wire encoding).
+    #[inline]
+    fn code(self) -> u64 {
+        self.encode() as u64
+    }
 }
 
 /// Reusable per-engine working memory: cleared, never reallocated.
@@ -196,7 +202,71 @@ impl ExactEngine {
             ..pmcs_milp::SolverStats::default()
         }
     }
+
+    /// Solves `w` while recording the full memo table and an optimal
+    /// placement witness, for certificate emission. Returns `None` when
+    /// the search exceeds its budgets (the caller then emits a safe-cap
+    /// certificate instead of an exact one).
+    ///
+    /// The recording search uses an explicit `(k, prev, prev2, budgets)`
+    /// map as its memo (no 128-bit packing limit), bounded by the same
+    /// `max_states` entry budget and node backstop as the production DP.
+    pub(crate) fn solve_recorded(&self, w: &WindowModel) -> Option<RecordedSolve> {
+        let mut scratch = self.scratch.borrow_mut();
+        let mut search = Search::new(w, self.max_states, &mut scratch);
+        if search.n < 2 {
+            return Some(RecordedSolve {
+                value: search.c_i.max(search.max_l + search.max_u),
+                states: Vec::new(),
+                witness: Vec::new(),
+            });
+        }
+        let mut rec: RecMemo = HashMap::new();
+        let value = search.dp_rec(0, Choice::Idle, Choice::Idle, &mut rec);
+        self.nodes.set(self.nodes.get() + search.nodes);
+        if search.aborted {
+            return None;
+        }
+        let witness = search.traceback(&rec, value)?;
+        let states = rec
+            .into_iter()
+            .map(|((k, prev, prev2, budgets), value)| RecordedState {
+                k,
+                prev,
+                prev2,
+                budgets,
+                value,
+            })
+            .collect();
+        Some(RecordedSolve {
+            value,
+            states,
+            witness,
+        })
+    }
 }
+
+/// One memoized DP state captured by [`ExactEngine::solve_recorded`].
+/// Choices use the stable wire encoding `0 = idle, 1 + 2·task + urgent`.
+#[derive(Debug, Clone)]
+pub(crate) struct RecordedState {
+    pub k: usize,
+    pub prev: u64,
+    pub prev2: u64,
+    pub budgets: Vec<u64>,
+    pub value: i64,
+}
+
+/// A recorded solve: the exact optimum, every memoized state, and one
+/// placement (choice codes for slots `0 … N-2`) attaining the optimum.
+#[derive(Debug, Clone)]
+pub(crate) struct RecordedSolve {
+    pub value: i64,
+    pub states: Vec<RecordedState>,
+    pub witness: Vec<u64>,
+}
+
+type RecMemo = HashMap<(usize, u64, u64, Vec<u64>), i64>;
 
 impl DelayEngine for ExactEngine {
     fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
@@ -443,14 +513,7 @@ impl<'a> Search<'a> {
         }
 
         if k == self.n - 1 {
-            // Terminal: Δ_{N-2} (τ_i's copy-in rides this interval's DMA)
-            // and Δ_{N-1} (τ_i executes; DMA may copy out `prev` and load
-            // a future task).
-            let d_nm2 = self
-                .cpu(prev)
-                .max(self.l_i + self.out_at(self.n - 2, prev2));
-            let d_nm1 = self.c_i.max(self.max_l + self.out_of(prev));
-            return d_nm2 + d_nm1;
+            return self.terminal_value(prev, prev2);
         }
 
         let key = self.memo_key(k, prev, prev2);
@@ -520,6 +583,18 @@ impl<'a> Search<'a> {
         best
     }
 
+    /// Terminal value at slot `N-1`: Δ_{N-2} (τ_i's copy-in rides this
+    /// interval's DMA) and Δ_{N-1} (τ_i executes; DMA may copy out `prev`
+    /// and load a future task).
+    #[inline]
+    fn terminal_value(&self, prev: Choice, prev2: Choice) -> i64 {
+        let d_nm2 = self
+            .cpu(prev)
+            .max(self.l_i + self.out_at(self.n - 2, prev2));
+        let d_nm1 = self.c_i.max(self.max_l + self.out_of(prev));
+        d_nm2 + d_nm1
+    }
+
     /// Contribution of `Δ_{k-1}` once slot `k`'s choice is fixed (the slot
     /// `k-1` copy-in serves the execution of `I_k`); `None` if the choice
     /// is infeasible, `0` at the window start.
@@ -549,6 +624,146 @@ impl<'a> Search<'a> {
             key = (key << bits) | u128::from(b);
         }
         Some(key)
+    }
+
+    /// Recording twin of [`Search::dp`]: identical recursion, gating, and
+    /// budgets, but memoized in an explicit key map so every reachable
+    /// state's exact suffix value survives for certificate emission. Kept
+    /// separate from the hot path on purpose — the production `dp` stays
+    /// allocation-free.
+    fn dp_rec(&mut self, k: usize, prev: Choice, prev2: Choice, rec: &mut RecMemo) -> i64 {
+        if self.aborted {
+            return 0;
+        }
+        self.nodes += 1;
+        if self.nodes > 100_000_000 {
+            self.aborted = true;
+            return 0;
+        }
+        if k == self.n - 1 {
+            return self.terminal_value(prev, prev2);
+        }
+        let key = (k, prev.code(), prev2.code(), self.s.budget.clone());
+        if let Some(&v) = rec.get(&key) {
+            return v;
+        }
+
+        let mut best = i64::MIN;
+        let mut any_candidate = false;
+        let m = self.s.exec.len();
+        for task in 0..m {
+            if self.s.budget[task] == 0 {
+                continue;
+            }
+            for urgent in [false, true] {
+                if urgent && !self.s.ls[task] {
+                    continue;
+                }
+                if !self.placement_ok(k, task, urgent) {
+                    continue;
+                }
+                let cand = Choice::Run { task, urgent };
+                let Some(d) = self.score(k, prev, prev2, cand) else {
+                    continue;
+                };
+                any_candidate = true;
+                self.s.budget[task] -= 1;
+                self.remaining_budget -= 1;
+                let v = d + self.dp_rec(k + 1, cand, prev, rec);
+                self.s.budget[task] += 1;
+                self.remaining_budget += 1;
+                best = best.max(v);
+            }
+        }
+        let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
+        let stranded_lp =
+            k > self.last_lp_exec && (0..m).any(|j| !self.s.hp[j] && self.s.budget[j] > 0);
+        let surplus_slot = (self.n - 1 - k) as u64 > self.remaining_budget;
+        if !any_candidate || idle_useful || stranded_lp || surplus_slot {
+            if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
+                let v = d + self.dp_rec(k + 1, Choice::Idle, prev, rec);
+                best = best.max(v);
+            }
+        }
+
+        if rec.len() >= self.max_states {
+            self.aborted = true;
+        } else {
+            rec.insert(key, best);
+        }
+        best
+    }
+
+    /// Recovers one optimal placement from a recorded memo: walks forward
+    /// from the root re-enumerating the explored choices of each state and
+    /// following any choice whose score plus child value reproduces the
+    /// state's recorded optimum.
+    fn traceback(&mut self, rec: &RecMemo, total: i64) -> Option<Vec<u64>> {
+        let mut witness = Vec::with_capacity(self.n - 1);
+        let (mut prev, mut prev2) = (Choice::Idle, Choice::Idle);
+        let mut v = total;
+        let m = self.s.exec.len();
+        for k in 0..self.n - 1 {
+            let mut found: Option<(Choice, i64)> = None;
+            let mut any_candidate = false;
+            'runs: for task in 0..m {
+                if self.s.budget[task] == 0 {
+                    continue;
+                }
+                for urgent in [false, true] {
+                    if urgent && !self.s.ls[task] {
+                        continue;
+                    }
+                    if !self.placement_ok(k, task, urgent) {
+                        continue;
+                    }
+                    let cand = Choice::Run { task, urgent };
+                    let Some(d) = self.score(k, prev, prev2, cand) else {
+                        continue;
+                    };
+                    any_candidate = true;
+                    self.s.budget[task] -= 1;
+                    let cv = if k + 1 == self.n - 1 {
+                        Some(self.terminal_value(cand, prev))
+                    } else {
+                        rec.get(&(k + 1, cand.code(), prev.code(), self.s.budget.clone()))
+                            .copied()
+                    };
+                    if cv == Some(v - d) {
+                        // Keep the budget decremented: the choice is taken.
+                        found = Some((cand, v - d));
+                        break 'runs;
+                    }
+                    self.s.budget[task] += 1;
+                }
+            }
+            if found.is_none() {
+                let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
+                let stranded_lp =
+                    k > self.last_lp_exec && (0..m).any(|j| !self.s.hp[j] && self.s.budget[j] > 0);
+                let budget_sum: u64 = self.s.budget.iter().sum();
+                let surplus_slot = (self.n - 1 - k) as u64 > budget_sum;
+                if !any_candidate || idle_useful || stranded_lp || surplus_slot {
+                    if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
+                        let cv = if k + 1 == self.n - 1 {
+                            Some(self.terminal_value(Choice::Idle, prev))
+                        } else {
+                            rec.get(&(k + 1, 0, prev.code(), self.s.budget.clone()))
+                                .copied()
+                        };
+                        if cv == Some(v - d) {
+                            found = Some((Choice::Idle, v - d));
+                        }
+                    }
+                }
+            }
+            let (cand, cv) = found?;
+            witness.push(cand.code());
+            v = cv;
+            prev2 = prev;
+            prev = cand;
+        }
+        Some(witness)
     }
 
     /// Safe upper bound used when the DP aborts: the tighter of

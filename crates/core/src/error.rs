@@ -38,6 +38,15 @@ pub enum CoreError {
         /// Explanation produced by the audit layer.
         detail: String,
     },
+    /// Certificate emission failed: the recording solve disagreed with the
+    /// production engine, a proof tree could not be constructed within its
+    /// budget, or the model uses a construct the certificate format cannot
+    /// express. Emission failures never affect the analysis verdict — only
+    /// whether a proof ships alongside it.
+    Certification {
+        /// Explanation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -57,6 +66,9 @@ impl fmt::Display for CoreError {
                     f,
                     "milp audit refuted the solver answer ({check}): {detail}"
                 )
+            }
+            CoreError::Certification { detail } => {
+                write!(f, "certificate emission failed: {detail}")
             }
         }
     }

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod certify;
 pub mod chains;
 pub mod engine;
 pub mod error;
@@ -58,6 +59,7 @@ pub mod wcrt;
 pub mod window;
 
 pub use cache::{CacheStats, CachedEngine, DelayCache, WindowKey};
+pub use certify::{certify_task_set, certify_window_dp, certify_window_milp};
 pub use chains::{chain_latency, ChainActivation, TaskChain};
 pub use engine::ExactEngine;
 pub use error::CoreError;
@@ -67,7 +69,8 @@ pub use partitioning::{analyze_platform, partition, Heuristic, Partitioning};
 pub use pmcs_milp::{BackendKind, SolverStats};
 pub use protocol::{ProtocolRule, RULES};
 pub use schedulability::{
-    analyze_task_set, promotion_affects, LsAssignment, SchedulabilityReport, TaskVerdict,
+    analyze_task_set, analyze_task_set_traced, promotion_affects, GreedyTrace, LsAssignment,
+    RoundEntry, SchedulabilityReport, TaskVerdict,
 };
-pub use wcrt::{DelayEngine, TaskAnalysis, WcrtAnalyzer};
+pub use wcrt::{DelayEngine, TaskAnalysis, TaskTrace, TraceStep, WcrtAnalyzer};
 pub use window::{WindowCase, WindowModel, WindowTask};

@@ -172,7 +172,52 @@ pub fn analyze_task_set(
     set: &TaskSet,
     engine: &impl DelayEngine,
 ) -> Result<SchedulabilityReport, CoreError> {
-    analyze_impl(set, engine, true)
+    analyze_impl(set, engine, true, None)
+}
+
+/// One per-task entry of a greedy round transcript.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundEntry {
+    /// The analyzed task.
+    pub task: TaskId,
+    /// WCRT bound under the round's marking.
+    pub wcrt: Time,
+    /// `wcrt ≤ deadline`.
+    pub schedulable: bool,
+    /// `true` iff the analysis ran fresh this round; `false` when the
+    /// verdict was reused from an earlier round across a provably inert
+    /// promotion (see [`promotion_affects`]).
+    pub fresh: bool,
+}
+
+/// Transcript of a greedy LS-marking run: per round the scanned tasks in
+/// priority order, plus the promotion sequence — everything certificate
+/// emission needs to replay the marking decisions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GreedyTrace {
+    /// One entry list per round, in scan order (a prefix of the set's
+    /// priority order; non-final rounds stop at the promoted task).
+    pub rounds: Vec<Vec<RoundEntry>>,
+    /// Promoted task ids, in promotion order (round `r` scans under the
+    /// marking `promoted[..r]`).
+    pub promoted: Vec<TaskId>,
+    /// Final verdict.
+    pub schedulable: bool,
+}
+
+/// [`analyze_task_set`] plus the greedy-round transcript used by
+/// certificate emission (see [`certify`](crate::certify)).
+///
+/// # Errors
+///
+/// Same as [`analyze_task_set`].
+pub fn analyze_task_set_traced(
+    set: &TaskSet,
+    engine: &impl DelayEngine,
+) -> Result<(SchedulabilityReport, GreedyTrace), CoreError> {
+    let mut trace = GreedyTrace::default();
+    let report = analyze_impl(set, engine, true, Some(&mut trace))?;
+    Ok((report, trace))
 }
 
 /// [`analyze_task_set`] with the cross-round verdict reuse disabled:
@@ -185,13 +230,14 @@ pub fn analyze_task_set_no_reuse(
     set: &TaskSet,
     engine: &impl DelayEngine,
 ) -> Result<SchedulabilityReport, CoreError> {
-    analyze_impl(set, engine, false)
+    analyze_impl(set, engine, false, None)
 }
 
 fn analyze_impl(
     set: &TaskSet,
     engine: &impl DelayEngine,
     reuse: bool,
+    mut trace: Option<&mut GreedyTrace>,
 ) -> Result<SchedulabilityReport, CoreError> {
     let analyzer = WcrtAnalyzer::default();
     let mut current = set.all_nls();
@@ -204,9 +250,13 @@ fn analyze_impl(
     // Each round either terminates or promotes one task; at most n
     // promotions are possible.
     for round in 1..=set.len() + 1 {
+        if let Some(tr) = trace.as_deref_mut() {
+            tr.rounds.push(Vec::new());
+        }
         let mut verdicts = Vec::with_capacity(current.len());
         let mut failing: Option<TaskId> = None;
         for (idx, task) in current.iter().enumerate() {
+            let fresh = carried[idx].is_none();
             let analysis = match carried[idx].as_ref() {
                 Some(a) => a.clone(),
                 None => {
@@ -215,6 +265,17 @@ fn analyze_impl(
                     a
                 }
             };
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.rounds
+                    .last_mut()
+                    .expect("round entry pushed above")
+                    .push(RoundEntry {
+                        task: task.id(),
+                        wcrt: analysis.wcrt,
+                        schedulable: analysis.schedulable,
+                        fresh,
+                    });
+            }
             verdicts.push(TaskVerdict {
                 task: task.id(),
                 wcrt: analysis.wcrt,
@@ -235,6 +296,10 @@ fn analyze_impl(
         }
         match failing {
             None => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.promoted = promoted.clone();
+                    tr.schedulable = true;
+                }
                 return Ok(SchedulabilityReport {
                     verdicts,
                     assignment: LsAssignment { promoted },
@@ -245,6 +310,10 @@ fn analyze_impl(
                 let is_ls = current.get(task).map(|t| t.is_ls()).unwrap_or(false);
                 if is_ls {
                     // Already LS and still missing: unschedulable.
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.promoted = promoted.clone();
+                        tr.schedulable = false;
+                    }
                     return Ok(SchedulabilityReport {
                         verdicts,
                         assignment: LsAssignment { promoted },

@@ -111,11 +111,50 @@ impl WcrtAnalyzer {
         task: TaskId,
         engine: &impl DelayEngine,
     ) -> Result<TaskAnalysis, CoreError> {
+        self.analyze_inner(set, task, engine, None)
+    }
+
+    /// [`WcrtAnalyzer::analyze_task`] plus a transcript of the fixed-point
+    /// iteration (one [`TraceStep`] per engine invocation), the basis of
+    /// certificate emission (see [`certify`](crate::certify)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WcrtAnalyzer::analyze_task`].
+    pub fn analyze_task_traced(
+        &self,
+        set: &TaskSet,
+        task: TaskId,
+        engine: &impl DelayEngine,
+    ) -> Result<(TaskAnalysis, TaskTrace), CoreError> {
+        let mut trace = TaskTrace {
+            case: WindowCase::Nls,
+            steps: Vec::new(),
+            case_b: None,
+        };
+        let analysis = self.analyze_inner(set, task, engine, Some(&mut trace))?;
+        Ok((analysis, trace))
+    }
+
+    fn analyze_inner(
+        &self,
+        set: &TaskSet,
+        task: TaskId,
+        engine: &impl DelayEngine,
+        mut trace: Option<&mut TaskTrace>,
+    ) -> Result<TaskAnalysis, CoreError> {
         let t = set.require(task)?;
         let deadline = t.deadline();
         match t.sensitivity() {
             Sensitivity::Nls => {
-                let fp = self.fixed_point(set, task, WindowCase::Nls, deadline, engine)?;
+                let fp = self.fixed_point(
+                    set,
+                    task,
+                    WindowCase::Nls,
+                    deadline,
+                    engine,
+                    trace.as_deref_mut().map(|tr| &mut tr.steps),
+                )?;
                 Ok(TaskAnalysis {
                     task,
                     wcrt: fp.response,
@@ -126,10 +165,16 @@ impl WcrtAnalyzer {
                 })
             }
             Sensitivity::Ls => {
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.case = WindowCase::LsCaseA;
+                }
                 // Case (b) is a closed form, independent of the window
                 // length (Section V-B.2).
                 let w0 = WindowModel::build(set, task, WindowCase::LsCaseA, Time::ZERO)?;
                 let case_b = w0.ls_case_b_response();
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.case_b = Some(case_b);
+                }
                 if case_b > deadline {
                     return Ok(TaskAnalysis {
                         task,
@@ -140,7 +185,14 @@ impl WcrtAnalyzer {
                         case_b_response: Some(case_b),
                     });
                 }
-                let fp = self.fixed_point(set, task, WindowCase::LsCaseA, deadline, engine)?;
+                let fp = self.fixed_point(
+                    set,
+                    task,
+                    WindowCase::LsCaseA,
+                    deadline,
+                    engine,
+                    trace.map(|tr| &mut tr.steps),
+                )?;
                 let wcrt = fp.response.max(case_b);
                 Ok(TaskAnalysis {
                     task,
@@ -161,6 +213,7 @@ impl WcrtAnalyzer {
         case: WindowCase,
         deadline: Time,
         engine: &impl DelayEngine,
+        mut trace: Option<&mut Vec<TraceStep>>,
     ) -> Result<FixedPoint, CoreError> {
         let t = set.require(task)?;
         let base = t.exec() + t.copy_out();
@@ -173,6 +226,13 @@ impl WcrtAnalyzer {
             let window = WindowModel::build(set, task, case, window_len)?;
             let bound = engine.max_total_delay(&window)?;
             exact &= bound.exact;
+            if let Some(steps) = trace.as_deref_mut() {
+                steps.push(TraceStep {
+                    window_len,
+                    delay: bound.delay,
+                    exact: bound.exact,
+                });
+            }
             let next = bound.delay + t.copy_out();
             if next > deadline {
                 return Ok(FixedPoint {
@@ -195,6 +255,30 @@ impl WcrtAnalyzer {
             iterations: self.max_iterations,
         })
     }
+}
+
+/// One engine invocation of the fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The window length `t = R̄ − C − u` fed to the engine.
+    pub window_len: Time,
+    /// The engine's bound on `Σ_k Δ_k`.
+    pub delay: Time,
+    /// Whether the bound was exact.
+    pub exact: bool,
+}
+
+/// Transcript of one task analysis, sufficient to re-derive every window
+/// the fixed point solved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskTrace {
+    /// The analysis case used by the fixed point.
+    pub case: WindowCase,
+    /// One step per engine invocation, in iteration order (empty when the
+    /// LS case (b) closed form already misses the deadline).
+    pub steps: Vec<TraceStep>,
+    /// LS case (b) closed-form response; `None` for NLS tasks.
+    pub case_b: Option<Time>,
 }
 
 struct FixedPoint {

@@ -144,7 +144,7 @@ pub enum InfeasibilityCertificate {
         var: usize,
     },
     /// Farkas multipliers: a non-negative combination of the rows of the
-    /// `≤`-normal form (see [`normal_form`]) that sums to the
+    /// `≤`-normal form (see [`le_normal_form`]) that sums to the
     /// contradiction `0 ≤ negative`.
     Farkas {
         /// One multiplier per normal-form row, all `≥ 0`.
@@ -440,14 +440,28 @@ fn check_bound_sandwich(
 
 /// One row of the `≤`-normal form: `coeffs · x ≤ rhs` (dense coefficients).
 #[derive(Debug, Clone)]
-struct NormRow {
-    coeffs: Vec<Rational>,
-    rhs: Rational,
+pub struct NormRow {
+    /// Dense coefficient vector, one entry per problem variable.
+    pub coeffs: Vec<Rational>,
+    /// Right-hand side of the `≤` inequality.
+    pub rhs: Rational,
 }
 
-enum NormalForm {
+/// Result of normalization: either the row system, or a variable whose
+/// integral bound tightening already contradicts itself.
+#[derive(Debug)]
+pub enum NormalForm {
+    /// The `≤`-row system, in the canonical order documented on
+    /// [`le_normal_form`].
     Rows(Vec<NormRow>),
-    EmptyBounds { var: usize, detail: String },
+    /// Tightening left a variable with an empty domain; the problem is
+    /// infeasible outright and no row system is needed.
+    EmptyBounds {
+        /// Index of the contradictory variable.
+        var: usize,
+        /// Human-readable description of the empty domain.
+        detail: String,
+    },
 }
 
 /// Exactly tightened bounds: integral variables get `ceil(lo)` / `floor(hi)`
@@ -477,11 +491,20 @@ fn tightened_bounds(
 
 /// Builds the `≤`-normal form of `problem` with integral bounds tightened.
 ///
-/// Row order (the order Farkas multipliers refer to): each constraint in
-/// problem order (`Le` as is, `Ge` negated, `Eq` split into `≤` then
-/// negated-`≥`), then for each variable its finite lower bound as
+/// Row order (the order Farkas and bound multipliers refer to): each
+/// constraint in problem order (`Le` as is, `Ge` negated, `Eq` split into
+/// `≤` then negated-`≥`), then for each variable its finite lower bound as
 /// `-x ≤ -lo`, then its finite upper bound as `x ≤ hi`.
-fn normal_form(problem: &Problem) -> Result<NormalForm, String> {
+///
+/// This order is a public contract: certificates serialized by `pmcs-cert`
+/// reference rows positionally, and the independent checker rebuilds the
+/// same system from the embedded problem.
+///
+/// # Errors
+///
+/// Returns an error when a coefficient, bound, or right-hand side is not
+/// exactly representable as a [`Rational`].
+pub fn le_normal_form(problem: &Problem) -> Result<NormalForm, String> {
     let n = problem.num_vars();
     let mut rows = Vec::new();
 
@@ -559,7 +582,7 @@ pub fn verify_certificate(
             }
         }
         InfeasibilityCertificate::Farkas { multipliers } => {
-            let rows = match normal_form(problem)? {
+            let rows = match le_normal_form(problem)? {
                 NormalForm::Rows(rows) => rows,
                 NormalForm::EmptyBounds { detail, .. } => {
                     return Err(format!(
@@ -641,7 +664,7 @@ const FM_MAX_ROWS: usize = 4_096;
 /// only from integrality (a feasible LP relaxation with no integer point)
 /// is out of reach and reported as an error string.
 pub fn find_certificate(problem: &Problem) -> Result<InfeasibilityCertificate, String> {
-    let rows = match normal_form(problem)? {
+    let rows = match le_normal_form(problem)? {
         NormalForm::EmptyBounds { var, .. } => {
             return Ok(InfeasibilityCertificate::EmptyBounds { var })
         }
@@ -778,6 +801,267 @@ pub fn audit_infeasibility(problem: &Problem) -> AuditReport {
         ),
     }
     report
+}
+
+// ---------------------------------------------------------------------------
+// Branch-and-bound certificate trees (VIPR-style)
+// ---------------------------------------------------------------------------
+
+/// One node of a branch-and-bound certificate tree.
+///
+/// Leaves carry self-contained proofs; branch nodes record the exact
+/// integral split so the checker can rebuild each node's problem from the
+/// root problem alone.
+#[derive(Debug, Clone)]
+pub enum BbNode {
+    /// Integral branching: the subtree `down` has `x_var ≤ floor`, the
+    /// subtree `up` has `x_var ≥ floor + 1`. Together they cover every
+    /// integral value of `x_var`, so bounds proven on both children hold
+    /// for the parent.
+    Branch {
+        /// Index of the (integral) branching variable.
+        var: usize,
+        /// The split point (`⌊x_var⌋` at the node's LP vertex).
+        floor: i128,
+        /// Index of the `x_var ≤ floor` child in [`BbTree::nodes`].
+        down: usize,
+        /// Index of the `x_var ≥ floor + 1` child in [`BbTree::nodes`].
+        up: usize,
+    },
+    /// LP-dual bound certificate: the multipliers prove that the node's
+    /// objective cannot exceed the claimed bound (weak duality, checked by
+    /// substitution via [`verify_bound_multipliers`]).
+    Bounded {
+        /// One non-negative multiplier per `≤`-normal-form row of the
+        /// node's problem.
+        multipliers: Vec<Rational>,
+    },
+    /// The node's LP relaxation is infeasible; carries a Farkas or
+    /// empty-domain certificate checked by [`verify_certificate`].
+    Infeasible {
+        /// The infeasibility certificate for the node's problem.
+        certificate: InfeasibilityCertificate,
+    },
+}
+
+/// A branch-and-bound certificate tree; node `0` is the root.
+///
+/// The tree proves `objective ≤ claimed` for a *maximization* problem:
+/// every leaf either bounds its subproblem by the claim or proves it
+/// infeasible, and branch nodes partition the integral search space.
+#[derive(Debug, Clone, Default)]
+pub struct BbTree {
+    /// All nodes; internal references index into this vector.
+    pub nodes: Vec<BbNode>,
+}
+
+/// Upper limit on accepted tree sizes; larger trees are rejected as
+/// malformed rather than walked unboundedly.
+pub const BB_TREE_MAX_NODES: usize = 1_000_000;
+
+/// Verifies an LP-dual bound certificate by substitution.
+///
+/// Checks, in exact arithmetic, that `multipliers ≥ 0`, that they
+/// recombine the rows of `problem`'s `≤`-normal form into exactly the
+/// objective coefficient vector, and that the implied bound
+/// `yᵀr + objective-constant` does not exceed `claimed`. Returns the
+/// implied bound.
+///
+/// Independent of any solver: a buggy certificate *finder* cannot make an
+/// unsound claim pass here.
+///
+/// # Errors
+///
+/// Returns a reason string prefixed with a stable machine-readable code
+/// (`bound.*`) when the certificate does not verify.
+pub fn verify_bound_multipliers(
+    problem: &Problem,
+    multipliers: &[Rational],
+    claimed: Rational,
+) -> Result<Rational, String> {
+    if problem.direction() != Objective::Maximize {
+        return Err("bound.direction: only maximization problems are supported".to_string());
+    }
+    let rows = match le_normal_form(problem).map_err(|e| format!("bound.normal-form: {e}"))? {
+        NormalForm::Rows(rows) => rows,
+        NormalForm::EmptyBounds { detail, .. } => {
+            return Err(format!(
+                "bound.normal-form: problem is infeasible by bound tightening ({detail}); \
+                 expected an infeasibility leaf, not a bound leaf"
+            ))
+        }
+    };
+    if multipliers.len() != rows.len() {
+        return Err(format!(
+            "bound.shape: certificate has {} multipliers for {} rows",
+            multipliers.len(),
+            rows.len()
+        ));
+    }
+    let n = problem.num_vars();
+    let mut combo = vec![Rational::ZERO; n];
+    let mut bound = Rational::from_f64(problem.objective().constant())
+        .ok_or("bound.overflow: objective constant is not exactly representable")?;
+    for (y, row) in multipliers.iter().zip(&rows) {
+        if y.is_negative() {
+            return Err(format!("bound.negative-multiplier: {y}"));
+        }
+        if y.is_zero() {
+            continue;
+        }
+        for (acc, &coeff) in combo.iter_mut().zip(&row.coeffs) {
+            if !coeff.is_zero() {
+                let term = y
+                    .checked_mul(coeff)
+                    .ok_or("bound.overflow: combining rows")?;
+                *acc = acc
+                    .checked_add(term)
+                    .ok_or("bound.overflow: combining rows")?;
+            }
+        }
+        let term = y
+            .checked_mul(row.rhs)
+            .ok_or("bound.overflow: combining rhs")?;
+        bound = bound
+            .checked_add(term)
+            .ok_or("bound.overflow: combining rhs")?;
+    }
+    for (j, acc) in combo.iter().enumerate() {
+        let c = Rational::from_f64(problem.objective().coefficient(crate::expr::Var(j)))
+            .ok_or("bound.overflow: objective coefficient not representable")?;
+        if *acc != c {
+            return Err(format!(
+                "bound.combination: column {j} recombines to {acc}, objective needs {c}"
+            ));
+        }
+    }
+    if bound > claimed {
+        return Err(format!(
+            "bound.exceeds-claim: certified bound {bound} (~{}) exceeds claimed {claimed}",
+            bound.to_f64()
+        ));
+    }
+    Ok(bound)
+}
+
+/// Verifies a branch-and-bound certificate tree against `problem`.
+///
+/// Walks the tree from the root, rebuilding every node's problem by
+/// applying the recorded integral splits to a clone of `problem` (via
+/// [`Problem::set_var_bounds`]), and re-checks each leaf from scratch:
+/// [`verify_bound_multipliers`] for bound leaves, [`verify_certificate`]
+/// for infeasibility leaves. Structural defects — dangling child indices,
+/// shared or unreachable nodes, branching on non-integral variables — are
+/// rejected with stable `bbtree.*` reason codes.
+///
+/// On success the tree proves `objective(x) ≤ claimed` for every feasible
+/// point `x` of `problem` with integral variables integral.
+///
+/// # Errors
+///
+/// Returns a reason string prefixed with a stable machine-readable code
+/// (`bbtree.*` or a leaf's `bound.*`).
+pub fn verify_bb_tree(
+    problem: &Problem,
+    tree: &BbTree,
+    claimed: Rational,
+) -> Result<String, String> {
+    if tree.nodes.is_empty() {
+        return Err("bbtree.empty: certificate tree has no nodes".to_string());
+    }
+    if tree.nodes.len() > BB_TREE_MAX_NODES {
+        return Err(format!(
+            "bbtree.malformed: {} nodes exceeds the {} cap",
+            tree.nodes.len(),
+            BB_TREE_MAX_NODES
+        ));
+    }
+    if problem.direction() != Objective::Maximize {
+        return Err("bbtree.direction: only maximization problems are supported".to_string());
+    }
+    let nvars = problem.num_vars();
+    let root_bounds: Vec<(f64, f64)> = (0..nvars)
+        .map(|j| problem.var_bounds(crate::expr::Var(j)))
+        .collect();
+
+    let mut visited = vec![false; tree.nodes.len()];
+    let mut leaves = 0usize;
+    let mut stack: Vec<(usize, Vec<(f64, f64)>)> = vec![(0, root_bounds)];
+    while let Some((idx, bounds)) = stack.pop() {
+        let node = tree
+            .nodes
+            .get(idx)
+            .ok_or_else(|| format!("bbtree.truncated: node index {idx} out of range"))?;
+        if visited[idx] {
+            return Err(format!(
+                "bbtree.malformed: node {idx} is referenced more than once"
+            ));
+        }
+        visited[idx] = true;
+        match node {
+            BbNode::Branch {
+                var,
+                floor,
+                down,
+                up,
+            } => {
+                if *var >= nvars {
+                    return Err(format!(
+                        "bbtree.branch-var: node {idx} branches on unknown variable x{var}"
+                    ));
+                }
+                if !problem.var_kind(crate::expr::Var(*var)).is_integral() {
+                    return Err(format!(
+                        "bbtree.branch-var: node {idx} branches on non-integral variable x{var}"
+                    ));
+                }
+                let split = *floor as f64;
+                if split as i128 != *floor {
+                    return Err(format!(
+                        "bbtree.branch-var: node {idx} split point {floor} is not exactly \
+                         representable"
+                    ));
+                }
+                let (lo, hi) = bounds[*var];
+                let mut down_bounds = bounds.clone();
+                down_bounds[*var] = (lo, hi.min(split));
+                let mut up_bounds = bounds;
+                up_bounds[*var] = (lo.max(split + 1.0), hi);
+                stack.push((*down, down_bounds));
+                stack.push((*up, up_bounds));
+            }
+            BbNode::Bounded { multipliers } => {
+                let node_problem = apply_bounds(problem, &bounds);
+                verify_bound_multipliers(&node_problem, multipliers, claimed)
+                    .map_err(|e| format!("bbtree.leaf: node {idx}: {e}"))?;
+                leaves += 1;
+            }
+            BbNode::Infeasible { certificate } => {
+                let node_problem = apply_bounds(problem, &bounds);
+                verify_certificate(&node_problem, certificate)
+                    .map_err(|e| format!("bbtree.leaf: node {idx}: {e}"))?;
+                leaves += 1;
+            }
+        }
+    }
+    if let Some(unreachable) = visited.iter().position(|v| !v) {
+        return Err(format!(
+            "bbtree.malformed: node {unreachable} is unreachable from the root"
+        ));
+    }
+    Ok(format!(
+        "branch-and-bound tree with {} nodes ({} leaves) proves objective <= {claimed}",
+        tree.nodes.len(),
+        leaves
+    ))
+}
+
+fn apply_bounds(problem: &Problem, bounds: &[(f64, f64)]) -> Problem {
+    let mut p = problem.clone();
+    for (j, &(lo, hi)) in bounds.iter().enumerate() {
+        p.set_var_bounds(crate::expr::Var(j), lo, hi);
+    }
+    p
 }
 
 #[cfg(test)]

@@ -1,0 +1,307 @@
+//! Certifying branch & bound: proves `objective ≤ claimed` with a
+//! machine-checkable tree.
+//!
+//! Unlike the production solver ([`crate::branch`]), which computes in
+//! `f64` and is trusted only through after-the-fact audits, this module
+//! *constructs* a [`BbTree`] certificate in exact rational arithmetic:
+//! every leaf carries either an LP-dual bound certificate or a Farkas
+//! infeasibility certificate produced by [`crate::exact`], and every
+//! branch records the exact integral split. The tree is then verifiable
+//! by [`crate::audit::verify_bb_tree`] — code that shares nothing with
+//! this finder beyond the `≤`-normal-form contract.
+//!
+//! This is the VIPR-style proof layer for the MILP path of the analysis:
+//! the production engine claims a window delay bound, and this module
+//! turns that claim into a proof object (or fails loudly — it can never
+//! produce an unsound certificate, because it does not *check* anything,
+//! it only *finds* objects the independent checker will re-derive).
+
+use crate::audit::{le_normal_form, BbNode, BbTree, InfeasibilityCertificate, NormalForm};
+use crate::exact::{solve_dual_exact, DualOutcome, ExactRow};
+use crate::problem::{Objective, Problem};
+use crate::rational::Rational;
+
+/// Resource limits for certificate construction.
+#[derive(Debug, Clone)]
+pub struct CertifyLimits {
+    /// Maximum number of tree nodes before the finder gives up.
+    pub max_nodes: usize,
+}
+
+impl Default for CertifyLimits {
+    fn default() -> Self {
+        CertifyLimits { max_nodes: 5_000 }
+    }
+}
+
+/// Builds a branch-and-bound certificate proving `objective ≤ claimed`.
+///
+/// `problem` must be a maximization problem. The returned tree passes
+/// [`crate::audit::verify_bb_tree`] for the same `(problem, claimed)`
+/// pair.
+///
+/// # Errors
+///
+/// Returns an error string (stable `certify.*` / `exact.*` prefix) when
+/// construction is impossible: the claim is *refuted* by an integral
+/// feasible point with a larger objective (`certify.bound-understates` —
+/// a genuine soundness alarm for the caller's engine), the node or pivot
+/// caps are hit, or rational arithmetic overflows. Failure to build a
+/// certificate never implies the claim is false unless the error says so.
+pub fn certify_upper_bound(
+    problem: &Problem,
+    claimed: Rational,
+    limits: &CertifyLimits,
+) -> Result<BbTree, String> {
+    if problem.direction() != Objective::Maximize {
+        return Err("certify.direction: only maximization problems are supported".to_string());
+    }
+    let n = problem.num_vars();
+    let mut objective = Vec::with_capacity(n);
+    for j in 0..n {
+        let c = problem.objective().coefficient(crate::expr::Var(j));
+        objective.push(
+            Rational::from_f64(c)
+                .ok_or_else(|| format!("certify.overflow: objective coefficient {c}"))?,
+        );
+    }
+    let obj_const = Rational::from_f64(problem.objective().constant())
+        .ok_or("certify.overflow: objective constant")?;
+    let root_bounds: Vec<(f64, f64)> = (0..n)
+        .map(|j| problem.var_bounds(crate::expr::Var(j)))
+        .collect();
+    let integral: Vec<bool> = (0..n)
+        .map(|j| problem.var_kind(crate::expr::Var(j)).is_integral())
+        .collect();
+
+    let mut ctx = Ctx {
+        problem,
+        claimed,
+        objective,
+        obj_const,
+        integral,
+        max_nodes: limits.max_nodes,
+        nodes: Vec::new(),
+    };
+    ctx.build(root_bounds)?;
+    Ok(BbTree { nodes: ctx.nodes })
+}
+
+struct Ctx<'a> {
+    problem: &'a Problem,
+    claimed: Rational,
+    objective: Vec<Rational>,
+    obj_const: Rational,
+    integral: Vec<bool>,
+    max_nodes: usize,
+    nodes: Vec<BbNode>,
+}
+
+impl Ctx<'_> {
+    /// Builds the subtree for the node with the given variable bounds and
+    /// returns its index in `nodes`.
+    fn build(&mut self, bounds: Vec<(f64, f64)>) -> Result<usize, String> {
+        if self.nodes.len() >= self.max_nodes {
+            return Err(format!(
+                "certify.node-limit: exceeded {} certificate nodes",
+                self.max_nodes
+            ));
+        }
+        let node_problem = apply_bounds(self.problem, &bounds);
+        let rows = match le_normal_form(&node_problem).map_err(|e| format!("certify: {e}"))? {
+            NormalForm::EmptyBounds { var, .. } => {
+                self.nodes.push(BbNode::Infeasible {
+                    certificate: InfeasibilityCertificate::EmptyBounds { var },
+                });
+                return Ok(self.nodes.len() - 1);
+            }
+            NormalForm::Rows(rows) => rows,
+        };
+        let exact_rows: Vec<ExactRow> = rows.into_iter().map(|r| (r.coeffs, r.rhs)).collect();
+        match solve_dual_exact(&exact_rows, &self.objective)? {
+            DualOutcome::PrimalInfeasible { farkas } => {
+                self.nodes.push(BbNode::Infeasible {
+                    certificate: InfeasibilityCertificate::Farkas {
+                        multipliers: farkas,
+                    },
+                });
+                Ok(self.nodes.len() - 1)
+            }
+            DualOutcome::Bounded {
+                multipliers,
+                bound,
+                primal,
+            } => {
+                let total = bound
+                    .checked_add(self.obj_const)
+                    .ok_or("certify.overflow: bound total")?;
+                if total <= self.claimed {
+                    self.nodes.push(BbNode::Bounded { multipliers });
+                    return Ok(self.nodes.len() - 1);
+                }
+                // Bound above the claim: branch on a fractional integral
+                // variable; if none exists the LP vertex is an integral
+                // feasible point refuting the claim.
+                let split = primal
+                    .iter()
+                    .enumerate()
+                    .find(|(j, x)| self.integral[*j] && !x.is_integer());
+                let Some((var, x)) = split else {
+                    return Err(format!(
+                        "certify.bound-understates: integral point with objective {total} \
+                         (~{}) exceeds the claimed bound {} (~{})",
+                        total.to_f64(),
+                        self.claimed,
+                        self.claimed.to_f64()
+                    ));
+                };
+                let floor = x.floor();
+                let split_f = floor as f64;
+                if split_f as i128 != floor {
+                    return Err(format!(
+                        "certify.overflow: split point {floor} is not representable"
+                    ));
+                }
+                let placeholder = self.nodes.len();
+                // Reserve the branch slot so child indices are final.
+                self.nodes.push(BbNode::Branch {
+                    var,
+                    floor,
+                    down: usize::MAX,
+                    up: usize::MAX,
+                });
+                let (lo, hi) = bounds[var];
+                let mut down_bounds = bounds.clone();
+                down_bounds[var] = (lo, hi.min(split_f));
+                let mut up_bounds = bounds;
+                up_bounds[var] = (lo.max(split_f + 1.0), hi);
+                let down = self.build(down_bounds)?;
+                let up = self.build(up_bounds)?;
+                self.nodes[placeholder] = BbNode::Branch {
+                    var,
+                    floor,
+                    down,
+                    up,
+                };
+                Ok(placeholder)
+            }
+        }
+    }
+}
+
+fn apply_bounds(problem: &Problem, bounds: &[(f64, f64)]) -> Problem {
+    let mut p = problem.clone();
+    for (j, &(lo, hi)) in bounds.iter().enumerate() {
+        p.set_var_bounds(crate::expr::Var(j), lo, hi);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::verify_bb_tree;
+    use crate::problem::Cmp;
+
+    fn q(v: i128) -> Rational {
+        Rational::from_int(v)
+    }
+
+    /// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, y integer: optimum 12.
+    fn doc_example() -> Problem {
+        let mut p = Problem::maximize();
+        let x = p.continuous("x", 0.0, 10.0);
+        let y = p.integer("y", 0.0, 10.0);
+        p.constrain(x + y, Cmp::Le, 4.0);
+        p.constrain(x + 3.0 * y, Cmp::Le, 6.0);
+        p.set_objective(3.0 * x + 2.0 * y);
+        p
+    }
+
+    #[test]
+    fn integral_lp_optimum_needs_a_single_leaf() {
+        let p = doc_example();
+        let tree = certify_upper_bound(&p, q(12), &CertifyLimits::default()).expect("certify");
+        assert_eq!(tree.nodes.len(), 1, "{tree:?}");
+        verify_bb_tree(&p, &tree, q(12)).expect("tree must verify");
+    }
+
+    #[test]
+    fn fractional_relaxation_branches_and_verifies() {
+        // max x s.t. 2x <= 3, x integer in [0, 10]: LP bound 3/2, MILP 1.
+        let mut p = Problem::maximize();
+        let x = p.integer("x", 0.0, 10.0);
+        p.constrain(2.0 * x, Cmp::Le, 3.0);
+        p.set_objective(1.0 * x);
+        let tree = certify_upper_bound(&p, q(1), &CertifyLimits::default()).expect("certify");
+        assert!(
+            tree.nodes.len() >= 3,
+            "expected a branch with two children: {tree:?}"
+        );
+        assert!(matches!(
+            tree.nodes[0],
+            BbNode::Branch {
+                var: 0,
+                floor: 1,
+                ..
+            }
+        ));
+        verify_bb_tree(&p, &tree, q(1)).expect("tree must verify");
+    }
+
+    #[test]
+    fn understated_claim_is_refuted_not_certified() {
+        let mut p = Problem::maximize();
+        let x = p.integer("x", 0.0, 10.0);
+        p.constrain(2.0 * x, Cmp::Le, 3.0);
+        p.set_objective(1.0 * x);
+        let err = certify_upper_bound(&p, q(0), &CertifyLimits::default()).unwrap_err();
+        assert!(err.starts_with("certify.bound-understates"), "{err}");
+    }
+
+    #[test]
+    fn overstated_claim_still_certifies() {
+        let p = doc_example();
+        let tree = certify_upper_bound(&p, q(50), &CertifyLimits::default()).expect("certify");
+        verify_bb_tree(&p, &tree, q(50)).expect("tree must verify");
+        // ... but the same tree must not verify a tighter claim.
+        assert!(verify_bb_tree(&p, &tree, q(11)).is_err());
+    }
+
+    #[test]
+    fn truncated_tree_is_rejected() {
+        let mut p = Problem::maximize();
+        let x = p.integer("x", 0.0, 10.0);
+        p.constrain(2.0 * x, Cmp::Le, 3.0);
+        p.set_objective(1.0 * x);
+        let mut tree = certify_upper_bound(&p, q(1), &CertifyLimits::default()).expect("certify");
+        tree.nodes.truncate(tree.nodes.len() - 1);
+        let err = verify_bb_tree(&p, &tree, q(1)).unwrap_err();
+        assert!(err.starts_with("bbtree.truncated"), "{err}");
+    }
+
+    #[test]
+    fn infeasible_branch_side_carries_farkas_leaf() {
+        let mut p = Problem::maximize();
+        let x = p.integer("x", 0.0, 10.0);
+        p.constrain(2.0 * x, Cmp::Le, 3.0);
+        p.set_objective(1.0 * x);
+        let tree = certify_upper_bound(&p, q(1), &CertifyLimits::default()).expect("certify");
+        assert!(
+            tree.nodes
+                .iter()
+                .any(|n| matches!(n, BbNode::Infeasible { .. })),
+            "up branch (x >= 2 with 2x <= 3) must be an infeasibility leaf: {tree:?}"
+        );
+    }
+
+    #[test]
+    fn node_limit_fails_closed() {
+        let mut p = Problem::maximize();
+        let x = p.integer("x", 0.0, 10.0);
+        p.constrain(2.0 * x, Cmp::Le, 3.0);
+        p.set_objective(1.0 * x);
+        let err = certify_upper_bound(&p, q(1), &CertifyLimits { max_nodes: 1 }).unwrap_err();
+        assert!(err.starts_with("certify.node-limit"), "{err}");
+    }
+}

@@ -62,7 +62,9 @@
 pub mod audit;
 pub mod backend;
 pub mod branch;
+pub mod certify;
 pub mod error;
+pub mod exact;
 pub mod expr;
 pub mod presolve;
 pub mod problem;
@@ -73,14 +75,17 @@ pub mod solution;
 pub mod stats;
 
 pub use audit::{
-    AuditCheck, AuditReport, AuditedOutcome, AuditedSolve, CheckStatus, InfeasibilityCertificate,
+    verify_bb_tree, verify_bound_multipliers, AuditCheck, AuditReport, AuditedOutcome,
+    AuditedSolve, BbNode, BbTree, CheckStatus, InfeasibilityCertificate, NormRow, NormalForm,
 };
 pub use backend::{
     backend_for, BackendKind, Basis, BasisStatus, DenseBackend, LpBackend, LpRun, RevisedBackend,
     WarmStart,
 };
 pub use branch::{BbRun, BranchAndBound, BranchRule, Limits, NodeOrder, Strategy};
+pub use certify::{certify_upper_bound, CertifyLimits};
 pub use error::MilpError;
+pub use exact::{solve_dual_exact, DualOutcome};
 pub use expr::{LinExpr, Var};
 pub use presolve::{presolve, PresolveOutcome, PresolvedProblem, Transform};
 pub use problem::{Cmp, ConstraintRef, Objective, Problem, VarKind};

@@ -199,6 +199,19 @@ impl Problem {
         v.upper = value;
     }
 
+    /// Overwrites both bounds of a variable.
+    ///
+    /// Used by branch-and-bound certificate replay, where a node problem is
+    /// the root problem with branching bounds applied; the caller is
+    /// responsible for keeping `lower <= upper` (an inverted pair is legal
+    /// here and simply makes the problem infeasible, which
+    /// [`Problem::validate`] reports).
+    pub fn set_var_bounds(&mut self, var: Var, lower: f64, upper: f64) {
+        let v = &mut self.vars[var.0];
+        v.lower = lower;
+        v.upper = upper;
+    }
+
     /// Sets the objective expression (its constant is carried through to
     /// reported objective values).
     pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {

@@ -210,6 +210,12 @@ impl StaircaseCurve {
     pub fn steps(&self) -> &[(Time, u64)] {
         &self.steps
     }
+
+    /// The long-run inter-arrival time applied after the last explicit
+    /// step.
+    pub fn tail_period(&self) -> Time {
+        self.tail_period
+    }
 }
 
 impl ArrivalBound for StaircaseCurve {

@@ -15,6 +15,7 @@
 //! | [`analysis`] | `pmcs-analysis` | unified facade: `Analyzer` trait, approach registry, engine stack, typed config |
 //! | [`sim`] | `pmcs-sim` | discrete-event simulator + trace validators + Gantt |
 //! | [`workload`] | `pmcs-workload` | Section VII task-set generators |
+//! | [`cert`] | `pmcs-cert` | proof-carrying analysis: certificate formats + independent `i128` checker |
 //! | [`audit`] | `pmcs-audit` | exact MILP audits, formulation lints, R1–R6 conformance |
 //!
 //! ## Quickstart
@@ -41,11 +42,13 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
 pub use pmcs_analysis as analysis;
 pub use pmcs_audit as audit;
 pub use pmcs_baselines as baselines;
+pub use pmcs_cert as cert;
 pub use pmcs_core as core;
 pub use pmcs_milp as milp;
 pub use pmcs_model as model;
