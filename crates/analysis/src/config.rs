@@ -28,6 +28,17 @@ pub const LP_BACKEND_ENV_VAR: &str = "PMCS_LP_BACKEND";
 /// cross-validation.
 pub const CROSS_VALIDATE_ENV_VAR: &str = "PMCS_CROSS_VALIDATE";
 
+/// Environment variable naming the worker count of the exact engine's
+/// branch-and-bound rescue path (CLI edge only; an explicit `--bnb-jobs`
+/// flag wins). `0` (the default) disables branch-and-bound: windows that
+/// exhaust the memo budget fall back to the safe cap instead.
+pub const BNB_JOBS_ENV_VAR: &str = "PMCS_BNB_JOBS";
+
+/// Environment variable naming the slot depth up to which the
+/// branch-and-bound rescue additionally prunes with LP-relaxation bounds
+/// (CLI edge only; an explicit `--bnb-lp-depth` flag wins).
+pub const BNB_LP_DEPTH_ENV_VAR: &str = "PMCS_BNB_LP_DEPTH";
+
 /// Environment variable enabling certificate emission (`1`/`true`; CLI
 /// edge only, an explicit `--emit-certs` flag wins). When on, every
 /// analyzed set is re-certified *outside* the timed regions: the
@@ -72,6 +83,15 @@ pub struct AnalysisConfig {
     /// set (outside the timed regions) and validate it with the
     /// independent `pmcs-cert` checker.
     pub emit_certs: bool,
+    /// Worker threads of the exact engine's parallel branch-and-bound
+    /// rescue for windows that exhaust the memo budget (`0` disables the
+    /// rescue; the engine then reports its safe fallback cap). Ignored —
+    /// forced off — when `emit_certs` is set, because branch-and-bound
+    /// results carry no replayable DP table to certify.
+    pub bnb_jobs: usize,
+    /// Slot depth up to which branch-and-bound nodes additionally prune
+    /// with LP-relaxation bounds (`0` disables LP bounding).
+    pub bnb_lp_depth: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -84,6 +104,8 @@ impl Default for AnalysisConfig {
             lp_backend: None,
             cross_validate: 0,
             emit_certs: false,
+            bnb_jobs: 0,
+            bnb_lp_depth: 0,
         }
     }
 }
@@ -107,6 +129,10 @@ pub struct CliOverrides {
     pub cross_validate: Option<usize>,
     /// `--emit-certs`.
     pub emit_certs: Option<bool>,
+    /// `--bnb-jobs N`.
+    pub bnb_jobs: Option<usize>,
+    /// `--bnb-lp-depth N`.
+    pub bnb_lp_depth: Option<usize>,
 }
 
 impl AnalysisConfig {
@@ -156,6 +182,22 @@ impl AnalysisConfig {
                 .map(|v| v == "1" || v.eq_ignore_ascii_case("true"))
                 .unwrap_or(defaults.emit_certs)
         });
+        let bnb_jobs = cli
+            .bnb_jobs
+            .or_else(|| {
+                std::env::var(BNB_JOBS_ENV_VAR)
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(defaults.bnb_jobs);
+        let bnb_lp_depth = cli
+            .bnb_lp_depth
+            .or_else(|| {
+                std::env::var(BNB_LP_DEPTH_ENV_VAR)
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(defaults.bnb_lp_depth);
         AnalysisConfig {
             jobs,
             cache: cli.cache.unwrap_or(defaults.cache),
@@ -164,6 +206,8 @@ impl AnalysisConfig {
             lp_backend,
             cross_validate,
             emit_certs,
+            bnb_jobs,
+            bnb_lp_depth,
         }
     }
 
@@ -198,6 +242,13 @@ impl AnalysisConfig {
         self.emit_certs = emit;
         self
     }
+
+    /// A copy with the branch-and-bound rescue enabled on `jobs` workers
+    /// (`0` disables it).
+    pub fn with_bnb_jobs(mut self, jobs: usize) -> Self {
+        self.bnb_jobs = jobs;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +274,8 @@ mod tests {
             lp_backend: Some(BackendKind::Revised),
             cross_validate: Some(5),
             emit_certs: Some(true),
+            bnb_jobs: Some(2),
+            bnb_lp_depth: Some(3),
         });
         assert_eq!(cfg.jobs, 3);
         assert!(!cfg.cache);
@@ -231,6 +284,8 @@ mod tests {
         assert_eq!(cfg.lp_backend, Some(BackendKind::Revised));
         assert_eq!(cfg.cross_validate, 5);
         assert!(cfg.emit_certs);
+        assert_eq!(cfg.bnb_jobs, 2);
+        assert_eq!(cfg.bnb_lp_depth, 3);
     }
 
     #[test]
@@ -265,6 +320,14 @@ mod tests {
     #[test]
     fn cross_validate_defaults_off() {
         assert_eq!(AnalysisConfig::default().cross_validate, 0);
+    }
+
+    #[test]
+    fn bnb_defaults_off() {
+        let cfg = AnalysisConfig::default();
+        assert_eq!(cfg.bnb_jobs, 0);
+        assert_eq!(cfg.bnb_lp_depth, 0);
+        assert_eq!(AnalysisConfig::default().with_bnb_jobs(4).bnb_jobs, 4);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 use std::fmt;
 
+use pmcs_core::bnb::BnbConfig;
 use pmcs_core::wcrt::DelayBound;
 use pmcs_core::{
     BackendKind, CacheStats, CachedEngine, CoreError, DelayEngine, ExactEngine, MilpEngine,
@@ -176,14 +177,41 @@ impl EngineStack {
     pub fn build(cfg: &AnalysisConfig) -> Self {
         let (engine, layers): (Box<dyn StackEngine>, &'static str) = match cfg.lp_backend {
             None => {
-                let base = ExactEngine::with_max_states(cfg.max_states);
-                match (cfg.cache, cfg.audit) {
-                    (false, false) => (Box::new(base) as _, "exact"),
-                    (false, true) => (Box::new(AuditedEngine::new(base)) as _, "audited(exact)"),
-                    (true, false) => (Box::new(CachedEngine::new(base)) as _, "cached(exact)"),
-                    (true, true) => (
+                let mut base = ExactEngine::with_max_states(cfg.max_states);
+                // Branch-and-bound rescues are exact but carry no
+                // replayable DP table, so certificate runs force the
+                // rescue off and keep the certifiable fallback cap.
+                let bnb = cfg.bnb_jobs > 0 && !cfg.emit_certs;
+                if bnb {
+                    base = base.with_branch_and_bound(BnbConfig {
+                        jobs: cfg.bnb_jobs,
+                        lp_depth: cfg.bnb_lp_depth,
+                        ..BnbConfig::default()
+                    });
+                }
+                match (cfg.cache, cfg.audit, bnb) {
+                    (false, false, false) => (Box::new(base) as _, "exact"),
+                    (false, false, true) => (Box::new(base) as _, "exact+bnb"),
+                    (false, true, false) => {
+                        (Box::new(AuditedEngine::new(base)) as _, "audited(exact)")
+                    }
+                    (false, true, true) => (
+                        Box::new(AuditedEngine::new(base)) as _,
+                        "audited(exact+bnb)",
+                    ),
+                    (true, false, false) => {
+                        (Box::new(CachedEngine::new(base)) as _, "cached(exact)")
+                    }
+                    (true, false, true) => {
+                        (Box::new(CachedEngine::new(base)) as _, "cached(exact+bnb)")
+                    }
+                    (true, true, false) => (
                         Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
                         "cached(audited(exact))",
+                    ),
+                    (true, true, true) => (
+                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
+                        "cached(audited(exact+bnb))",
                     ),
                 }
             }
@@ -361,6 +389,21 @@ mod tests {
         };
         assert_eq!(EngineStack::build(&cfg).layers(), "cached(audited(exact))");
         assert!(format!("{:?}", EngineStack::build(&cfg)).contains("cached"));
+    }
+
+    #[test]
+    fn bnb_stacks_agree_and_certificate_runs_force_the_rescue_off() {
+        let w = demo_window();
+        let reference = ExactEngine::default()
+            .max_total_delay(&w)
+            .expect("engine result");
+        let cfg = AnalysisConfig::default().with_bnb_jobs(2).with_cache(false);
+        let stack = EngineStack::build(&cfg);
+        assert_eq!(stack.layers(), "exact+bnb");
+        let bound = stack.max_total_delay(&w).expect("stack result");
+        assert_eq!(bound.delay, reference.delay);
+        let certifying = EngineStack::build(&cfg.with_emit_certs(true));
+        assert_eq!(certifying.layers(), "exact", "emit-certs must drop bnb");
     }
 
     #[test]

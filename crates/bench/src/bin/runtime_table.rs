@@ -28,8 +28,23 @@
 //! nonzero.
 //!
 //! Usage: `cargo run --release -p pmcs-bench --bin runtime_table -- \
-//!     [--sets N] [--jobs N] [--no-cache] [--cross-validate N] \
-//!     [--emit-certs]`
+//!     [--sets N] [--n N] [--jobs N] [--bnb-jobs N] [--bnb-lp-depth N] \
+//!     [--no-cache] [--cross-validate N] [--emit-certs]`
+//!
+//! `--n N` restricts the sweep to the configurations with exactly `N`
+//! tasks per set (repeatable); the default sweeps n ∈ {4, 6, 8, 10, 12}.
+//! `--bnb-jobs N` enables the exact engine's parallel branch-and-bound
+//! rescue on `N` workers for windows that exhaust the memo budget.
+//!
+//! `--sets N` is the *base* sample count: configurations with n ≤ 6
+//! analyze `N` sets each, n = 8 analyzes `max(1, N/8)`, and n ≥ 10
+//! analyzes `max(1, N/25)` — one analysis of a 10–12-task set costs
+//! 10³–10⁴× an n=4 one, so the sweep samples densely where sets are
+//! cheap and sparsely where each set is expensive. For n ≥ 10 the
+//! exact-DP memo budget also drops to a quarter, so pathological
+//! windows fall back to the safe cap quickly instead of burning the
+//! full search budget first. The actual per-row counts land in the
+//! perf record under `sets_schedule` / `max_states_schedule`.
 
 use std::time::Instant;
 
@@ -38,18 +53,59 @@ use pmcs_analysis::{
     ProposedAnalyzer, SimCounters,
 };
 use pmcs_bench::{certify_set, parallel_map, CertSummary, PerfPoint, PerfRecord};
-use pmcs_core::CacheStats;
+use pmcs_core::{CacheStats, SolverStats};
 use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
+
+/// Per-configuration sample count: the full base for small n, scaled
+/// down where a single analysis is orders of magnitude more expensive.
+fn sets_for(base: usize, n: usize) -> usize {
+    let div = match n {
+        0..=6 => 1,
+        7 | 8 => 8,
+        _ => 25,
+    };
+    (base / div).max(1)
+}
+
+/// Per-configuration exact-DP memo budget: the full base for n ≤ 8; at
+/// n ≥ 10 a single window can legitimately demand tens of millions of
+/// search nodes, so the budget shrinks (to a quarter) to keep one cold analysis
+/// bounded — exhausted solves fall back to the safe cap and are counted
+/// in `dp_fallbacks` (the hopeless-state pre-gate also trips earlier,
+/// skipping most such windows without burning nodes at all).
+fn max_states_for(base: usize, n: usize) -> usize {
+    if n >= 10 {
+        (base / 4).max(1)
+    } else {
+        base
+    }
+}
 
 fn main() {
     let mut sets = 25usize;
+    let mut only_n: Vec<usize> = Vec::new();
     let mut cli = CliOverrides::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--sets" => sets = args.next().and_then(|v| v.parse().ok()).expect("--sets N"),
+            "--n" => only_n.push(args.next().and_then(|v| v.parse().ok()).expect("--n N")),
             "--jobs" => {
                 cli.jobs = Some(args.next().and_then(|v| v.parse().ok()).expect("--jobs N"));
+            }
+            "--bnb-jobs" => {
+                cli.bnb_jobs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--bnb-jobs N"),
+                );
+            }
+            "--bnb-lp-depth" => {
+                cli.bnb_lp_depth = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--bnb-lp-depth N"),
+                );
             }
             "--no-cache" => cli.cache = Some(false),
             "--cross-validate" => {
@@ -66,7 +122,10 @@ fn main() {
     let cfg = AnalysisConfig::resolve(&cli);
 
     let mut configs = Vec::new();
-    for n in [4usize, 6, 8] {
+    for n in [4usize, 6, 8, 10, 12] {
+        if !only_n.is_empty() && !only_n.contains(&n) {
+            continue;
+        }
         for u in [0.2f64, 0.35, 0.5] {
             configs.push((n, u));
         }
@@ -74,6 +133,9 @@ fn main() {
 
     let started = Instant::now();
     let measured = parallel_map(&configs, cfg.jobs, |ci, &(n, u)| {
+        let sets = sets_for(sets, n);
+        let mut cfg = cfg.clone();
+        cfg.max_states = max_states_for(cfg.max_states, n);
         let ts_cfg = TaskSetConfig {
             n,
             utilization: u,
@@ -87,6 +149,7 @@ fn main() {
         let mut schedulable = 0usize;
         let mut failures = 0usize;
         let mut stats = CacheStats::default();
+        let mut solver = SolverStats::default();
         let sim_registry = pmcs_sim::Registry::standard();
         let mut sim = SimCounters::default();
         let mut refutations: Vec<String> = Vec::new();
@@ -100,6 +163,7 @@ fn main() {
             let report = ProposedAnalyzer.analyze_with(&set, &ctx);
             let elapsed = t0.elapsed();
             stats.merge(ctx.cache_stats());
+            solver.merge(ctx.solver_stats());
             total += elapsed;
             max = max.max(elapsed);
             match report {
@@ -133,14 +197,22 @@ fn main() {
             max,
             schedulable as f64 / sets.max(1) as f64
         );
-        (line, total.as_secs_f64(), stats, failures, sim, refutations)
+        (
+            line,
+            total.as_secs_f64(),
+            stats,
+            solver,
+            failures,
+            sim,
+            refutations,
+        )
     });
 
     println!(
         "{:>3} {:>6} {:>6} {:>6} | {:>12} {:>12} {:>12}",
         "n", "U", "gamma", "beta", "avg", "max", "sched-ratio"
     );
-    for (line, _, _, _, _, _) in &measured {
+    for (line, ..) in &measured {
         println!("{line}");
     }
     println!(
@@ -153,11 +225,15 @@ fn main() {
     perf.jobs = cfg.jobs;
     perf.wall_secs = started.elapsed().as_secs_f64();
     let mut merged = CacheStats::default();
+    let mut solver = SolverStats::default();
     let mut failures = 0usize;
     let mut sim = SimCounters::default();
     let mut refutations: Vec<String> = Vec::new();
-    for ((n, u), (_, secs, stats, fails, cfg_sim, cfg_refs)) in configs.iter().zip(&measured) {
+    for ((n, u), (_, secs, stats, cfg_solver, fails, cfg_sim, cfg_refs)) in
+        configs.iter().zip(&measured)
+    {
         merged.merge(*stats);
+        solver.merge(*cfg_solver);
         failures += fails;
         sim.merge(cfg_sim);
         refutations.extend(cfg_refs.iter().cloned());
@@ -170,7 +246,21 @@ fn main() {
         eprintln!("{failures} analyses FAILED (excluded from the schedulable count)");
     }
     perf.cache = merged;
+    perf.extra_solver("solver", solver);
     perf.extra_num("sets_per_config", sets as f64);
+    let schedule = configs
+        .iter()
+        .map(|&(n, u)| format!("n={n},U={u:.2}:{}", sets_for(sets, n)))
+        .collect::<Vec<_>>()
+        .join(" ");
+    perf.extra_str("sets_schedule", &schedule);
+    let memo_schedule = configs
+        .iter()
+        .map(|&(n, u)| format!("n={n},U={u:.2}:{}", max_states_for(cfg.max_states, n)))
+        .collect::<Vec<_>>()
+        .join(" ");
+    perf.extra_str("max_states_schedule", &memo_schedule);
+    perf.extra_num("bnb_jobs", cfg.bnb_jobs as f64);
     perf.extra_num("analysis_failures", failures as f64);
     perf.extra_str("cache_enabled", if cfg.cache { "yes" } else { "no" });
     perf.extra_sim(&sim);
@@ -181,6 +271,7 @@ fn main() {
     let mut certs = CertSummary::default();
     if cfg.emit_certs {
         let config_certs = parallel_map(&configs, cfg.jobs, |_, &(n, u)| {
+            let sets = sets_for(sets, n);
             let mut generator = TaskSetGenerator::new(
                 TaskSetConfig {
                     n,

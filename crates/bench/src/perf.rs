@@ -69,6 +69,7 @@ impl PerfRecord {
     /// reductions), e.g. `solver_proposed_bb_nodes`.
     pub fn extra_solver(&mut self, prefix: &str, stats: SolverStats) {
         self.extra_num(&format!("{prefix}_bb_nodes"), stats.bb_nodes as f64);
+        self.extra_num(&format!("{prefix}_dp_fallbacks"), stats.dp_fallbacks as f64);
         self.extra_num(&format!("{prefix}_lp_solves"), stats.lp_solves as f64);
         self.extra_num(&format!("{prefix}_lp_pivots"), stats.lp_pivots as f64);
         self.extra_num(
@@ -235,6 +236,7 @@ mod tests {
             "solver_proposed",
             SolverStats {
                 bb_nodes: 7,
+                dp_fallbacks: 2,
                 warm_start_attempts: 4,
                 warm_start_hits: 3,
                 ..SolverStats::default()
@@ -242,6 +244,7 @@ mod tests {
         );
         let j = r.to_json();
         assert!(j.contains("\"solver_proposed_bb_nodes\": 7"));
+        assert!(j.contains("\"solver_proposed_dp_fallbacks\": 2"));
         assert!(j.contains("\"solver_proposed_warm_hit_rate\": 0.75"));
     }
 

@@ -1,0 +1,85 @@
+//! Perf-regression guard over the shipped `BENCH_runtime_table.json`:
+//! every per-configuration point — including the n ≥ 8 rows that used to
+//! hit the combinatorial wall — must stay under a wall-clock budget.
+//!
+//! The record is regenerated on a 1-CPU container with `--jobs 1`, so
+//! `points[].secs` are uncontended compute seconds; a point drifting past
+//! the budget means the engine lost its n ≥ 8 scaling (gate, pruning, or
+//! per-config schedule regressed).
+
+use std::fs;
+use std::path::Path;
+
+/// Hard ceiling, in seconds, for any single runtime-table point.
+const POINT_BUDGET_SECS: f64 = 60.0;
+
+/// Pulls every `"secs": <num>` out of the `points` array of the
+/// hand-rolled perf JSON (stable shape: one `{"label": …, "secs": …}`
+/// object per line).
+fn point_secs(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut in_points = false;
+    for line in json.lines() {
+        if line.contains("\"points\"") {
+            in_points = true;
+            continue;
+        }
+        if !in_points {
+            continue;
+        }
+        let Some(label_at) = line.find("\"label\": \"") else {
+            continue;
+        };
+        let label = &line[label_at + 10..];
+        let label = &label[..label.find('"').expect("closing label quote")];
+        let secs_at = line.find("\"secs\": ").expect("secs field on point line");
+        let secs = line[secs_at + 8..]
+            .trim_end_matches(['}', ',', ' '])
+            .parse::<f64>()
+            .expect("numeric secs");
+        out.push((label.to_string(), secs));
+    }
+    out
+}
+
+#[test]
+fn runtime_table_points_stay_under_budget() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime_table.json");
+    let json = fs::read_to_string(&path).expect("shipped BENCH_runtime_table.json");
+    let points = point_secs(&json);
+    assert!(
+        points.len() >= 15,
+        "expected the full n ∈ {{4,6,8,10,12}} × U sweep, found {} points",
+        points.len()
+    );
+    for (label, secs) in &points {
+        assert!(
+            *secs < POINT_BUDGET_SECS,
+            "runtime_table point {label} took {secs:.1}s (budget {POINT_BUDGET_SECS}s)"
+        );
+    }
+    // The sweep must actually reach the paper's wall sizes.
+    for n in [8, 10, 12] {
+        assert!(
+            points
+                .iter()
+                .any(|(l, _)| l.starts_with(&format!("n={n},"))),
+            "no n={n} rows in the shipped runtime table"
+        );
+    }
+}
+
+#[test]
+fn parser_reads_the_hand_rolled_shape() {
+    let sample = r#"{
+  "bin": "runtime_table",
+  "points": [
+    {"label": "n=4,U=0.20", "secs": 0.25},
+    {"label": "n=12,U=0.50", "secs": 12.5}
+  ]
+}"#;
+    let points = point_secs(sample);
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[0], ("n=4,U=0.20".to_string(), 0.25));
+    assert_eq!(points[1], ("n=12,U=0.50".to_string(), 12.5));
+}

@@ -59,6 +59,12 @@ pub struct WindowSem {
     l_i: i128,
     c_i: i128,
     last_lp_exec: usize,
+    /// Nearest lower-indexed task of the same interchangeability class
+    /// (identical shape and protocol flags; for LS tasks also identical
+    /// cancellation-victim maxima). Mirrors the engine's symmetry
+    /// breaking: a task is only placeable once every lower-indexed
+    /// classmate's budget is exhausted.
+    class_prev: Vec<Option<usize>>,
 }
 
 impl WindowSem {
@@ -108,6 +114,7 @@ impl WindowSem {
                 CertCase::Nls => 1,
                 CertCase::LsCaseA => 0,
             },
+            class_prev: Vec::with_capacity(m),
         };
         for t in &w.tasks {
             if neg(t.exec) || neg(t.copy_in) || neg(t.copy_out) {
@@ -165,6 +172,22 @@ impl WindowSem {
             if sem.ls[j] && sem.cin[j] == 0 && sem.max_lower_i0[j].is_none() {
                 sem.ls[j] = false;
             }
+        }
+
+        // Interchangeability classes, computed after the inertness pass so
+        // demoted tasks can join NLS classes (mirroring the engine).
+        for j in 0..m {
+            let prev = (0..j).rev().find(|&p| {
+                sem.exec[p] == sem.exec[j]
+                    && sem.cin[p] == sem.cin[j]
+                    && sem.cout[p] == sem.cout[j]
+                    && sem.hp[p] == sem.hp[j]
+                    && sem.ls[p] == sem.ls[j]
+                    && (!sem.ls[j]
+                        || (sem.max_lower_hp[p] == sem.max_lower_hp[j]
+                            && sem.max_lower_i0[p] == sem.max_lower_i0[j]))
+            });
+            sem.class_prev.push(prev);
         }
         Ok(sem)
     }
@@ -288,6 +311,34 @@ impl WindowSem {
             .max(self.l_i + self.out_at(self.n - 2, prev2));
         let d_nm1 = self.c_i.max(self.max_l + self.out_of(prev));
         d_nm2 + d_nm1
+    }
+
+    /// Canonical form of a remaining-budget vector at slot `k1` — the
+    /// engine's memo coordinate. Two reductions merge states with
+    /// provably equal suffix optima: lower-priority budgets evaporate
+    /// once their placement region is past (Constraints 3/14), and every
+    /// budget is capped by the number of placements that can still
+    /// happen. Both reductions commute with the DP transition, so
+    /// canonicalizing the decremented parent vector reproduces the
+    /// engine's child key.
+    fn canon_budgets(&self, b: &[u64], k1: usize) -> Vec<u64> {
+        (0..self.m)
+            .map(|j| {
+                if !self.hp[j] && k1 > self.last_lp_exec {
+                    0
+                } else {
+                    b[j].min((self.n - 1 - k1) as u64)
+                }
+            })
+            .collect()
+    }
+
+    /// Symmetry-breaking admission (mirrors the engine): within an
+    /// interchangeability class, jobs are consumed in canonical index
+    /// order, so a task is blocked while a lower-indexed classmate still
+    /// has budget.
+    fn class_blocked(&self, task: usize, budgets: &[u64]) -> bool {
+        self.class_prev[task].is_some_and(|p| budgets[p] > 0)
     }
 }
 
@@ -421,14 +472,19 @@ pub fn verify_dp_table(sem: &WindowSem, entries: &[DpEntry], claimed: i128) -> R
     }
 
     // Value of a child state: closed-form terminal at slot N−1, table
-    // entry otherwise.
+    // entry (under the canonical budget key) otherwise.
     let child_value =
         |k1: usize, prev: CertChoice, prev2: CertChoice, budgets: &[u64]| -> Result<i128, String> {
             if k1 == sem.n - 1 {
                 return Ok(sem.terminal(prev, prev2));
             }
             table
-                .get(&(k1 as u64, prev.code(), prev2.code(), budgets.to_vec()))
+                .get(&(
+                    k1 as u64,
+                    prev.code(),
+                    prev2.code(),
+                    sem.canon_budgets(budgets, k1),
+                ))
                 .copied()
                 .ok_or_else(|| {
                     format!("dp.missing-state: slot {k1} successor state absent from the table")
@@ -453,6 +509,9 @@ pub fn verify_dp_table(sem: &WindowSem, entries: &[DpEntry], claimed: i128) -> R
                 if !sem.placement_ok(k, task, urgent) {
                     continue;
                 }
+                if sem.class_blocked(task, &budgets) {
+                    continue;
+                }
                 let cand = CertChoice::Run { task, urgent };
                 let Some(d) = sem.score(k, prev, prev2, cand) else {
                     continue;
@@ -466,16 +525,18 @@ pub fn verify_dp_table(sem: &WindowSem, entries: &[DpEntry], claimed: i128) -> R
         }
         // The engine explores idling only when it is not dominated by
         // placing a job: a free cancellation can charge the preceding
-        // DMA slot, lower-priority jobs are stranded past their
-        // placement region, or the window has more slots than unplaced
-        // jobs. The checker re-derives the same gate, so a table
-        // produced under a *different* (unsound) dominance rule fails
-        // the equation.
+        // DMA slot, or the window has more slots left than *spendable*
+        // jobs (lower-priority budgets stop counting past their
+        // placement region). The checker re-derives the same gate, so a
+        // table produced under a *different* (unsound) dominance rule
+        // fails the equation.
         let idle_useful = k >= 1 && sem.free_cancel(k - 1) > 0;
-        let stranded_lp = k > sem.last_lp_exec && (0..sem.m).any(|j| !sem.hp[j] && budgets[j] > 0);
-        let remaining: u64 = budgets.iter().sum();
-        let surplus_slot = (sem.n - 1 - k) as u64 > remaining;
-        if !any_candidate || idle_useful || stranded_lp || surplus_slot {
+        let usable: u64 = (0..sem.m)
+            .filter(|&j| sem.hp[j] || k <= sem.last_lp_exec)
+            .map(|j| budgets[j])
+            .sum();
+        let surplus_slot = (sem.n - 1 - k) as u64 > usable;
+        if !any_candidate || idle_useful || surplus_slot {
             if let Some(d) = sem.score(k, prev, prev2, CertChoice::Idle) {
                 let v = d + child_value(k + 1, CertChoice::Idle, prev, &budgets)?;
                 best = Some(best.map_or(v, |b: i128| b.max(v)));
@@ -496,7 +557,7 @@ pub fn verify_dp_table(sem: &WindowSem, entries: &[DpEntry], claimed: i128) -> R
         0u64,
         CertChoice::Idle.code(),
         CertChoice::Idle.code(),
-        sem.budget.clone(),
+        sem.canon_budgets(&sem.budget, 0),
     );
     let root_value = table.get(&root).copied().ok_or_else(|| {
         "dp.missing-state: root state (slot 0, idle, idle, full budgets) absent".to_string()
@@ -551,28 +612,77 @@ pub fn safe_cap(sem: &WindowSem) -> i128 {
     per_slot.min(decoupled)
 }
 
-/// Recomputes the MILP formulation's deterministic `N·M` delay cap (the
-/// big-M fallback bound), from the window's *recorded* LS flags — the
-/// MILP path applies no canonicalization.
+/// Recomputes the MILP formulation's deterministic `Σ_k Δcap_k` delay
+/// cap (its effort-gated fallback bound): one per-slot interval cap —
+/// `max(dcpu, din + dout)` over the placement variables that
+/// structurally exist at the slot — summed over every interval. Derived
+/// from the window's *recorded* LS flags; the MILP path applies no
+/// canonicalization. Mirrors `SlotCaps` of the production formulation
+/// in exact integer arithmetic.
 pub fn milp_cap(w: &CertWindow) -> i128 {
-    let max_demand = w
-        .tasks
-        .iter()
-        .map(|t| {
-            if t.ls {
-                i128::from(t.copy_in) + i128::from(t.exec)
-            } else {
-                i128::from(t.exec)
-            }
-        })
-        .max()
-        .unwrap_or(0);
-    let big_m = max_demand
-        .max(i128::from(w.max_l) + i128::from(w.max_u))
-        .max(i128::from(w.exec_i))
-        .max(i128::from(w.copy_in_i) + i128::from(w.max_u))
-        + 1;
-    i128::from(w.n_intervals) * big_m
+    let n = w.n_intervals as usize;
+    let last_lp = match w.case {
+        CertCase::Nls => 1,
+        CertCase::LsCaseA => 0,
+    };
+    let lp_copy_in_allowed = matches!(w.case, CertCase::Nls);
+    // Rule R3: can some higher-priority LS release cancel `victim`'s
+    // copy-in? (Same derivation as `WindowSem::new`, from recorded
+    // flags.)
+    let triggerable = |victim: usize| -> bool {
+        let vp = w.tasks[victim].priority;
+        if matches!(w.case, CertCase::LsCaseA) && w.priority_i < vp {
+            return true;
+        }
+        w.tasks.iter().any(|t| t.ls && t.priority < vp)
+    };
+    let placeable = |k: usize| w.tasks.iter().filter(move |t| t.hp || k <= last_lp);
+    let mut total: i128 = 0;
+    for k in 0..n {
+        let dcpu: i128 = if k + 1 == n {
+            i128::from(w.exec_i)
+        } else {
+            placeable(k)
+                .map(|t| {
+                    if t.ls {
+                        i128::from(t.copy_in) + i128::from(t.exec)
+                    } else {
+                        i128::from(t.exec)
+                    }
+                })
+                .max()
+                .unwrap_or(0)
+        };
+        let din: i128 = if k + 2 == n {
+            i128::from(w.copy_in_i)
+        } else if k + 1 == n {
+            i128::from(w.max_l)
+        } else {
+            // Slots 0 … N−3: the copy-in of the next slot's execution
+            // (`L_j^k`) or a canceled copy-in (`CL_j^k`).
+            w.tasks
+                .iter()
+                .enumerate()
+                .filter(|&(j, t)| {
+                    let load = (t.hp || (k < last_lp && k == 0 && lp_copy_in_allowed)) && k + 2 < n;
+                    let cancel = (t.hp || k == 0) && triggerable(j);
+                    load || cancel
+                })
+                .map(|(_, t)| i128::from(t.copy_in))
+                .max()
+                .unwrap_or(0)
+        };
+        let dout: i128 = if k == 0 {
+            i128::from(w.max_u)
+        } else {
+            placeable(k - 1)
+                .map(|t| i128::from(t.copy_out))
+                .max()
+                .unwrap_or(0)
+        };
+        total += dcpu.max(din + dout);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -760,8 +870,11 @@ mod tests {
     #[test]
     fn milp_cap_matches_formulation() {
         let w = lp_blocking_window();
-        // big-M = max(500, 2, 10, 2) + 1 = 501; N = 3.
-        assert_eq!(milp_cap(&w), 3 * 501);
+        // Per-slot caps (N = 3, one lp blocker placeable in I_0/I_1):
+        // Δcap_0 = max(dcpu 500, din 1 + dout 1) = 500,
+        // Δcap_1 = max(500, copy_in_i 1 + cout 1) = 500,
+        // Δcap_2 = max(exec_i 10, max_l 1 + cout 1) = 10.
+        assert_eq!(milp_cap(&w), 500 + 500 + 10);
     }
 
     #[test]

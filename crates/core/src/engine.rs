@@ -76,6 +76,8 @@ use crate::error::CoreError;
 use crate::wcrt::{DelayBound, DelayEngine};
 use crate::window::WindowModel;
 
+pub mod bnb;
+
 /// One slot decision in the execution sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Choice {
@@ -104,7 +106,7 @@ impl Choice {
 
 /// Reusable per-engine working memory: cleared, never reallocated.
 #[derive(Debug, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     memo: Memo,
     exec: Vec<i64>,
     cin: Vec<i64>,
@@ -116,6 +118,11 @@ struct Scratch {
     max_lower_i0: Vec<Option<i64>>,
     /// Per-task bit width of the budget field in the packed memo key.
     budget_bits: Vec<u32>,
+    /// Nearest lower-indexed task of the same interchangeability class
+    /// (identical shape and protocol flags), if any. Used for symmetry
+    /// breaking: a task is only placeable once every lower-indexed
+    /// classmate's budget is exhausted.
+    class_prev: Vec<Option<usize>>,
 }
 
 impl Scratch {
@@ -132,6 +139,7 @@ impl Scratch {
         self.max_lower_i0.clear();
         self.max_lower_i0.resize(m, None);
         self.budget_bits.clear();
+        self.class_prev.clear();
     }
 }
 
@@ -153,6 +161,32 @@ pub struct ExactEngine {
     /// in [`ExactEngine::solver_stats`] — the DP's branch points play the
     /// same role as B&B nodes in the MILP pipeline).
     nodes: std::cell::Cell<u64>,
+    /// Solves that exhausted a search budget and degraded to the safe
+    /// fallback cap (reported as `dp_fallbacks`).
+    fallbacks: std::cell::Cell<u64>,
+    /// Optional branch-and-bound rescue for windows the DP cannot
+    /// memoize; see [`ExactEngine::with_branch_and_bound`].
+    bnb: Option<crate::bnb::BnbConfig>,
+    /// `false` disables the interchangeability classes (differential
+    /// testing only); see [`ExactEngine::without_symmetry_breaking`].
+    symmetry: bool,
+    /// Cumulative effort of the branch-and-bound rescue path.
+    bnb_stats: RefCell<pmcs_milp::SolverStats>,
+}
+
+/// Prints the budget-exhaustion warning once per process; every further
+/// occurrence is only counted in [`SolverStats::dp_fallbacks`]
+/// (`pmcs_milp::SolverStats`).
+fn warn_fallback_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "pmcs-core: an exact-DP solve exhausted its search budget; \
+             using the safe fallback cap instead (counted in \
+             SolverStats::dp_fallbacks; this warning prints once per \
+             process)"
+        );
+    });
 }
 
 /// Default memoization-entry budget of [`ExactEngine`] (the solver
@@ -167,7 +201,10 @@ impl Default for ExactEngine {
 
 impl Clone for ExactEngine {
     fn clone(&self) -> Self {
-        ExactEngine::with_max_states(self.max_states)
+        let mut e = ExactEngine::with_max_states(self.max_states);
+        e.bnb = self.bnb.clone();
+        e.symmetry = self.symmetry;
+        e
     }
 }
 
@@ -185,7 +222,39 @@ impl ExactEngine {
             max_states,
             scratch: RefCell::new(Scratch::default()),
             nodes: std::cell::Cell::new(0),
+            fallbacks: std::cell::Cell::new(0),
+            bnb: None,
+            bnb_stats: RefCell::new(pmcs_milp::SolverStats::default()),
+            symmetry: true,
         }
+    }
+
+    /// Disables symmetry-aware pruning: every task becomes its own
+    /// interchangeability class, so the DP explores all member orderings
+    /// of equal-shape tasks and keys its memo on raw per-task budgets.
+    /// The optimum is unchanged — this is the *unpruned reference* for
+    /// differential tests — but symmetric windows blow up combinatorially,
+    /// so production stacks must never use it.
+    pub fn without_symmetry_breaking(mut self) -> Self {
+        self.symmetry = false;
+        self
+    }
+
+    /// Enables the branch-and-bound rescue path: windows whose DP search
+    /// exceeds its memoization budget are re-solved exactly by a
+    /// depth-first branch-and-bound with admissible suffix bounds, an
+    /// optional LP-relaxation bounding stage, and (with `jobs > 1`)
+    /// parallel subtree workers sharing an atomic incumbent. Only when
+    /// that search *also* exhausts its node budget does the engine fall
+    /// back to the coarse safe cap.
+    ///
+    /// Note that branch-and-bound results are exact but **not
+    /// certifiable**: certificate emission replays the memoized DP table,
+    /// which by construction does not exist for these windows. Drivers
+    /// that emit certificates must leave this path disabled.
+    pub fn with_branch_and_bound(mut self, cfg: crate::bnb::BnbConfig) -> Self {
+        self.bnb = Some(cfg);
+        self
     }
 
     /// The memoization-entry budget.
@@ -194,13 +263,17 @@ impl ExactEngine {
     }
 
     /// Cumulative solver effort across every solve so far: the DP search
-    /// nodes, surfaced in the same [`SolverStats`](pmcs_milp::SolverStats)
-    /// shape the MILP engines report so engine stacks aggregate uniformly.
+    /// nodes plus any branch-and-bound rescue effort, surfaced in the same
+    /// [`SolverStats`](pmcs_milp::SolverStats) shape the MILP engines
+    /// report so engine stacks aggregate uniformly.
     pub fn solver_stats(&self) -> pmcs_milp::SolverStats {
-        pmcs_milp::SolverStats {
+        let mut stats = pmcs_milp::SolverStats {
             bb_nodes: self.nodes.get(),
+            dp_fallbacks: self.fallbacks.get(),
             ..pmcs_milp::SolverStats::default()
-        }
+        };
+        stats.merge(*self.bnb_stats.borrow());
+        stats
     }
 
     /// Solves `w` while recording the full memo table and an optimal
@@ -214,12 +287,18 @@ impl ExactEngine {
     pub(crate) fn solve_recorded(&self, w: &WindowModel) -> Option<RecordedSolve> {
         let mut scratch = self.scratch.borrow_mut();
         let mut search = Search::new(w, self.max_states, &mut scratch);
+        if !self.symmetry {
+            search.disable_symmetry();
+        }
         if search.n < 2 {
             return Some(RecordedSolve {
                 value: search.c_i.max(search.max_l + search.max_u),
                 states: Vec::new(),
                 witness: Vec::new(),
             });
+        }
+        if search.hopeless(true) {
+            return None;
         }
         let mut rec: RecMemo = HashMap::new();
         let value = search.dp_rec(0, Choice::Idle, Choice::Idle, &mut rec);
@@ -272,6 +351,9 @@ impl DelayEngine for ExactEngine {
     fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
         let mut scratch = self.scratch.borrow_mut();
         let mut search = Search::new(w, self.max_states, &mut scratch);
+        if !self.symmetry {
+            search.disable_symmetry();
+        }
         let outcome = search.run();
         self.nodes.set(self.nodes.get() + search.nodes);
         match outcome {
@@ -280,11 +362,29 @@ impl DelayEngine for ExactEngine {
                 exact: true,
                 nodes: search.nodes,
             }),
-            None => Ok(DelayBound {
-                delay: Time::from_ticks(search.fallback_bound()),
-                exact: false,
-                nodes: search.nodes,
-            }),
+            None => {
+                let dp_nodes = search.nodes;
+                let fallback = search.fallback_bound();
+                drop(scratch);
+                if let Some(cfg) = &self.bnb {
+                    if let Some(run) = crate::bnb::solve_window(w, cfg) {
+                        self.nodes.set(self.nodes.get() + run.stats.bb_nodes);
+                        self.bnb_stats.borrow_mut().merge(run.stats);
+                        return Ok(DelayBound {
+                            delay: Time::from_ticks(run.value),
+                            exact: true,
+                            nodes: dp_nodes + run.stats.bb_nodes,
+                        });
+                    }
+                }
+                self.fallbacks.set(self.fallbacks.get() + 1);
+                warn_fallback_once();
+                Ok(DelayBound {
+                    delay: Time::from_ticks(fallback),
+                    exact: false,
+                    nodes: dp_nodes,
+                })
+            }
         }
     }
 }
@@ -295,7 +395,10 @@ fn bit_width(v: u64) -> u32 {
     (u64::BITS - v.leading_zeros()).max(1)
 }
 
-struct Search<'a> {
+/// Node-budget backstop for instances too large to memoize.
+const NODE_BUDGET: u64 = 100_000_000;
+
+pub(crate) struct Search<'a> {
     /// `N_i(t)`.
     n: usize,
     s: &'a mut Scratch,
@@ -311,6 +414,11 @@ struct Search<'a> {
     /// Total job budget still unplaced (Σ budgets); tracked so the DP can
     /// detect slots that must stay idle (more slots than jobs).
     remaining_budget: u64,
+    /// Σ budgets of lower-priority tasks still unplaced. Past the lp
+    /// placement region (Constraints 3/14) these jobs can never be spent,
+    /// so the idle-slot gate compares slots against
+    /// `remaining_budget − remaining_lp` instead.
+    remaining_lp: u64,
     max_states: usize,
     nodes: u64,
     aborted: bool,
@@ -372,6 +480,29 @@ impl<'a> Search<'a> {
             }
         }
 
+        // Interchangeability classes (symmetry breaking). Two tasks whose
+        // shapes and protocol flags agree — and, for LS tasks, whose
+        // cancellation-victim maxima agree — are exchangeable: swapping
+        // their jobs in any placement permutes identical Δ contributions.
+        // The DP therefore explores only the canonical order that consumes
+        // the lower-indexed member first (see `placement_ok`), collapsing
+        // the `Π (b_c + 1)` per-member budget lattice of a class to the
+        // `Σ b_c + 1` totals that actually matter. Computed after the
+        // LS-inertness pass above so demoted tasks can join NLS classes.
+        for j in 0..m {
+            let prev = (0..j).rev().find(|&p| {
+                scratch.exec[p] == scratch.exec[j]
+                    && scratch.cin[p] == scratch.cin[j]
+                    && scratch.cout[p] == scratch.cout[j]
+                    && scratch.hp[p] == scratch.hp[j]
+                    && scratch.ls[p] == scratch.ls[j]
+                    && (!scratch.ls[j]
+                        || (scratch.max_lower_hp[p] == scratch.max_lower_hp[j]
+                            && scratch.max_lower_i0[p] == scratch.max_lower_i0[j]))
+            });
+            scratch.class_prev.push(prev);
+        }
+
         // Adaptive packing of `(k, prev, prev2, budgets)` into a `u128`
         // memo key: each field gets exactly the bits its range needs.
         let k_bits = bit_width(w.n() as u64);
@@ -384,6 +515,10 @@ impl<'a> Search<'a> {
         }
         let key_feasible = total <= 128;
         let remaining_budget: u64 = scratch.budget.iter().sum();
+        let remaining_lp: u64 = (0..m)
+            .filter(|&j| !scratch.hp[j])
+            .map(|j| scratch.budget[j])
+            .sum();
 
         Search {
             n: w.n(),
@@ -396,12 +531,24 @@ impl<'a> Search<'a> {
             c_i: w.exec_i.as_ticks(),
             last_lp_exec: w.last_lp_exec_interval(),
             remaining_budget,
+            remaining_lp,
             max_states,
             nodes: 0,
             aborted: false,
             key_feasible,
             k_bits,
             c_bits,
+        }
+    }
+
+    /// Dissolves the interchangeability classes: every task becomes its
+    /// own class, removing the canonical-order admission rule and the
+    /// class-level budget collapse in the memo key. The search then
+    /// enumerates exactly the unpruned state space (the differential
+    /// reference for [`ExactEngine::without_symmetry_breaking`]).
+    fn disable_symmetry(&mut self) {
+        for p in self.s.class_prev.iter_mut() {
+            *p = None;
         }
     }
 
@@ -484,12 +631,62 @@ impl<'a> Search<'a> {
         if urgent && k > 0 && self.urgent_cancel(k - 1, task).is_none() {
             return false; // Constraint 8 with an empty victim set.
         }
+        // Symmetry breaking: within an interchangeability class, jobs are
+        // consumed in canonical (index) order. Any placement violating the
+        // order maps to one respecting it by permuting the identical
+        // classmates, so no optimum is lost. A blocked task never shrinks
+        // the candidate set to empty: its lowest-indexed classmate with
+        // remaining budget passes the same shape-determined checks.
+        if self.s.class_prev[task].is_some_and(|p| self.s.budget[p] > 0) {
+            return false;
+        }
         true
+    }
+
+    /// Job budget still spendable at slot `k`: lower-priority budgets stop
+    /// counting past their placement region (Constraints 3/14).
+    #[inline]
+    fn usable_budget(&self, k: usize) -> u64 {
+        if k > self.last_lp_exec {
+            self.remaining_budget - self.remaining_lp
+        } else {
+            self.remaining_budget
+        }
+    }
+
+    /// Canonical form of task `j`'s remaining budget at slot `k` — the
+    /// memo coordinate. Two reductions merge states with provably equal
+    /// suffix optima:
+    ///
+    /// * **evaporation**: a lower-priority budget is dead weight once the
+    ///   placement region is past (Constraints 3/14) — record it as 0;
+    /// * **slot capping**: at most `N−1−k` more placements can happen, so
+    ///   budgets above that are indistinguishable — cap them. Capping
+    ///   commutes with the DP transition (both sides of the cap decrement
+    ///   together) and preserves candidate positivity while slots remain.
+    #[inline]
+    fn canon_budget(&self, j: usize, k: usize) -> u64 {
+        if !self.s.hp[j] && k > self.last_lp_exec {
+            return 0;
+        }
+        self.s.budget[j].min((self.n - 1 - k) as u64)
+    }
+
+    /// Canonical budget vector at slot `k` (allocating; recording paths
+    /// only).
+    fn canon_vec(&self, k: usize) -> Vec<u64> {
+        (0..self.s.budget.len())
+            .map(|j| self.canon_budget(j, k))
+            .collect()
     }
 
     fn run(&mut self) -> Option<i64> {
         if self.n < 2 {
             return Some(self.c_i.max(self.max_l + self.max_u));
+        }
+        if self.hopeless(self.key_feasible) {
+            self.aborted = true;
+            return None;
         }
         let v = self.dp(0, Choice::Idle, Choice::Idle);
         if self.aborted {
@@ -499,6 +696,152 @@ impl<'a> Search<'a> {
         }
     }
 
+    /// A-priori abort gate: `true` when a certified lower bound on the
+    /// states a completed DP run must memoize already exceeds the search
+    /// budget, so running the search could only burn the node budget
+    /// before degrading to the fallback anyway. With `memoized` the
+    /// threshold is the memo-entry budget; without (the packed key does
+    /// not fit in 128 bits) every distinct state costs at least one node,
+    /// so the node backstop is the binding budget.
+    fn hopeless(&self, memoized: bool) -> bool {
+        let threshold = if memoized {
+            self.max_states as u64
+        } else {
+            NODE_BUDGET
+        };
+        self.min_states_lower_bound(threshold) >= threshold
+    }
+
+    /// Certified lower bound (saturating) on the number of distinct
+    /// `(slot, prev, prev2, canonical budgets)` states a completed DP run
+    /// visits and memoizes.
+    ///
+    /// Construction: consider only higher-priority interchangeability
+    /// classes with total budget `B_c`, and every consumption vector `x`
+    /// (`0 ≤ x_c ≤ B_c`) with `t = Σ x_c ≤ S` where
+    /// `S = min(N−2, N−1−max_c B_c)`. All-run prefixes are never gated —
+    /// hp placements are unconditional candidates, constrained only by
+    /// the within-class consumption order — so for every `x` with `t ≥ 2`
+    /// and every **ordered class pair** `(a, b)` with a job of `a`
+    /// placeable second-to-last and a job of `b` last (`x_a, x_b ≥ 1`;
+    /// `x_a ≥ 2` when `a = b`), some explored prefix consumes exactly `x`
+    /// and ends `…, a, b`. Each such `(x, a, b)` is a distinct memoized
+    /// state: the budgets determine `x` (within-class order is forced, so
+    /// per-task budgets follow from per-class counts), and `(prev, prev2)`
+    /// determine `(b, a)`. Slot capping is provably inactive
+    /// (`N−1−k ≥ N−1−S ≥ max_c B_c`) and evaporation does not apply to hp
+    /// tasks, so canonicalization collapses none of them.
+    ///
+    /// When idling is admissible at every interior slot
+    /// (`max_cancel_i0 > 0` and `max_cancel_hp > 0` keep the idle-useful
+    /// gate open), a prefix with `t ≥ 3` placements can additionally park
+    /// idles between the first placement and the final `a, b`, reaching
+    /// every slot `k ∈ [t, S]` with the same `(prev, prev2, budgets)` —
+    /// `S + 1 − t` further distinct states each.
+    ///
+    /// The count is evaluated by per-class convolution per ordered pair,
+    /// `O(C³·N)` for `C` classes; every clamp is downward (values
+    /// saturate at `LIMIT`, which is monotone and 1-Lipschitz under the
+    /// windowed prefix-sum differences), so the result never exceeds the
+    /// true state count. The cheap short-circuit below the threshold
+    /// returns an *over*-approximation instead — callers only compare
+    /// against `threshold`, and a value below it cannot trip the gate.
+    fn min_states_lower_bound(&self, threshold: u64) -> u64 {
+        let m = self.s.exec.len();
+        // Class roots and per-class hp budgets.
+        let mut root = vec![0usize; m];
+        let mut per_root = vec![0u64; m];
+        for j in 0..m {
+            root[j] = match self.s.class_prev[j] {
+                Some(p) => root[p],
+                None => j,
+            };
+            if self.s.hp[j] {
+                per_root[root[j]] += self.s.budget[j];
+            }
+        }
+        let classes: Vec<u64> = (0..m)
+            .filter(|&j| root[j] == j && self.s.hp[j] && per_root[j] > 0)
+            .map(|j| per_root[j])
+            .collect();
+        let Some(&bmax) = classes.iter().max() else {
+            return 1;
+        };
+        let s_total = (self.n as i64 - 2).min(self.n as i64 - 1 - bmax as i64);
+        if s_total <= 0 {
+            return 1;
+        }
+        let s_total = s_total as usize;
+        let c = classes.len() as u64;
+        let spread_ok = self.max_cancel_i0 > 0 && self.max_cancel_hp > 0;
+        let spread_max = if spread_ok { s_total as u64 } else { 1 };
+        // Cheap over-approximation (vectors × ordered pairs × slots)
+        // short-circuits the common case; below the threshold it cannot
+        // trip the caller's gate.
+        let product = classes
+            .iter()
+            .try_fold(1u64, |acc, &b| acc.checked_mul(b + 1))
+            .unwrap_or(u64::MAX)
+            .saturating_mul(c * c + 1)
+            .saturating_mul(spread_max);
+        if product < threshold {
+            return product.max(1);
+        }
+        const LIMIT: u64 = 1 << 40;
+        // f[t] = number of consumption vectors with Σx = t under `budgets`,
+        // clamped at LIMIT (downward, so differences stay lower bounds).
+        let count = |budgets: &[u64], cap: usize| -> Vec<u64> {
+            let mut f = vec![0u64; cap + 1];
+            f[0] = 1;
+            let mut pre = vec![0u64; cap + 2];
+            for &b in budgets {
+                for t in 0..=cap {
+                    pre[t + 1] = (pre[t] + f[t]).min(LIMIT);
+                }
+                let width = b.min(cap as u64) as usize;
+                for t in 0..=cap {
+                    f[t] = (pre[t + 1] - pre[t.saturating_sub(width)]).min(LIMIT);
+                }
+            }
+            f
+        };
+        if s_total < 2 {
+            // Too short for a pinned (prev, prev2) tail; fall back to one
+            // state per consumption vector.
+            return count(&classes, s_total)
+                .iter()
+                .fold(0u64, |acc, &v| (acc + v).min(LIMIT));
+        }
+        // The root plus the C single-placement states at slot 1.
+        let mut total: u64 = 1 + c;
+        let cap = s_total - 2;
+        let mut work = classes.clone();
+        for a in 0..classes.len() {
+            for b in 0..classes.len() {
+                if a == b && classes[a] < 2 {
+                    continue;
+                }
+                work.copy_from_slice(&classes);
+                work[a] -= 1;
+                work[b] -= 1;
+                let f = count(&work, cap);
+                for (rest, &v) in f.iter().enumerate() {
+                    let t = rest + 2;
+                    let slots = if spread_ok && t >= 3 {
+                        (s_total + 1 - t) as u64
+                    } else {
+                        1
+                    };
+                    total = (total + v.saturating_mul(slots).min(LIMIT)).min(LIMIT);
+                }
+                if total >= threshold {
+                    return total;
+                }
+            }
+        }
+        total
+    }
+
     /// Exact maximum of `Δ_{k-1} + … + Δ_{N-1}` over all legal completions
     /// of slots `k … N-2`, given the previous two slot decisions.
     fn dp(&mut self, k: usize, prev: Choice, prev2: Choice) -> i64 {
@@ -506,7 +849,7 @@ impl<'a> Search<'a> {
             return 0;
         }
         self.nodes += 1;
-        if self.nodes > 100_000_000 {
+        if self.nodes > NODE_BUDGET {
             // Backstop for instances too large to memoize.
             self.aborted = true;
             return 0;
@@ -544,9 +887,11 @@ impl<'a> Search<'a> {
                 any_candidate = true;
                 self.s.budget[task] -= 1;
                 self.remaining_budget -= 1;
+                self.remaining_lp -= u64::from(!self.s.hp[task]);
                 let v = d + self.dp(k + 1, cand, prev);
                 self.s.budget[task] += 1;
                 self.remaining_budget += 1;
+                self.remaining_lp += u64::from(!self.s.hp[task]);
                 best = best.max(v);
             }
         }
@@ -554,19 +899,19 @@ impl<'a> Search<'a> {
         // a job that would otherwise stay unplaced into the idle slot only
         // grows Δ terms) EXCEPT when (a) a free cancellation can charge
         // the preceding DMA slot with a copy-in larger than any placeable
-        // job's, (b) lower-priority jobs are stranded past their
-        // placement region (Constraint 3), so an idle slot genuinely
-        // remains and its position matters for the pairing, or (c) the
-        // window has more slots than unplaced jobs — an idle slot is then
-        // inevitable and *where* it falls matters, because an idle slot's
-        // DMA still carries the copy-in of the next slot's job (this is
-        // the standalone copy-in interval of a blocking lp job: CPU idle,
-        // Δ_k = l_j + copy-out, with the execution following in I_{k+1}).
+        // job's, or (b) the window has more slots left than *spendable*
+        // jobs (stranded lower-priority budgets excluded) — an idle slot
+        // is then inevitable and *where* it falls matters, because an
+        // idle slot's DMA still carries the copy-in of the next slot's
+        // job (the standalone copy-in interval of a blocking lp job: CPU
+        // idle, Δ_k = l_j + copy-out, execution following in I_{k+1}).
+        // When neither holds every spendable job fits in the remaining
+        // slots and no free cancellation pays: each idle-containing
+        // completion is weakly dominated by the no-idle completion that
+        // pulls the later jobs forward, so the idle branch is pruned.
         let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
-        let stranded_lp =
-            k > self.last_lp_exec && (0..m).any(|j| !self.s.hp[j] && self.s.budget[j] > 0);
-        let surplus_slot = (self.n - 1 - k) as u64 > self.remaining_budget;
-        if !any_candidate || idle_useful || stranded_lp || surplus_slot {
+        let surplus_slot = (self.n - 1 - k) as u64 > self.usable_budget(k);
+        if !any_candidate || idle_useful || surplus_slot {
             if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
                 let v = d + self.dp(k + 1, Choice::Idle, prev);
                 best = best.max(v);
@@ -607,10 +952,13 @@ impl<'a> Search<'a> {
         Some(self.cpu(prev).max(input + self.out_at(k - 1, prev2)))
     }
 
-    /// Packs `(k, prev, prev2, budgets)` into a 128-bit memo key with the
-    /// adaptive field widths computed in [`Search::new`]; `None` when the
-    /// instance is too large to pack (the caller then runs without
-    /// memoization until the node budget trips).
+    /// Packs `(k, prev, prev2, canonical budgets)` into a 128-bit memo key
+    /// with the adaptive field widths computed in [`Search::new`]; `None`
+    /// when the instance is too large to pack (the caller then runs
+    /// without memoization until the node budget trips). Budgets enter in
+    /// canonical form ([`Search::canon_budget`]) so states with provably
+    /// equal suffix optima share one entry; canonical values never exceed
+    /// the raw budget, so the precomputed field widths still fit.
     #[inline]
     fn memo_key(&self, k: usize, prev: Choice, prev2: Choice) -> Option<u128> {
         if !self.key_feasible {
@@ -620,8 +968,8 @@ impl<'a> Search<'a> {
         let mut key: u128 = k as u128;
         key = (key << self.c_bits) | prev.encode();
         key = (key << self.c_bits) | prev2.encode();
-        for (&b, &bits) in self.s.budget.iter().zip(&self.s.budget_bits) {
-            key = (key << bits) | u128::from(b);
+        for (j, &bits) in self.s.budget_bits.iter().enumerate() {
+            key = (key << bits) | u128::from(self.canon_budget(j, k));
         }
         Some(key)
     }
@@ -636,14 +984,14 @@ impl<'a> Search<'a> {
             return 0;
         }
         self.nodes += 1;
-        if self.nodes > 100_000_000 {
+        if self.nodes > NODE_BUDGET {
             self.aborted = true;
             return 0;
         }
         if k == self.n - 1 {
             return self.terminal_value(prev, prev2);
         }
-        let key = (k, prev.code(), prev2.code(), self.s.budget.clone());
+        let key = (k, prev.code(), prev2.code(), self.canon_vec(k));
         if let Some(&v) = rec.get(&key) {
             return v;
         }
@@ -669,17 +1017,17 @@ impl<'a> Search<'a> {
                 any_candidate = true;
                 self.s.budget[task] -= 1;
                 self.remaining_budget -= 1;
+                self.remaining_lp -= u64::from(!self.s.hp[task]);
                 let v = d + self.dp_rec(k + 1, cand, prev, rec);
                 self.s.budget[task] += 1;
                 self.remaining_budget += 1;
+                self.remaining_lp += u64::from(!self.s.hp[task]);
                 best = best.max(v);
             }
         }
         let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
-        let stranded_lp =
-            k > self.last_lp_exec && (0..m).any(|j| !self.s.hp[j] && self.s.budget[j] > 0);
-        let surplus_slot = (self.n - 1 - k) as u64 > self.remaining_budget;
-        if !any_candidate || idle_useful || stranded_lp || surplus_slot {
+        let surplus_slot = (self.n - 1 - k) as u64 > self.usable_budget(k);
+        if !any_candidate || idle_useful || surplus_slot {
             if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
                 let v = d + self.dp_rec(k + 1, Choice::Idle, prev, rec);
                 best = best.max(v);
@@ -726,7 +1074,7 @@ impl<'a> Search<'a> {
                     let cv = if k + 1 == self.n - 1 {
                         Some(self.terminal_value(cand, prev))
                     } else {
-                        rec.get(&(k + 1, cand.code(), prev.code(), self.s.budget.clone()))
+                        rec.get(&(k + 1, cand.code(), prev.code(), self.canon_vec(k + 1)))
                             .copied()
                     };
                     if cv == Some(v - d) {
@@ -739,16 +1087,17 @@ impl<'a> Search<'a> {
             }
             if found.is_none() {
                 let idle_useful = k >= 1 && self.free_cancel(k - 1) > 0;
-                let stranded_lp =
-                    k > self.last_lp_exec && (0..m).any(|j| !self.s.hp[j] && self.s.budget[j] > 0);
-                let budget_sum: u64 = self.s.budget.iter().sum();
-                let surplus_slot = (self.n - 1 - k) as u64 > budget_sum;
-                if !any_candidate || idle_useful || stranded_lp || surplus_slot {
+                let usable: u64 = (0..m)
+                    .filter(|&j| self.s.hp[j] || k <= self.last_lp_exec)
+                    .map(|j| self.s.budget[j])
+                    .sum();
+                let surplus_slot = (self.n - 1 - k) as u64 > usable;
+                if !any_candidate || idle_useful || surplus_slot {
                     if let Some(d) = self.score(k, prev, prev2, Choice::Idle) {
                         let cv = if k + 1 == self.n - 1 {
                             Some(self.terminal_value(Choice::Idle, prev))
                         } else {
-                            rec.get(&(k + 1, 0, prev.code(), self.s.budget.clone()))
+                            rec.get(&(k + 1, 0, prev.code(), self.canon_vec(k + 1)))
                                 .copied()
                         };
                         if cv == Some(v - d) {
@@ -766,14 +1115,29 @@ impl<'a> Search<'a> {
         Some(witness)
     }
 
-    /// Safe upper bound used when the DP aborts: the tighter of
+    /// Safe upper bound used when the DP aborts: [`Search::suffix_cap`]
+    /// evaluated at the root (full budgets, all slots).
+    fn fallback_bound(&self) -> i64 {
+        self.suffix_cap(0, Choice::Idle, Choice::Idle)
+    }
+
+    /// Admissible upper bound on `dp(k, prev, prev2)` from the **current**
+    /// remaining budgets: the tighter of
     ///
     /// * per-slot caps: every middle interval is below
     ///   `max(max demand, l̂+û)`;
     /// * decoupled sums: `Σ_k Δ_k ≤ Σ_k Δ^cpu_k + Σ_k (Δ^in_k + Δ^out_k)`,
     ///   with the DMA side budgeted by the copies each job performs once,
-    ///   plus cancellation and boundary charges.
-    fn fallback_bound(&self) -> i64 {
+    ///   plus cancellation and boundary charges. `Δ_{k-1}`'s execution
+    ///   (`prev`) and copy-out (`prev2`), and `Δ_k`'s copy-out (`prev`),
+    ///   belong to already-placed jobs whose budget is no longer in the
+    ///   remaining sums, so they are charged explicitly.
+    ///
+    /// At `k = 0` this is the engine's coarse fallback bound (`prev` and
+    /// `prev2` are idle and the extra charges reduce to the window-start
+    /// `max_u` boundary); the branch-and-bound search uses it as its
+    /// pruning bound at every depth.
+    fn suffix_cap(&self, k: usize, prev: Choice, prev2: Choice) -> i64 {
         let m = self.s.exec.len();
         let max_demand = (0..m)
             .map(|j| {
@@ -788,10 +1152,14 @@ impl<'a> Search<'a> {
         let slot_cap = max_demand.max(self.max_l + self.max_u);
         let last2_cap =
             max_demand.max(self.l_i + self.max_u) + self.c_i.max(self.max_l + self.max_u);
-        let per_slot = slot_cap * (self.n as i64 - 2).max(0) + last2_cap;
+        // `dp(k, ·)` covers Δ_{k−1} … Δ_{N−1}: the two terminal intervals
+        // plus the middle ones (Δ_{−1} does not exist — `score` returns 0
+        // at the window start).
+        let mid_slots = (self.n as i64 - 1 - k as i64 - i64::from(k == 0)).max(0);
+        let per_slot = slot_cap * mid_slots + last2_cap;
 
         let total_jobs: u64 = self.s.budget.iter().sum();
-        let slots = (self.n - 1) as i64;
+        let slots = (self.n - 1 - k) as i64;
         let mut cpu_sum = 0i64;
         let mut dma_sum = 0i64;
         for j in 0..m {
@@ -811,8 +1179,22 @@ impl<'a> Search<'a> {
             .sum();
         let free_slots = (slots - total_jobs as i64).max(0) + ls_jobs;
         let cancel_extra = free_slots * self.max_cancel_i0;
-        let decoupled =
-            cpu_sum + self.c_i + dma_sum + cancel_extra + self.l_i + self.max_l + self.max_u;
+        // Copy-outs at slots `k-1` and `k` are produced by `prev2` / `prev`
+        // (`max_u` at the window boundary); later slots copy out remaining
+        // jobs, which `dma_sum` already covers.
+        let placed_out = if k == 0 {
+            self.max_u
+        } else {
+            self.out_at(k - 1, prev2) + self.out_of(prev)
+        };
+        let decoupled = cpu_sum
+            + self.cpu(prev)
+            + self.c_i
+            + dma_sum
+            + cancel_extra
+            + self.l_i
+            + self.max_l
+            + placed_out;
 
         per_slot.min(decoupled)
     }

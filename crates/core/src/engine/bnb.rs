@@ -1,0 +1,596 @@
+//! Parallel branch-and-bound rescue for windows the DP cannot memoize.
+//!
+//! The memoized DP of [`ExactEngine`](crate::ExactEngine) is the fast
+//! path, but its memo is keyed by the full remaining-budget vector: a
+//! window with many *distinct* high-budget competitors can exceed any
+//! reasonable entry budget even after symmetry canonicalization. This
+//! module recovers exactness for those windows with a depth-first
+//! branch-and-bound over the same search tree:
+//!
+//! * **identical semantics** — each worker drives the engine's own
+//!   [`Search`] (same candidate enumeration, symmetry-breaking admission,
+//!   dominance gates and per-slot scoring), so the explored tree is the
+//!   DP tree and equivalence needs no second implementation;
+//! * **admissible bounding** — a subtree is cut when the engine's
+//!   closed-form suffix cap ([`Search::suffix_cap`]), and optionally the
+//!   window MILP's LP relaxation with the search prefix pinned, cannot
+//!   beat the incumbent;
+//! * **shared incumbent** — workers publish completed placements into one
+//!   `AtomicI64` via `fetch_max`. Pruning only ever removes subtrees
+//!   whose optimum is `≤` the incumbent, and the incumbent only ever
+//!   holds *achieved* placement values, so the final maximum is
+//!   **deterministic**: byte-identical for any worker count or
+//!   interleaving. Node counts may vary; the bound may not.
+//!
+//! Work is sharded by enumerating all feasible depth-≤2 slot prefixes and
+//! handing them to `jobs` scoped threads through an atomic cursor. A
+//! global node budget (shared atomic pool) aborts the whole search —
+//! [`solve_window`] then returns `None` and the engine degrades to its
+//! safe fallback cap exactly as if branch-and-bound were disabled.
+//!
+//! Results are exact but **not certifiable**: certificate emission
+//! replays the memoized DP table, which does not exist here. See
+//! [`ExactEngine::with_branch_and_bound`](crate::ExactEngine::with_branch_and_bound).
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+use pmcs_milp::{Basis, LpBackend, LpOutcome, RevisedBackend, SolverStats, WarmStart};
+
+use super::{Choice, Scratch, Search};
+use crate::formulation::Formulation;
+use crate::window::WindowModel;
+
+/// Configuration of the branch-and-bound rescue path.
+#[derive(Debug, Clone)]
+pub struct BnbConfig {
+    /// Worker threads sharing the incumbent (`1` = sequential). The
+    /// resulting bound is identical for every value; only wall-clock and
+    /// node counts change.
+    pub jobs: usize,
+    /// Depth (in slots) up to which each node additionally solves the
+    /// window MILP's LP relaxation with the search prefix pinned, pruning
+    /// on the relaxation bound. `0` disables LP bounding; small values
+    /// (2–4) prune near the root where subtrees are largest.
+    pub lp_depth: usize,
+    /// Global node budget across all workers; exhausting it aborts the
+    /// search (the engine then falls back to its safe cap).
+    pub node_budget: u64,
+}
+
+impl Default for BnbConfig {
+    fn default() -> Self {
+        BnbConfig {
+            jobs: 1,
+            lp_depth: 0,
+            node_budget: 50_000_000,
+        }
+    }
+}
+
+/// A completed branch-and-bound solve: the exact window optimum and the
+/// effort spent finding it.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// The exact maximum total delay of the window, in ticks.
+    pub value: i64,
+    /// Nodes, LP solves, pivots and warm-start effort summed over all
+    /// workers.
+    pub stats: SolverStats,
+}
+
+/// A depth-≤2 root prefix: the slot choices taken so far and the delay
+/// contribution already scored for them.
+#[derive(Debug, Clone)]
+struct Prefix {
+    choices: Vec<Choice>,
+    acc: i64,
+}
+
+/// How many nodes a worker runs between drawing from the shared node
+/// pool (batching keeps the atomic off the per-node hot path).
+const SYNC_BATCH: u64 = 8_192;
+
+/// Solves `w` exactly by parallel branch-and-bound, or returns `None`
+/// when the global node budget is exhausted first.
+pub fn solve_window(w: &WindowModel, cfg: &BnbConfig) -> Option<Run> {
+    let mut scratch = Scratch::default();
+    let mut search = Search::new(w, usize::MAX, &mut scratch);
+    if search.n < 2 {
+        return Some(Run {
+            value: search.c_i.max(search.max_l + search.max_u),
+            stats: SolverStats::default(),
+        });
+    }
+
+    let incumbent = AtomicI64::new(i64::MIN);
+    // Seed the incumbent with a greedy dive so root-level pruning has a
+    // real placement value to beat from the first node.
+    incumbent.fetch_max(greedy_seed(&mut search), Ordering::Relaxed);
+
+    // Enumerate the root prefixes that shard the tree. Terminal prefixes
+    // (short windows) complete inside the enumeration via the incumbent.
+    let depth = 2.min(search.n - 1);
+    let mut prefixes = Vec::new();
+    let mut path = Vec::new();
+    expand(
+        &mut search,
+        Choice::Idle,
+        Choice::Idle,
+        0,
+        depth,
+        &incumbent,
+        &mut path,
+        &mut prefixes,
+    );
+    let abort = AtomicBool::new(false);
+    let pool = AtomicU64::new(0);
+    let cursor = AtomicUsize::new(0);
+    let jobs = cfg.jobs.max(1).min(prefixes.len().max(1));
+
+    let mut stats = SolverStats::default();
+    if jobs <= 1 {
+        stats.merge(worker(
+            w, cfg, &prefixes, &cursor, &incumbent, &abort, &pool,
+        ));
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| worker(w, cfg, &prefixes, &cursor, &incumbent, &abort, &pool))
+                })
+                .collect();
+            for h in handles {
+                // A worker panic is a bug, not a load condition; propagate.
+                stats.merge(h.join().expect("branch-and-bound worker panicked"));
+            }
+        });
+    }
+
+    if abort.load(Ordering::Relaxed) {
+        return None;
+    }
+    let value = incumbent.load(Ordering::Relaxed);
+    debug_assert!(value > i64::MIN, "every window has at least one placement");
+    Some(Run { value, stats })
+}
+
+/// One valid placement's total delay, found by always taking the
+/// locally best-scoring choice. A lower bound on the optimum (it *is* a
+/// placement), used to seed the shared incumbent.
+fn greedy_seed(s: &mut Search<'_>) -> i64 {
+    let (mut prev, mut prev2) = (Choice::Idle, Choice::Idle);
+    let mut acc = 0i64;
+    let mut taken = Vec::with_capacity(s.n - 1);
+    for k in 0..s.n - 1 {
+        let mut best: Option<(Choice, i64)> = None;
+        for_candidates(s, k, prev, prev2, |cand, d| {
+            if best.is_none_or(|(_, bd)| d > bd) {
+                best = Some((cand, d));
+            }
+        });
+        let (cand, d) = match best {
+            // `in_at(·, Idle)` always yields a copy-in, so idling is
+            // always scoreable: every node has at least one child.
+            None => (
+                Choice::Idle,
+                s.score(k, prev, prev2, Choice::Idle)
+                    .expect("idle is always feasible"),
+            ),
+            Some(found) => found,
+        };
+        apply(s, cand);
+        taken.push(cand);
+        acc += d;
+        prev2 = prev;
+        prev = cand;
+    }
+    let value = acc + s.terminal_value(prev, prev2);
+    // Restore the budgets: the caller reuses this `Search` for the root
+    // prefix enumeration.
+    for &cand in taken.iter().rev() {
+        undo(s, cand);
+    }
+    value
+}
+
+/// Enumerates the feasible (non-idle-gated) choices of slot `k` exactly
+/// as [`Search::dp`] does, invoking `f` with each candidate and its
+/// `Δ_{k-1}` score. Idle is offered under the same dominance gates.
+fn for_candidates(
+    s: &Search<'_>,
+    k: usize,
+    prev: Choice,
+    prev2: Choice,
+    mut f: impl FnMut(Choice, i64),
+) {
+    let m = s.s.exec.len();
+    let mut any_candidate = false;
+    for task in 0..m {
+        if s.s.budget[task] == 0 {
+            continue;
+        }
+        for urgent in [false, true] {
+            if urgent && !s.s.ls[task] {
+                continue;
+            }
+            if !s.placement_ok(k, task, urgent) {
+                continue;
+            }
+            let cand = Choice::Run { task, urgent };
+            let Some(d) = s.score(k, prev, prev2, cand) else {
+                continue;
+            };
+            any_candidate = true;
+            f(cand, d);
+        }
+    }
+    let idle_useful = k >= 1 && s.free_cancel(k - 1) > 0;
+    let surplus_slot = (s.n - 1 - k) as u64 > s.usable_budget(k);
+    if !any_candidate || idle_useful || surplus_slot {
+        if let Some(d) = s.score(k, prev, prev2, Choice::Idle) {
+            f(Choice::Idle, d);
+        }
+    }
+}
+
+/// Consumes one job of `cand` from the search's budget accounting.
+fn apply(s: &mut Search<'_>, cand: Choice) {
+    if let Choice::Run { task, .. } = cand {
+        s.s.budget[task] -= 1;
+        s.remaining_budget -= 1;
+        s.remaining_lp -= u64::from(!s.s.hp[task]);
+    }
+}
+
+/// Reverses [`apply`].
+fn undo(s: &mut Search<'_>, cand: Choice) {
+    if let Choice::Run { task, .. } = cand {
+        s.s.budget[task] += 1;
+        s.remaining_budget += 1;
+        s.remaining_lp += u64::from(!s.s.hp[task]);
+    }
+}
+
+/// Recursively enumerates all feasible prefixes down to `depth` more
+/// slots, completing short branches against the incumbent directly.
+#[allow(clippy::too_many_arguments)]
+fn expand(
+    s: &mut Search<'_>,
+    prev: Choice,
+    prev2: Choice,
+    acc: i64,
+    depth: usize,
+    incumbent: &AtomicI64,
+    path: &mut Vec<Choice>,
+    out: &mut Vec<Prefix>,
+) {
+    let k = path.len();
+    if k == s.n - 1 {
+        incumbent.fetch_max(acc + s.terminal_value(prev, prev2), Ordering::Relaxed);
+        return;
+    }
+    if depth == 0 {
+        out.push(Prefix {
+            choices: path.clone(),
+            acc,
+        });
+        return;
+    }
+    let mut cands = Vec::new();
+    for_candidates(s, k, prev, prev2, |cand, d| cands.push((cand, d)));
+    for (cand, d) in cands {
+        apply(s, cand);
+        path.push(cand);
+        expand(s, cand, prev, acc + d, depth - 1, incumbent, path, out);
+        path.pop();
+        undo(s, cand);
+    }
+}
+
+/// Per-worker LP bounding state: the window MILP built once, its default
+/// variable bounds, and the basis carried between solves for warm starts.
+struct LpPruner {
+    formulation: Formulation,
+    backend: RevisedBackend,
+    base_bounds: Vec<(f64, f64)>,
+    basis: Option<Basis>,
+}
+
+impl LpPruner {
+    fn new(w: &WindowModel) -> LpPruner {
+        let formulation = Formulation::build(w);
+        let base_bounds = formulation
+            .problem
+            .vars()
+            .map(|v| formulation.problem.var_bounds(v))
+            .collect();
+        LpPruner {
+            formulation,
+            backend: RevisedBackend::default(),
+            base_bounds,
+            basis: None,
+        }
+    }
+
+    /// `true` when the LP relaxation with the prefix pinned proves that
+    /// no completion can beat `incumbent`. A non-optimal outcome (or a
+    /// numerical failure) never prunes — the DFS bound stays admissible.
+    fn proves_dominated(
+        &mut self,
+        path: &[Choice],
+        incumbent: i64,
+        stats: &mut SolverStats,
+    ) -> bool {
+        let mut bounds = self.base_bounds.clone();
+        for (slot, &choice) in path.iter().enumerate() {
+            match choice {
+                Choice::Run {
+                    task,
+                    urgent: false,
+                } => {
+                    // Constraint 5 (≤1 execution per slot) forces every
+                    // other execution variable of the slot to zero.
+                    if let Some(v) = self.formulation.e[task][slot] {
+                        bounds[v.index()] = (1.0, 1.0);
+                    }
+                }
+                Choice::Run { task, urgent: true } => {
+                    if let Some(v) = self.formulation.le[task][slot] {
+                        bounds[v.index()] = (1.0, 1.0);
+                    }
+                }
+                Choice::Idle => {
+                    for grid in [&self.formulation.e, &self.formulation.le] {
+                        for row in grid {
+                            if let Some(v) = row[slot] {
+                                bounds[v.index()] = (0.0, 0.0);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        stats.lp_solves += 1;
+        if self.basis.is_some() {
+            stats.warm_start_attempts += 1;
+        }
+        let Ok(run) =
+            self.backend
+                .solve_lp(&self.formulation.problem, &bounds, self.basis.as_ref())
+        else {
+            return false;
+        };
+        stats.lp_pivots += run.pivots;
+        if run.warm == WarmStart::Hit {
+            stats.warm_start_hits += 1;
+        }
+        if let Some(basis) = run.basis {
+            self.basis = Some(basis);
+        }
+        match run.outcome {
+            // Integer-valued objective: a relaxation below incumbent+1
+            // cannot contain a better integral completion.
+            LpOutcome::Optimal(sol) => sol.objective() <= incumbent as f64 + 0.5,
+            LpOutcome::Infeasible | LpOutcome::Unbounded => false,
+        }
+    }
+}
+
+/// One worker: drains the prefix queue through the shared cursor and
+/// searches each subtree depth-first against the shared incumbent.
+fn worker(
+    w: &WindowModel,
+    cfg: &BnbConfig,
+    prefixes: &[Prefix],
+    cursor: &AtomicUsize,
+    incumbent: &AtomicI64,
+    abort: &AtomicBool,
+    pool: &AtomicU64,
+) -> SolverStats {
+    let mut scratch = Scratch::default();
+    let mut search = Search::new(w, usize::MAX, &mut scratch);
+    let mut ctx = Dfs {
+        incumbent,
+        abort,
+        pool,
+        node_budget: cfg.node_budget,
+        lp_depth: cfg.lp_depth,
+        lp: if cfg.lp_depth > 0 {
+            Some(LpPruner::new(w))
+        } else {
+            None
+        },
+        stats: SolverStats::default(),
+        unsynced: 0,
+    };
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= prefixes.len() || abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let prefix = &prefixes[i];
+        let mut path = prefix.choices.clone();
+        for &c in &prefix.choices {
+            apply(&mut search, c);
+        }
+        let prev = path.last().copied().unwrap_or(Choice::Idle);
+        let prev2 = if path.len() >= 2 {
+            path[path.len() - 2]
+        } else {
+            Choice::Idle
+        };
+        ctx.dfs(&mut search, prev, prev2, prefix.acc, &mut path);
+        for &c in &prefix.choices {
+            undo(&mut search, c);
+        }
+    }
+    ctx.flush_nodes();
+    ctx.stats
+}
+
+/// Depth-first search state shared by reference with every recursion
+/// level of one worker.
+struct Dfs<'w> {
+    incumbent: &'w AtomicI64,
+    abort: &'w AtomicBool,
+    pool: &'w AtomicU64,
+    node_budget: u64,
+    lp_depth: usize,
+    lp: Option<LpPruner>,
+    stats: SolverStats,
+    unsynced: u64,
+}
+
+impl Dfs<'_> {
+    /// Counts one node and periodically settles the batch against the
+    /// shared pool, raising the abort flag when the global budget trips.
+    fn tick(&mut self) {
+        self.stats.bb_nodes += 1;
+        self.unsynced += 1;
+        if self.unsynced >= SYNC_BATCH {
+            self.flush_nodes();
+        }
+    }
+
+    fn flush_nodes(&mut self) {
+        if self.unsynced == 0 {
+            return;
+        }
+        let before = self.pool.fetch_add(self.unsynced, Ordering::Relaxed);
+        if before + self.unsynced > self.node_budget {
+            self.abort.store(true, Ordering::Relaxed);
+        }
+        self.unsynced = 0;
+    }
+
+    fn dfs(
+        &mut self,
+        s: &mut Search<'_>,
+        prev: Choice,
+        prev2: Choice,
+        acc: i64,
+        path: &mut Vec<Choice>,
+    ) {
+        if self.abort.load(Ordering::Relaxed) {
+            return;
+        }
+        self.tick();
+        let k = path.len();
+        if k == s.n - 1 {
+            self.incumbent
+                .fetch_max(acc + s.terminal_value(prev, prev2), Ordering::Relaxed);
+            return;
+        }
+        // Admissible closed-form bound: `suffix_cap` dominates every
+        // completion of the current budgets, so a subtree at or below the
+        // incumbent cannot improve the maximum.
+        if acc + s.suffix_cap(k, prev, prev2) <= self.incumbent.load(Ordering::Relaxed) {
+            return;
+        }
+        if k < self.lp_depth {
+            if let Some(lp) = self.lp.as_mut() {
+                let incumbent = self.incumbent.load(Ordering::Relaxed);
+                if lp.proves_dominated(path, incumbent, &mut self.stats) {
+                    return;
+                }
+            }
+        }
+        let mut cands = Vec::new();
+        for_candidates(s, k, prev, prev2, |cand, d| cands.push((cand, d)));
+        for (cand, d) in cands {
+            apply(s, cand);
+            path.push(cand);
+            self.dfs(s, cand, prev, acc + d, path);
+            path.pop();
+            undo(s, cand);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wcrt::DelayEngine;
+    use crate::window::{test_task, WindowCase, WindowModel};
+    use crate::ExactEngine;
+    use pmcs_model::{TaskId, TaskSet, Time};
+
+    fn window(tasks: Vec<pmcs_model::Task>, id: u32, t: i64) -> WindowModel {
+        let set = TaskSet::new(tasks).unwrap();
+        WindowModel::build(&set, TaskId(id), WindowCase::Nls, Time::from_ticks(t)).unwrap()
+    }
+
+    #[test]
+    fn matches_the_dp_on_small_windows() {
+        let w = window(
+            vec![
+                test_task(0, 10, 2, 2, 1_000, 0, false),
+                test_task(1, 40, 5, 5, 900, 1, true),
+                test_task(2, 20, 5, 5, 1_000, 2, false),
+            ],
+            2,
+            30,
+        );
+        let dp = ExactEngine::default().max_total_delay(&w).unwrap();
+        assert!(dp.exact);
+        for jobs in [1, 2, 4] {
+            for lp_depth in [0, 2] {
+                let cfg = BnbConfig {
+                    jobs,
+                    lp_depth,
+                    ..BnbConfig::default()
+                };
+                let run = solve_window(&w, &cfg).expect("budget suffices");
+                assert_eq!(
+                    Time::from_ticks(run.value),
+                    dp.delay,
+                    "jobs={jobs} lp_depth={lp_depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rescues_a_starved_engine_exactly() {
+        let w = window(
+            vec![
+                test_task(0, 10, 2, 2, 100, 0, false),
+                test_task(1, 10, 2, 2, 100, 1, false),
+                test_task(2, 10, 2, 2, 100, 2, false),
+            ],
+            2,
+            150,
+        );
+        let exact = ExactEngine::default().max_total_delay(&w).unwrap();
+        assert!(exact.exact);
+        let rescued = ExactEngine::with_max_states(1)
+            .with_branch_and_bound(BnbConfig::default())
+            .max_total_delay(&w)
+            .unwrap();
+        assert!(rescued.exact, "branch-and-bound must restore exactness");
+        assert_eq!(rescued.delay, exact.delay);
+        let stats = ExactEngine::with_max_states(1)
+            .with_branch_and_bound(BnbConfig::default())
+            .solver_stats();
+        assert!(stats.is_empty(), "fresh engine reports no effort");
+    }
+
+    #[test]
+    fn node_budget_exhaustion_returns_none() {
+        let w = window(
+            vec![
+                test_task(0, 10, 2, 2, 100, 0, false),
+                test_task(1, 11, 3, 3, 110, 1, false),
+                test_task(2, 12, 4, 4, 120, 2, false),
+                test_task(3, 50, 5, 5, 10_000, 3, false),
+            ],
+            3,
+            400,
+        );
+        let cfg = BnbConfig {
+            node_budget: 1,
+            ..BnbConfig::default()
+        };
+        assert!(solve_window(&w, &cfg).is_none());
+    }
+}

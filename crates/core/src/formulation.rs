@@ -308,16 +308,113 @@ impl DelayEngine for MilpEngine {
 /// variable is structurally zero.
 type VarGrid = Vec<Vec<Option<Var>>>;
 
-struct Formulation {
-    problem: Problem,
-    /// Deterministic upper bound on the objective: `N` intervals, each
-    /// `Δ_k ≤ M` by its variable bound, so `Σ_k Δ_k ≤ N·M`. Used as the
+/// Per-slot interval-length caps in integer ticks, derived from which
+/// placement variables structurally exist at each slot. These are exactly
+/// the bounds the `A007` big-M lint derives from the row activity ranges:
+/// using them as the Constraint-13 big-M constants (instead of one uniform
+/// window-wide `M`) keeps the lint quiet and makes the LP relaxation tight
+/// enough to prune.
+pub(crate) struct SlotCaps {
+    /// Max CPU demand of `I_k`: the largest `C_j` (or `l_j + C_j` for an
+    /// urgent execution) over tasks placeable in slot `k`; `C_i` at `N−1`.
+    pub(crate) dcpu: Vec<i64>,
+    /// Max DMA copy-in of `I_k` over the copy-in/cancel variables of the
+    /// slot; pinned values at the window boundary (Constraint 12).
+    pub(crate) din: Vec<i64>,
+    /// Max DMA copy-out of `I_k`: the largest `u_j` over tasks placeable
+    /// in `I_{k−1}`; `max_u` at the window start (Constraint 12).
+    pub(crate) dout: Vec<i64>,
+    /// `max(dcpu, din + dout)` — an upper bound on `Δ_k` itself.
+    pub(crate) delta: Vec<i64>,
+}
+
+impl SlotCaps {
+    pub(crate) fn derive(w: &WindowModel) -> SlotCaps {
+        let n = w.n();
+        let last_lp = w.last_lp_exec_interval();
+        let exec_slots = n - 1;
+        let placeable = |k: usize| w.tasks.iter().filter(move |t| t.hp || k <= last_lp);
+        let dcpu: Vec<i64> = (0..n)
+            .map(|k| {
+                if k == n - 1 {
+                    w.exec_i.as_ticks()
+                } else {
+                    placeable(k)
+                        .map(|t| t.demand(t.ls).as_ticks())
+                        .max()
+                        .unwrap_or(0)
+                }
+            })
+            .collect();
+        let din: Vec<i64> = (0..n)
+            .map(|k| {
+                if k == n - 2 {
+                    w.copy_in_i.as_ticks()
+                } else if k == n - 1 {
+                    w.max_l.as_ticks()
+                } else {
+                    // Slots 0 … N−3: the DMA loads the copy-in of the task
+                    // executing next (`L_j^k`, paired with `E_j^{k+1}`) or
+                    // a canceled copy-in (`CL_j^k`).
+                    w.tasks
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, t)| {
+                            let load = (t.hp || (k < last_lp && k == 0 && w.lp_copy_in_allowed()))
+                                && k + 1 < exec_slots;
+                            let cancel = (t.hp || k == 0) && w.cancel_triggerable(j);
+                            load || cancel
+                        })
+                        .map(|(_, t)| t.copy_in.as_ticks())
+                        .max()
+                        .unwrap_or(0)
+                }
+            })
+            .collect();
+        let dout: Vec<i64> = (0..n)
+            .map(|k| {
+                if k == 0 {
+                    w.max_u.as_ticks()
+                } else {
+                    placeable(k - 1)
+                        .map(|t| t.copy_out.as_ticks())
+                        .max()
+                        .unwrap_or(0)
+                }
+            })
+            .collect();
+        let delta: Vec<i64> = (0..n).map(|k| dcpu[k].max(din[k] + dout[k])).collect();
+        SlotCaps {
+            dcpu,
+            din,
+            dout,
+            delta,
+        }
+    }
+
+    /// `Σ_k delta[k]` in integer arithmetic: the deterministic safe delay
+    /// cap of the formulation. `pmcs-cert` re-derives this value
+    /// independently, so the summation must stay integral.
+    pub(crate) fn delay_cap_ticks(&self) -> i64 {
+        self.delta.iter().sum()
+    }
+}
+
+pub(crate) struct Formulation {
+    pub(crate) problem: Problem,
+    /// Deterministic upper bound on the objective: `Σ_k Δ_k` with each
+    /// `Δ_k` at its slot cap ([`SlotCaps::delay_cap_ticks`]). Used as the
     /// safe fallback delay when a solve is gated or hits its node limit.
-    delay_cap: f64,
+    pub(crate) delay_cap: f64,
+    /// Plain/urgent execution variables per (task, slot); kept so the
+    /// branch-and-bound LP bounding can pin a search prefix through
+    /// variable bounds.
+    pub(crate) e: VarGrid,
+    pub(crate) le: VarGrid,
 }
 
 impl Formulation {
-    fn build(w: &WindowModel) -> Formulation {
+    pub(crate) fn build(w: &WindowModel) -> Formulation {
         let n = w.n();
         let m = w.tasks.len();
         let exec_slots = n - 1; // intervals 0 ..= N−2 host competitor executions
@@ -325,17 +422,9 @@ impl Formulation {
 
         let mut p = Problem::maximize();
 
-        // Big-M: an upper bound on any single interval length.
-        let max_demand = w
-            .tasks
-            .iter()
-            .map(|t| t.demand(t.ls).as_f64())
-            .fold(0.0, f64::max);
-        let big_m = max_demand
-            .max((w.max_l + w.max_u).as_f64())
-            .max(w.exec_i.as_f64())
-            .max((w.copy_in_i + w.max_u).as_f64())
-            + 1.0;
+        // Per-slot caps replace the old uniform big-M (which A007 flagged
+        // as up to ~2e4× looser than the derivable bound).
+        let caps = SlotCaps::derive(w);
 
         // --- Variables ---------------------------------------------------
         let mut e: VarGrid = vec![vec![None; exec_slots]; m];
@@ -370,16 +459,16 @@ impl Formulation {
             }
         }
         let delta: Vec<Var> = (0..n)
-            .map(|k| p.continuous(format!("delta_{k}"), 0.0, big_m))
+            .map(|k| p.continuous(format!("delta_{k}"), 0.0, caps.delta[k] as f64))
             .collect();
         let dcpu: Vec<Var> = (0..n)
-            .map(|k| p.continuous(format!("dcpu_{k}"), 0.0, big_m))
+            .map(|k| p.continuous(format!("dcpu_{k}"), 0.0, caps.dcpu[k] as f64))
             .collect();
         let din: Vec<Var> = (0..n)
-            .map(|k| p.continuous(format!("din_{k}"), 0.0, big_m))
+            .map(|k| p.continuous(format!("din_{k}"), 0.0, caps.din[k] as f64))
             .collect();
         let dout: Vec<Var> = (0..n)
-            .map(|k| p.continuous(format!("dout_{k}"), 0.0, big_m))
+            .map(|k| p.continuous(format!("dout_{k}"), 0.0, caps.dout[k] as f64))
             .collect();
         let alpha: Vec<Var> = (0..n).map(|k| p.binary(format!("alpha_{k}"))).collect();
 
@@ -543,19 +632,84 @@ impl Formulation {
         );
 
         // --- Constraint 13: Δ_k = max(Δ^cpu_k, Δ^in_k + Δ^out_k) ---------
+        // Big-M disjunction with the slot-local cap as M: `Δ_k ≤ cap_k`
+        // already holds by the variable bound, so the inactive branch is
+        // slack for every feasible point while the LP relaxation stays as
+        // tight as the A007 lint can prove. A zero cap pins Δ_k = 0 and
+        // needs no disjunction at all (and would otherwise zero out the
+        // alpha column).
         for k in 0..n {
+            let mk = caps.delta[k] as f64;
+            if mk == 0.0 {
+                continue;
+            }
+            // `dcpu_{N−1}` is fixed at `C_i`, so the relaxed a-row only
+            // has to absorb the gap above that floor; charging the full
+            // slot cap there is exactly what A007 flags as loose.
+            let mk_a = if k == n - 1 {
+                (caps.delta[k] - w.exec_i.as_ticks()) as f64
+            } else {
+                mk
+            };
             p.constrain_named(
                 Some(format!("C13a_{k}")),
-                delta[k] - dcpu[k] - alpha[k] * big_m,
+                delta[k] - dcpu[k] - alpha[k] * mk_a,
                 Cmp::Le,
                 0.0,
             );
             p.constrain_named(
                 Some(format!("C13b_{k}")),
-                delta[k] - din[k] - dout[k] + alpha[k] * big_m,
+                delta[k] - din[k] - dout[k] + alpha[k] * mk,
                 Cmp::Le,
-                big_m,
+                mk,
             );
+        }
+
+        // --- Symmetry-breaking ordering cuts -----------------------------
+        // Two competitor tasks are *interchangeable* when swapping them is
+        // an automorphism of the formulation: identical shape, protocol
+        // flags and budget, identical cancellation relations against every
+        // third task, and (for LS pairs, whose C8 rows reference each
+        // other's cancel columns) a symmetric pair-internal relation. Any
+        // feasible placement can then be rewritten — reassigning the pooled
+        // executions of the pair chronologically, lower index first —
+        // without changing any interval length, so forcing the prefix sums
+        // of the lower-indexed task to dominate cuts the mirrored half of
+        // the branch tree without cutting the optimum.
+        let interchangeable = |a: usize, b: usize| -> bool {
+            let (ta, tb) = (&w.tasks[a], &w.tasks[b]);
+            ta.exec == tb.exec
+                && ta.copy_in == tb.copy_in
+                && ta.copy_out == tb.copy_out
+                && ta.ls == tb.ls
+                && ta.hp == tb.hp
+                && ta.budget == tb.budget
+                && w.cancel_triggerable(a) == w.cancel_triggerable(b)
+                && (!ta.ls || w.cancellation_enables(a, b) == w.cancellation_enables(b, a))
+                && (0..m).filter(|&v| v != a && v != b).all(|v| {
+                    w.cancellation_enables(v, a) == w.cancellation_enables(v, b)
+                        && w.cancellation_enables(a, v) == w.cancellation_enables(b, v)
+                })
+        };
+        for j2 in 1..m {
+            // One cut chain per adjacent pair is enough: dominance is
+            // transitive along a run of interchangeable tasks.
+            let j = j2 - 1;
+            if !interchangeable(j, j2) {
+                continue;
+            }
+            let mut prefix = LinExpr::zero();
+            for (kk, cut) in (0..exec_slots).map(|kk| (kk, format!("SYM_{j}_{j2}_{kk}"))) {
+                for (hi, lo) in [(e[j][kk], e[j2][kk]), (le[j][kk], le[j2][kk])] {
+                    if let Some(v) = hi {
+                        prefix += v * 1.0;
+                    }
+                    if let Some(v) = lo {
+                        prefix += v * -1.0;
+                    }
+                }
+                p.constrain_named(Some(cut), prefix.clone(), Cmp::Ge, 0.0);
+            }
         }
 
         // --- Objective (Eq. 1, without the constant u_i) -------------------
@@ -567,7 +721,9 @@ impl Formulation {
 
         Formulation {
             problem: p,
-            delay_cap: n as f64 * big_m,
+            delay_cap: caps.delay_cap_ticks() as f64,
+            e,
+            le,
         }
     }
 }

@@ -61,6 +61,7 @@ pub mod window;
 pub use cache::{CacheStats, CachedEngine, DelayCache, WindowKey};
 pub use certify::{certify_task_set, certify_window_dp, certify_window_milp};
 pub use chains::{chain_latency, ChainActivation, TaskChain};
+pub use engine::bnb;
 pub use engine::ExactEngine;
 pub use error::CoreError;
 pub use formulation::{MilpEngine, AUDIT_ENV_VAR};

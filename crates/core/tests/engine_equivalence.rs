@@ -63,8 +63,17 @@ fn check_equivalence(set: &TaskSet, under: TaskId, case: WindowCase, t: i64) {
         return;
     }
     let fast = ExactEngine::default().max_total_delay(&w).unwrap();
+    let unpruned = ExactEngine::default()
+        .without_symmetry_breaking()
+        .max_total_delay(&w)
+        .unwrap();
     let milp = MilpEngine::default().max_total_delay(&w).unwrap();
-    assert!(fast.exact && milp.exact);
+    assert!(fast.exact && unpruned.exact && milp.exact);
+    assert_eq!(
+        fast.delay, unpruned.delay,
+        "pruning changed the optimum for window {w:?}: pruned={} unpruned={}",
+        fast.delay, unpruned.delay
+    );
     assert_eq!(
         fast.delay, milp.delay,
         "engine mismatch for window {w:?}: engine={} milp={}",
@@ -132,6 +141,115 @@ fn deterministic_regression_windows() {
         for t in [1, 30, 80] {
             check_equivalence(&set, TaskId(under), WindowCase::Nls, t);
             check_equivalence(&set, TaskId(under), WindowCase::LsCaseA, t);
+        }
+    }
+}
+
+/// Eight equal-shape competitors — the symmetric instance class whose
+/// unbroken `8!`-fold placement symmetry is the paper's n ≥ 8 runtime
+/// cliff. The symmetry-pruned DP must still return the same optimum as
+/// the unpruned reference (which here explores every member ordering).
+#[test]
+fn eight_equal_shape_tasks_prune_losslessly() {
+    let mut specs = vec![RandTask {
+        exec: 9,
+        copy_in: 3,
+        copy_out: 2,
+        period: 400,
+        ls: false,
+    }];
+    specs.extend(std::iter::repeat_n(
+        RandTask {
+            exec: 5,
+            copy_in: 2,
+            copy_out: 4,
+            period: 55,
+            ls: true,
+        },
+        8,
+    ));
+    let set = build_set(&specs);
+    for t in [40, 120] {
+        let w = WindowModel::build(&set, TaskId(0), WindowCase::Nls, Time::from_ticks(t)).unwrap();
+        let pruned = ExactEngine::default().max_total_delay(&w).unwrap();
+        let unpruned = ExactEngine::default()
+            .without_symmetry_breaking()
+            .max_total_delay(&w)
+            .unwrap();
+        assert!(pruned.exact && unpruned.exact);
+        assert_eq!(pruned.delay, unpruned.delay, "t={t}");
+        assert!(
+            pruned.nodes < unpruned.nodes,
+            "t={t}: symmetry breaking explored {} nodes vs {} unpruned — \
+             the pruning did nothing on a fully symmetric window",
+            pruned.nodes,
+            unpruned.nodes
+        );
+    }
+}
+
+/// The parallel branch-and-bound is deterministic: the bound is
+/// byte-identical for 1, 2, and 4 workers (the shared incumbent only
+/// ever holds values achieved by some placement, so worker interleaving
+/// cannot change the maximum).
+#[test]
+fn parallel_bnb_bounds_are_identical_across_worker_counts() {
+    use pmcs_core::bnb::{solve_window, BnbConfig};
+    let specs = vec![
+        RandTask {
+            exec: 12,
+            copy_in: 4,
+            copy_out: 6,
+            period: 60,
+            ls: true,
+        },
+        RandTask {
+            exec: 25,
+            copy_in: 9,
+            copy_out: 2,
+            period: 90,
+            ls: false,
+        },
+        RandTask {
+            exec: 7,
+            copy_in: 1,
+            copy_out: 10,
+            period: 45,
+            ls: true,
+        },
+        RandTask {
+            exec: 7,
+            copy_in: 1,
+            copy_out: 10,
+            period: 45,
+            ls: true,
+        },
+    ];
+    let set = build_set(&specs);
+    for under in 0..4u32 {
+        for t in [30, 80] {
+            for case in [WindowCase::Nls, WindowCase::LsCaseA] {
+                let w = WindowModel::build(&set, TaskId(under), case, Time::from_ticks(t)).unwrap();
+                let values: Vec<Option<i64>> = [1usize, 2, 4]
+                    .iter()
+                    .map(|&jobs| {
+                        solve_window(
+                            &w,
+                            &BnbConfig {
+                                jobs,
+                                ..BnbConfig::default()
+                            },
+                        )
+                        .map(|run| run.value)
+                    })
+                    .collect();
+                assert_eq!(values[0], values[1], "jobs=2 diverged for {w:?}");
+                assert_eq!(values[0], values[2], "jobs=4 diverged for {w:?}");
+                // And the bound itself matches the DP optimum.
+                let dp = ExactEngine::default().max_total_delay(&w).unwrap();
+                assert!(dp.exact);
+                assert_eq!(values[0], Some(dp.delay.as_ticks()), "B&B != DP for {w:?}");
+            }
         }
     }
 }

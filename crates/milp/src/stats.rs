@@ -39,6 +39,11 @@ pub struct SolverStats {
     pub presolve_rows_removed: u64,
     /// Variable bounds tightened by presolve.
     pub presolve_bounds_tightened: u64,
+    /// Exact-DP solves that exhausted a search budget (memo entries,
+    /// nodes, or the a-priori state-count gate) and degraded to the safe
+    /// closed-form fallback cap. Zero for the MILP engines; a nonzero
+    /// count means some window bounds are conservative, not exact.
+    pub dp_fallbacks: u64,
 }
 
 impl SolverStats {
@@ -52,6 +57,7 @@ impl SolverStats {
         self.presolve_vars_fixed += other.presolve_vars_fixed;
         self.presolve_rows_removed += other.presolve_rows_removed;
         self.presolve_bounds_tightened += other.presolve_bounds_tightened;
+        self.dp_fallbacks += other.dp_fallbacks;
     }
 
     /// The work performed between an `earlier` cumulative snapshot and
@@ -74,6 +80,7 @@ impl SolverStats {
             presolve_bounds_tightened: self
                 .presolve_bounds_tightened
                 .saturating_sub(earlier.presolve_bounds_tightened),
+            dp_fallbacks: self.dp_fallbacks.saturating_sub(earlier.dp_fallbacks),
         }
     }
 
@@ -98,7 +105,7 @@ impl fmt::Display for SolverStats {
         write!(
             f,
             "{} nodes, {} LP solves, {} pivots, warm {}/{} ({:.0}%), \
-             presolve −{} vars −{} rows {} bounds",
+             presolve −{} vars −{} rows {} bounds, {} DP fallbacks",
             self.bb_nodes,
             self.lp_solves,
             self.lp_pivots,
@@ -108,6 +115,7 @@ impl fmt::Display for SolverStats {
             self.presolve_vars_fixed,
             self.presolve_rows_removed,
             self.presolve_bounds_tightened,
+            self.dp_fallbacks,
         )
     }
 }
@@ -127,11 +135,13 @@ mod tests {
             presolve_vars_fixed: 5,
             presolve_rows_removed: 6,
             presolve_bounds_tightened: 7,
+            dp_fallbacks: 8,
         };
         a.merge(a);
         assert_eq!(a.bb_nodes, 2);
         assert_eq!(a.lp_pivots, 6);
         assert_eq!(a.presolve_bounds_tightened, 14);
+        assert_eq!(a.dp_fallbacks, 16);
         assert!((a.warm_hit_rate() - 0.5).abs() < 1e-12);
     }
 

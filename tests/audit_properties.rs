@@ -111,6 +111,37 @@ proptest! {
             prop_assert!(!report.has_errors(), "{:?}", report.diagnostics());
         }
     }
+
+    /// With the per-slot big-M caps derived from the window data
+    /// (`SlotCaps`), the delay-linking rows of real window formulations
+    /// are tight enough that the loose-big-M lint (`A007`) stays quiet —
+    /// the regression guard for the C13a/C13b tightening.
+    #[test]
+    fn real_window_formulations_keep_a007_quiet(
+        seed in 0u64..24,
+        n_idx in 0usize..3,
+    ) {
+        let n = [4usize, 6, 8][n_idx];
+        let mut generator = TaskSetGenerator::new(
+            TaskSetConfig { n, utilization: 0.35, gamma: 0.3, beta: 0.4,
+                            ..TaskSetConfig::default() },
+            seed,
+        );
+        let set = generator.generate();
+        let engine = MilpEngine::new();
+        for task in set.iter() {
+            let case = pmcs::core::window::case_for(task.sensitivity());
+            let w = pmcs::core::WindowModel::build(&set, task.id(), case, task.deadline())
+                .expect("task id is in the set");
+            let report = lint(&engine.build_problem(&w));
+            let loose: Vec<_> = report
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code == LintCode::LooseBigM)
+                .collect();
+            prop_assert!(loose.is_empty(), "A007 fired on a real window: {loose:?}");
+        }
+    }
 }
 
 // --- corrupted traces map to the right rule -----------------------------
