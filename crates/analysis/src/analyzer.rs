@@ -1,6 +1,8 @@
 //! The [`Analyzer`] trait and the per-worker [`AnalysisContext`].
 
-use pmcs_core::{CacheStats, SolverStats};
+use std::sync::Arc;
+
+use pmcs_core::{CacheStats, SharedDelayCache, SolverStats};
 use pmcs_model::TaskSet;
 
 use crate::config::AnalysisConfig;
@@ -28,6 +30,21 @@ impl AnalysisContext {
         AnalysisContext {
             cfg: cfg.clone(),
             engine: EngineStack::build(cfg),
+        }
+    }
+
+    /// Builds a context whose cache layer shares `cache` with every
+    /// other context built from the same `Arc` (see
+    /// [`EngineStack::build_with_cache`]). Parallel drivers create one
+    /// process-wide [`SharedDelayCache`] and hand a clone of the `Arc`
+    /// to each worker's context, so a window solved by any worker is a
+    /// hit for all. [`cache_stats`](AnalysisContext::cache_stats) still
+    /// reports only *this* context's lookups, so merging per-worker
+    /// stats never double-counts.
+    pub fn with_shared_cache(cfg: &AnalysisConfig, cache: Arc<SharedDelayCache>) -> Self {
+        AnalysisContext {
+            cfg: cfg.clone(),
+            engine: EngineStack::build_with_cache(cfg, cache),
         }
     }
 

@@ -18,12 +18,13 @@
 //! enum dispatch and a new layer is one `impl` away.
 
 use std::fmt;
+use std::sync::Arc;
 
 use pmcs_core::bnb::BnbConfig;
 use pmcs_core::wcrt::DelayBound;
 use pmcs_core::{
     BackendKind, CacheStats, CachedEngine, CoreError, DelayEngine, ExactEngine, MilpEngine,
-    SolverStats, WindowModel,
+    SharedCachedEngine, SharedDelayCache, SolverStats, WindowModel,
 };
 
 use crate::config::AnalysisConfig;
@@ -65,6 +66,37 @@ impl<E: StackEngine> StackEngine for CachedEngine<E> {
 
     fn solver_stats(&self) -> SolverStats {
         self.inner().solver_stats()
+    }
+}
+
+impl<E: StackEngine> StackEngine for SharedCachedEngine<E> {
+    /// Local counters only (this stack's lookups into the shared cache),
+    /// so per-worker merging never double-counts — see
+    /// [`SharedDelayCache::stats`] for the global view.
+    fn cache_stats(&self) -> CacheStats {
+        let mut stats = self.stats();
+        stats.merge(self.inner().cache_stats());
+        stats
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        self.inner().solver_stats()
+    }
+}
+
+impl DelayEngine for Box<dyn StackEngine> {
+    fn max_total_delay(&self, w: &WindowModel) -> Result<DelayBound, CoreError> {
+        (**self).max_total_delay(w)
+    }
+}
+
+impl StackEngine for Box<dyn StackEngine> {
+    fn cache_stats(&self) -> CacheStats {
+        (**self).cache_stats()
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        (**self).solver_stats()
     }
 }
 
@@ -168,86 +200,94 @@ pub struct EngineStack {
 }
 
 impl EngineStack {
-    /// Assembles the stack described by `cfg`.
+    /// Assembles the stack described by `cfg` with a private (per-stack)
+    /// window cache when `cfg.cache` is on.
     ///
     /// `cfg.lp_backend` picks the base: `None` keeps the exact
     /// combinatorial engine, `Some(kind)` substitutes the MILP engine on
     /// that LP backend (with the revised backend this is the incremental
     /// presolve-once / warm-start pipeline).
     pub fn build(cfg: &AnalysisConfig) -> Self {
-        let (engine, layers): (Box<dyn StackEngine>, &'static str) = match cfg.lp_backend {
-            None => {
-                let mut base = ExactEngine::with_max_states(cfg.max_states);
-                // Branch-and-bound rescues are exact but carry no
-                // replayable DP table, so certificate runs force the
-                // rescue off and keep the certifiable fallback cap.
-                let bnb = cfg.bnb_jobs > 0 && !cfg.emit_certs;
-                if bnb {
-                    base = base.with_branch_and_bound(BnbConfig {
-                        jobs: cfg.bnb_jobs,
-                        lp_depth: cfg.bnb_lp_depth,
-                        ..BnbConfig::default()
-                    });
+        Self::assemble(cfg, None)
+    }
+
+    /// Like [`build`](EngineStack::build), but the window-cache layer
+    /// (when `cfg.cache` is on) reads and writes `shared` instead of a
+    /// private map, so every stack handed the same `Arc` — bench workers,
+    /// server threads — shares one warm cache. Bounds are
+    /// content-addressed, so results are identical either way; only
+    /// hit/miss telemetry depends on who solved a window first. With
+    /// `cfg.cache` off the `Arc` is ignored.
+    pub fn build_with_cache(cfg: &AnalysisConfig, shared: Arc<SharedDelayCache>) -> Self {
+        Self::assemble(cfg, Some(shared))
+    }
+
+    fn assemble(cfg: &AnalysisConfig, shared: Option<Arc<SharedDelayCache>>) -> Self {
+        // The audited (but uncached) pile plus its layer names with and
+        // without the cache wrapper; the cache layer itself is decided
+        // once, below, so private and shared caching cannot drift.
+        let (inner, plain, cached): (Box<dyn StackEngine>, &'static str, &'static str) =
+            match cfg.lp_backend {
+                None => {
+                    let mut base = ExactEngine::with_max_states(cfg.max_states);
+                    // Branch-and-bound rescues are exact but carry no
+                    // replayable DP table, so certificate runs force the
+                    // rescue off and keep the certifiable fallback cap.
+                    let bnb = cfg.bnb_jobs > 0 && !cfg.emit_certs;
+                    if bnb {
+                        base = base.with_branch_and_bound(BnbConfig {
+                            jobs: cfg.bnb_jobs,
+                            lp_depth: cfg.bnb_lp_depth,
+                            ..BnbConfig::default()
+                        });
+                    }
+                    match (cfg.audit, bnb) {
+                        (false, false) => (Box::new(base) as _, "exact", "cached(exact)"),
+                        (false, true) => (Box::new(base) as _, "exact+bnb", "cached(exact+bnb)"),
+                        (true, false) => (
+                            Box::new(AuditedEngine::new(base)) as _,
+                            "audited(exact)",
+                            "cached(audited(exact))",
+                        ),
+                        (true, true) => (
+                            Box::new(AuditedEngine::new(base)) as _,
+                            "audited(exact+bnb)",
+                            "cached(audited(exact+bnb))",
+                        ),
+                    }
                 }
-                match (cfg.cache, cfg.audit, bnb) {
-                    (false, false, false) => (Box::new(base) as _, "exact"),
-                    (false, false, true) => (Box::new(base) as _, "exact+bnb"),
-                    (false, true, false) => {
-                        (Box::new(AuditedEngine::new(base)) as _, "audited(exact)")
+                Some(kind) => {
+                    let mut base = MilpEngine::new()
+                        .with_backend(kind)
+                        .with_bin_budget(Some(MILP_BASE_BIN_BUDGET));
+                    base.limits.max_nodes = MILP_BASE_MAX_NODES;
+                    match (cfg.audit, kind) {
+                        (false, BackendKind::Dense) => {
+                            (Box::new(base) as _, "milp:dense", "cached(milp:dense)")
+                        }
+                        (false, BackendKind::Revised) => {
+                            (Box::new(base) as _, "milp:revised", "cached(milp:revised)")
+                        }
+                        (true, BackendKind::Dense) => (
+                            Box::new(AuditedEngine::new(base)) as _,
+                            "audited(milp:dense)",
+                            "cached(audited(milp:dense))",
+                        ),
+                        (true, BackendKind::Revised) => (
+                            Box::new(AuditedEngine::new(base)) as _,
+                            "audited(milp:revised)",
+                            "cached(audited(milp:revised))",
+                        ),
                     }
-                    (false, true, true) => (
-                        Box::new(AuditedEngine::new(base)) as _,
-                        "audited(exact+bnb)",
-                    ),
-                    (true, false, false) => {
-                        (Box::new(CachedEngine::new(base)) as _, "cached(exact)")
-                    }
-                    (true, false, true) => {
-                        (Box::new(CachedEngine::new(base)) as _, "cached(exact+bnb)")
-                    }
-                    (true, true, false) => (
-                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
-                        "cached(audited(exact))",
-                    ),
-                    (true, true, true) => (
-                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
-                        "cached(audited(exact+bnb))",
-                    ),
                 }
-            }
-            Some(kind) => {
-                let mut base = MilpEngine::new()
-                    .with_backend(kind)
-                    .with_bin_budget(Some(MILP_BASE_BIN_BUDGET));
-                base.limits.max_nodes = MILP_BASE_MAX_NODES;
-                match (cfg.cache, cfg.audit, kind) {
-                    (false, false, BackendKind::Dense) => (Box::new(base) as _, "milp:dense"),
-                    (false, false, BackendKind::Revised) => (Box::new(base) as _, "milp:revised"),
-                    (false, true, BackendKind::Dense) => (
-                        Box::new(AuditedEngine::new(base)) as _,
-                        "audited(milp:dense)",
-                    ),
-                    (false, true, BackendKind::Revised) => (
-                        Box::new(AuditedEngine::new(base)) as _,
-                        "audited(milp:revised)",
-                    ),
-                    (true, false, BackendKind::Dense) => {
-                        (Box::new(CachedEngine::new(base)) as _, "cached(milp:dense)")
-                    }
-                    (true, false, BackendKind::Revised) => (
-                        Box::new(CachedEngine::new(base)) as _,
-                        "cached(milp:revised)",
-                    ),
-                    (true, true, BackendKind::Dense) => (
-                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
-                        "cached(audited(milp:dense))",
-                    ),
-                    (true, true, BackendKind::Revised) => (
-                        Box::new(CachedEngine::new(AuditedEngine::new(base))) as _,
-                        "cached(audited(milp:revised))",
-                    ),
-                }
-            }
+            };
+        let (engine, layers): (Box<dyn StackEngine>, &'static str) = match (cfg.cache, shared) {
+            (false, _) => (inner, plain),
+            (true, None) => (Box::new(CachedEngine::new(inner)) as _, cached),
+            (true, Some(shared)) => (
+                Box::new(SharedCachedEngine::new(inner, shared)) as _,
+                cached,
+            ),
         };
         EngineStack { engine, layers }
     }

@@ -22,7 +22,12 @@
 //!   and print (or write) the proof bundle as JSON, optionally applying
 //!   one targeted corruption for negative testing;
 //! * `cert check` — validate a certificate bundle file with the
-//!   independent `pmcs-cert` checker; any rejection exits nonzero.
+//!   independent `pmcs-cert` checker; any rejection exits nonzero;
+//! * `serve-replay` — re-derive every response in a `pmcs-serve` bench
+//!   log from scratch with the batch analyzer and refute any recorded
+//!   response that differs byte-for-byte (the admission-control analogue
+//!   of `cert check`: the replay shares no session, verdict-cache, or
+//!   shared-cache machinery with the server it audits).
 //!
 //! Engines are built through the `pmcs-analysis` facade: the typed
 //! [`AnalysisConfig`] is resolved once here at the CLI edge (so
@@ -71,6 +76,9 @@ COMMANDS:
     cert check <FILE>
              validate a certificate bundle with the independent
              pmcs-cert checker; rejections exit nonzero
+    serve-replay <FILE>
+             replay a pmcs-serve request/response log against the
+             from-scratch batch analyzer; refutations exit nonzero
 
 OPTIONS:
     --seed <N>       RNG seed for workload generation      [default: 42]
@@ -180,7 +188,7 @@ fn main() -> ExitCode {
     // are honored here and nowhere deeper in the stack.
     let cfg = AnalysisConfig::resolve(&cli);
 
-    if command.as_deref() != Some("cert") && positionals.len() > 1 {
+    if !matches!(command.as_deref(), Some("cert") | Some("serve-replay")) && positionals.len() > 1 {
         eprintln!("error: unexpected argument {:?}\n\n{USAGE}", positionals[1]);
         return ExitCode::FAILURE;
     }
@@ -192,6 +200,13 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&opts, &cfg),
         Some("simulate") => cmd_simulate(&opts, &cfg),
         Some("cert") => cmd_cert(&opts, &positionals[1..]),
+        Some("serve-replay") => match positionals.get(1) {
+            Some(path) => cmd_serve_replay(path),
+            None => {
+                eprintln!("error: serve-replay requires a log file\n\n{USAGE}");
+                ExitCode::FAILURE
+            }
+        },
         Some(other) => {
             eprintln!("error: unknown command {other:?}\n\n{USAGE}");
             ExitCode::FAILURE
@@ -772,6 +787,36 @@ fn cmd_cert_check(path: &str) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         println!("bundle REJECTED");
+        ExitCode::FAILURE
+    }
+}
+
+// --- serve-replay -------------------------------------------------------
+
+fn cmd_serve_replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = pmcs_serve::replay_log(&text);
+    println!(
+        "{path}: {} line(s), {} response(s) checked, {} skipped, {} refutation(s)",
+        outcome.lines,
+        outcome.checked,
+        outcome.skipped,
+        outcome.refutations.len(),
+    );
+    for r in &outcome.refutations {
+        println!("  {r}");
+    }
+    if outcome.ok() {
+        println!("log ACCEPTED: every checked response matches the batch analyzer");
+        ExitCode::SUCCESS
+    } else {
+        println!("log REFUTED");
         ExitCode::FAILURE
     }
 }

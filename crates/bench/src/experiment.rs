@@ -29,13 +29,14 @@
 //! [`SweepOutcome::refutations`], ordered by `(point, set, approach,
 //! plan)` — byte-identical for every thread count.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use pmcs_analysis::{
     cross_validate_report, AnalysisConfig, AnalysisContext, AnalysisError, ApproachReport,
     Registry, SimCounters,
 };
-use pmcs_core::{CacheStats, SolverStats};
+use pmcs_core::{CacheStats, SharedDelayCache, SolverStats};
 use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
 
 use crate::parallel::parallel_map_with;
@@ -242,10 +243,16 @@ pub fn sweep_with(
         .flat_map(|pi| (0..sets_per_point).map(move |si| (pi, si)))
         .collect();
     let started = Instant::now();
+    // One process-wide window cache for the whole sweep: every worker's
+    // stack shares it, so a window solved on any thread is a hit for all.
+    // Rows cannot change — bounds are content-addressed — and each
+    // context reports only its own lookups, so the merge below counts
+    // every lookup exactly once.
+    let shared_cache = Arc::new(SharedDelayCache::default());
     let (evaluated, contexts) = parallel_map_with(
         &items,
         cfg.jobs,
-        || AnalysisContext::new(cfg),
+        || AnalysisContext::with_shared_cache(cfg, Arc::clone(&shared_cache)),
         |ctx, _, &(pi, si)| {
             let t0 = Instant::now();
             let seed = derive_seed(base_seed, pi as u64, si as u64);

@@ -122,6 +122,14 @@ impl PerfRecord {
             "  \"cache_hit_rate\": {},",
             json_num(self.cache.hit_rate())
         );
+        // The workers of one run share a single SharedDelayCache, so the
+        // merged per-worker counters are the shared-cache view.
+        let _ = writeln!(
+            o,
+            "  \"shared_cache_hit_rate\": {},",
+            json_num(self.cache.hit_rate())
+        );
+        let _ = writeln!(o, "  \"shared_cache_evictions\": {},", self.cache.evictions);
         for (k, v) in &self.extras {
             let _ = writeln!(o, "  {}: {},", json_str(k), v);
         }
@@ -206,6 +214,7 @@ mod tests {
         r.cache = CacheStats {
             hits: 30,
             misses: 10,
+            evictions: 2,
         };
         r.extra_num("speedup", 3.2);
         r.extra_str("note", "a \"quoted\"\nline");
@@ -223,6 +232,8 @@ mod tests {
         assert!(j.contains("\"jobs\": 4"));
         assert!(j.contains("\"cache_hits\": 30"));
         assert!(j.contains("\"cache_hit_rate\": 0.75"));
+        assert!(j.contains("\"shared_cache_hit_rate\": 0.75"));
+        assert!(j.contains("\"shared_cache_evictions\": 2"));
         assert!(j.contains("\"speedup\": 3.2"));
         assert!(j.contains("\\\"quoted\\\"\\nline"));
         assert!(j.contains("{\"label\": \"fig2a\", \"secs\": 0.25},"));

@@ -43,9 +43,12 @@
 //!
 //! [`promotion_affects`]: crate::schedulability::promotion_affects
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 use pmcs_model::Time;
 
@@ -144,13 +147,15 @@ impl WindowKey {
     }
 }
 
-/// Hit/miss counters of a [`DelayCache`].
+/// Hit/miss/eviction counters of a [`DelayCache`] or [`SharedDelayCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that fell through to the inner engine.
     pub misses: u64,
+    /// Entries dropped to honor the entry budget.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -164,10 +169,16 @@ impl CacheStats {
         }
     }
 
-    /// Accumulates another counter pair into this one.
+    /// Accumulates another counter set into this one.
+    ///
+    /// Aggregation rule for sharded and multi-worker setups: merge either
+    /// the per-shard counters *or* the per-engine local counters, never
+    /// both — each lookup is counted exactly once on each side, so mixing
+    /// the two double-counts.
     pub fn merge(&mut self, other: CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.evictions += other.evictions;
     }
 }
 
@@ -229,6 +240,7 @@ impl DelayCache {
     /// Stores a bound, clearing the map first if the budget is exhausted.
     pub fn insert(&mut self, key: WindowKey, bound: DelayBound) {
         if self.map.len() >= self.max_entries {
+            self.stats.evictions += self.map.len() as u64;
             self.map.clear();
         }
         self.map.insert(key, bound);
@@ -334,6 +346,244 @@ impl<E: DelayEngine> DelayEngine for CachedEngine<E> {
         }
         let bound = self.inner.max_total_delay(window)?;
         self.cache.borrow_mut().insert(key, bound);
+        Ok(bound)
+    }
+}
+
+/// One memoized bound plus the access stamp driving LRU eviction.
+#[derive(Debug, Clone, Copy)]
+struct ShardEntry {
+    bound: DelayBound,
+    stamp: u64,
+}
+
+/// One mutex-guarded shard of a [`SharedDelayCache`].
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<WindowKey, ShardEntry>,
+    stats: CacheStats,
+    /// Monotonic per-shard access counter; every lookup or insert stamps
+    /// the touched entry, so stamps order entries by recency.
+    tick: u64,
+    max_entries: usize,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Drops the least-recently-used half of the shard and returns how
+    /// many entries were evicted. Stamps are unique within a shard, so
+    /// the median stamp splits the map deterministically.
+    fn evict_lru_half(&mut self) -> u64 {
+        let before = self.map.len();
+        if before == 0 {
+            return 0;
+        }
+        let mut stamps: Vec<u64> = self.map.values().map(|e| e.stamp).collect();
+        let mid = stamps.len() / 2;
+        let (_, cutoff, _) = stamps.select_nth_unstable(mid);
+        let cutoff = *cutoff;
+        self.map.retain(|_, e| e.stamp >= cutoff);
+        let evicted = (before - self.map.len()) as u64;
+        self.stats.evictions += evicted;
+        evicted
+    }
+}
+
+/// Process-wide window-bound cache shared across threads.
+///
+/// The map is split into N mutex-guarded shards; a lookup hashes the
+/// [`WindowKey`], locks only the owning shard, and never blocks traffic
+/// to other shards. Unlike [`DelayCache`]'s wholesale clear, each shard
+/// evicts its least-recently-used *half* when its entry budget is
+/// exceeded, so a long-running server keeps its hottest window shapes
+/// warm indefinitely.
+///
+/// Sharing is sound for the same reason per-worker caching is: keys are
+/// content-addressed, so a bound stored by one thread is exactly the
+/// bound any other thread would have computed. Only telemetry (hit
+/// counts, eviction counts) depends on interleaving — analysis rows do
+/// not.
+///
+/// Two views of the counters exist and must not be mixed (see
+/// [`CacheStats::merge`]): [`SharedDelayCache::stats`] aggregates the
+/// authoritative per-shard counters, while each
+/// [`SharedCachedEngine`] keeps a private local tally of its own
+/// lookups for double-count-free per-worker merging.
+#[derive(Debug)]
+pub struct SharedDelayCache {
+    shards: Vec<Mutex<Shard>>,
+}
+
+/// Default shard count of a [`SharedDelayCache`].
+pub const DEFAULT_SHARDS: usize = 16;
+
+impl Default for SharedDelayCache {
+    fn default() -> Self {
+        SharedDelayCache::with_config(DEFAULT_SHARDS, 1 << 20)
+    }
+}
+
+impl SharedDelayCache {
+    /// Creates a cache with `shards` shards holding at most
+    /// `max_entries` entries in total (split evenly across shards; both
+    /// arguments are clamped to at least 1).
+    pub fn with_config(shards: usize, max_entries: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = (max_entries / shards).max(1);
+        SharedDelayCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        max_entries: per_shard,
+                        ..Shard::default()
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &WindowKey) -> &Mutex<Shard> {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let idx = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[idx]
+    }
+
+    fn lock(shard: &Mutex<Shard>) -> std::sync::MutexGuard<'_, Shard> {
+        // A poisoned shard only means another thread panicked mid-update
+        // of a HashMap insert; the map itself is still coherent.
+        shard.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up a window, counting the outcome on the owning shard and
+    /// refreshing the entry's recency stamp.
+    pub fn lookup(&self, key: &WindowKey) -> Option<DelayBound> {
+        let mut shard = Self::lock(self.shard_of(key));
+        let stamp = shard.touch();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let bound = entry.bound;
+                shard.stats.hits += 1;
+                Some(bound)
+            }
+            None => {
+                shard.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a bound, evicting the owning shard's LRU half first if its
+    /// entry budget is exhausted. Returns the number of evicted entries.
+    pub fn insert(&self, key: WindowKey, bound: DelayBound) -> u64 {
+        let mut shard = Self::lock(self.shard_of(&key));
+        let evicted = if shard.map.len() >= shard.max_entries {
+            shard.evict_lru_half()
+        } else {
+            0
+        };
+        let stamp = shard.touch();
+        shard.map.insert(key, ShardEntry { bound, stamp });
+        evicted
+    }
+
+    /// Aggregated counters across all shards.
+    ///
+    /// Each lookup and eviction is recorded on exactly one shard, so the
+    /// per-shard sum is exact even under concurrent access — no lookup
+    /// is counted twice and none is lost.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(Self::lock(shard).stats);
+        }
+        total
+    }
+
+    /// Number of memoized windows across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| Self::lock(s).map.len()).sum()
+    }
+
+    /// `true` iff no window is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Drops all entries in all shards (counters are kept; the drop is
+    /// not counted as an eviction).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            Self::lock(shard).map.clear();
+        }
+    }
+}
+
+/// A [`DelayEngine`] adapter memoizing bounds in a [`SharedDelayCache`].
+///
+/// The cloneable successor of [`CachedEngine`] for multi-threaded
+/// drivers: every worker wraps its own inner engine around one shared
+/// `Arc<SharedDelayCache>`, so a window solved by any worker is a hit
+/// for all of them. Each adapter additionally keeps *local* hit/miss/
+/// eviction counters (its own lookups only); parallel drivers merge
+/// those per-worker locals, which sums to exactly the shared cache's
+/// own [`SharedDelayCache::stats`] — counting each lookup once.
+#[derive(Debug)]
+pub struct SharedCachedEngine<E> {
+    inner: E,
+    cache: Arc<SharedDelayCache>,
+    local: Cell<CacheStats>,
+}
+
+impl<E> SharedCachedEngine<E> {
+    /// Wraps an engine around an existing shared cache.
+    pub fn new(inner: E, cache: Arc<SharedDelayCache>) -> Self {
+        SharedCachedEngine {
+            inner,
+            cache,
+            local: Cell::new(CacheStats::default()),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The shared cache this adapter reads and writes.
+    pub fn shared(&self) -> &Arc<SharedDelayCache> {
+        &self.cache
+    }
+
+    /// This adapter's local counters (only lookups made through it).
+    pub fn stats(&self) -> CacheStats {
+        self.local.get()
+    }
+}
+
+impl<E: DelayEngine> DelayEngine for SharedCachedEngine<E> {
+    fn max_total_delay(&self, window: &WindowModel) -> Result<DelayBound, CoreError> {
+        let key = WindowKey::of(window);
+        let mut local = self.local.get();
+        if let Some(bound) = self.cache.lookup(&key) {
+            local.hits += 1;
+            self.local.set(local);
+            return Ok(bound);
+        }
+        let bound = self.inner.max_total_delay(window)?;
+        local.misses += 1;
+        local.evictions += self.cache.insert(key, bound);
+        self.local.set(local);
         Ok(bound)
     }
 }
@@ -461,10 +711,122 @@ mod tests {
 
     #[test]
     fn stats_merge_and_display() {
-        let mut a = CacheStats { hits: 3, misses: 1 };
-        a.merge(CacheStats { hits: 1, misses: 3 });
-        assert_eq!(a, CacheStats { hits: 4, misses: 4 });
+        let mut a = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 2,
+        };
+        a.merge(CacheStats {
+            hits: 1,
+            misses: 3,
+            evictions: 1,
+        });
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 4,
+                misses: 4,
+                evictions: 3,
+            }
+        );
         assert!(a.to_string().contains("50.0%"));
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shared_cache_hits_and_agrees() {
+        let set = set3();
+        let w = window(&set, 2, WindowCase::Nls, 150);
+        let plain = ExactEngine::default();
+        let shared = Arc::new(SharedDelayCache::default());
+        let a = SharedCachedEngine::new(ExactEngine::default(), Arc::clone(&shared));
+        let b = SharedCachedEngine::new(ExactEngine::default(), Arc::clone(&shared));
+        let reference = plain.max_total_delay(&w).expect("engine result");
+        let first = a.max_total_delay(&w).expect("engine result");
+        // The second adapter hits the entry stored by the first.
+        let second = b.max_total_delay(&w).expect("engine result");
+        assert_eq!(first.delay, reference.delay);
+        assert_eq!(second.delay, reference.delay);
+        assert_eq!(a.stats().misses, 1);
+        assert_eq!(b.stats().hits, 1);
+        // Per-engine locals sum to the shard-side aggregate.
+        let mut merged = a.stats();
+        merged.merge(b.stats());
+        assert_eq!(merged, shared.stats());
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn shared_cache_evicts_lru_half_per_shard() {
+        // One shard with room for 4 entries: the 5th insert evicts the
+        // two least-recently-used entries.
+        let cache = SharedDelayCache::with_config(1, 4);
+        let set = set3();
+        let mk = |t: i64| WindowKey::of(&window(&set, 2, WindowCase::Nls, t));
+        let bound = DelayBound {
+            delay: Time::from_ticks(1),
+            exact: true,
+            nodes: 0,
+        };
+        // Distinct budgets (period 100/200/300) → distinct keys.
+        let keys: Vec<WindowKey> = [101, 201, 301, 401, 501].iter().map(|&t| mk(t)).collect();
+        for key in keys.iter().take(4) {
+            assert_eq!(cache.insert(key.clone(), bound), 0);
+        }
+        // Refresh key 0 so keys 1 and 2 become the LRU half.
+        assert!(cache.lookup(&keys[0]).is_some());
+        assert_eq!(cache.insert(keys[4].clone(), bound), 2);
+        assert_eq!(cache.len(), 3);
+        assert!(cache.lookup(&keys[0]).is_some(), "recently used survives");
+        assert!(cache.lookup(&keys[1]).is_none(), "LRU entry evicted");
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn shared_cache_is_coherent_across_threads() {
+        let set = set3();
+        let shared = Arc::new(SharedDelayCache::default());
+        let reference: Vec<i64> = (0..8)
+            .map(|k| {
+                let w = window(&set, 2, WindowCase::Nls, 101 + 100 * k);
+                ExactEngine::default()
+                    .max_total_delay(&w)
+                    .expect("engine result")
+                    .delay
+                    .as_ticks()
+            })
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let set = set3();
+                std::thread::spawn(move || {
+                    let engine = SharedCachedEngine::new(ExactEngine::default(), shared);
+                    let got: Vec<i64> = (0..8)
+                        .map(|k| {
+                            let w = window(&set, 2, WindowCase::Nls, 101 + 100 * k);
+                            engine
+                                .max_total_delay(&w)
+                                .expect("engine result")
+                                .delay
+                                .as_ticks()
+                        })
+                        .collect();
+                    (got, engine.stats())
+                })
+            })
+            .collect();
+        let mut merged = CacheStats::default();
+        for handle in handles {
+            let (got, stats) = handle.join().expect("worker thread");
+            assert_eq!(got, reference, "shared cache must not change bounds");
+            merged.merge(stats);
+        }
+        // Every lookup was counted exactly once on both sides.
+        assert_eq!(merged, shared.stats());
+        assert_eq!(merged.hits + merged.misses, 32);
+        // The first lookup of each distinct window misses; racing
+        // threads may add further misses on the same key.
+        assert!(merged.misses >= 8, "each distinct window misses once");
     }
 }

@@ -47,6 +47,13 @@ pub enum CoreError {
         /// Explanation.
         detail: String,
     },
+    /// An [`AnalysisSession`](crate::AnalysisSession) with a configured
+    /// task capacity rejected an admit that would exceed it. The session
+    /// state is unchanged.
+    SessionCapacity {
+        /// The configured capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -69,6 +76,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::Certification { detail } => {
                 write!(f, "certificate emission failed: {detail}")
+            }
+            CoreError::SessionCapacity { capacity } => {
+                write!(f, "session is at its task capacity ({capacity})")
             }
         }
     }

@@ -29,8 +29,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use pmcs_milp::{
-    presolve, AuditReport, AuditedOutcome, BackendKind, Basis, Cmp, Limits, LinExpr, MilpError,
-    MilpSolution, Objective, PresolveOutcome, PresolvedProblem, Problem, Solver, SolverStats, Var,
+    presolve, AuditReport, AuditedOutcome, BackendKind, BasisStore, BasisStoreStats, Cmp, Limits,
+    LinExpr, MilpError, MilpSolution, Objective, PresolveOutcome, Problem, Solver, SolverStats,
+    Var,
 };
 use pmcs_model::Time;
 
@@ -87,21 +88,16 @@ pub struct MilpEngine {
     /// construction. `None` (the default) never gates — the historical
     /// behavior for validation-sized windows.
     pub bin_budget: Option<usize>,
-    /// Presolved program reused across solves of structurally identical
-    /// windows (revised backend only).
-    program: RefCell<Option<ProgramCache>>,
+    /// Presolved programs and warm-start bases reused across solves of
+    /// structurally identical windows (revised backend only). The store
+    /// is session-scoped: it answers for the last
+    /// [`DEFAULT_STORE_ENTRIES`](pmcs_milp::basis_store::DEFAULT_STORE_ENTRIES)
+    /// distinct structures, so repeated window shapes across *queries*
+    /// reuse their presolve and basis, not just consecutive fixed-point
+    /// rounds.
+    store: RefCell<BasisStore>,
     /// Cumulative solver effort across every solve this engine performed.
     stats: Cell<SolverStats>,
-}
-
-/// Cached incremental state: one presolved window program plus the basis
-/// that re-solves of the same structure warm-start from.
-#[derive(Debug, Clone)]
-struct ProgramCache {
-    /// Hash of the problem structure (everything except budget-row RHS).
-    fingerprint: u64,
-    program: Box<PresolvedProblem>,
-    basis: Option<Basis>,
 }
 
 impl MilpEngine {
@@ -175,9 +171,11 @@ impl MilpEngine {
         }
     }
 
-    /// The incremental path: presolve once per window structure, then per
-    /// fixed-point round mutate only the budget-row RHS values and re-solve
-    /// warm-started from the previous round's root basis.
+    /// The incremental path: presolve once per window structure, then on
+    /// every re-solve of a stored structure mutate only the budget-row
+    /// RHS values and warm-start from that structure's last root basis.
+    /// The [`BasisStore`] keeps many structures, so reuse spans queries,
+    /// not just consecutive fixed-point rounds.
     fn solve_incremental(&self, problem: &Problem) -> Result<MilpSolution, CoreError> {
         let budget_rows: Vec<(usize, f64)> = problem
             .constraints()
@@ -186,12 +184,11 @@ impl MilpEngine {
             .collect();
         let fingerprint = structural_fingerprint(problem, &budget_rows);
 
-        let mut slot = self.program.borrow_mut();
-        let reuse = matches!(&*slot, Some(c) if c.fingerprint == fingerprint);
-        if reuse {
-            let cache = slot.as_mut().expect("reuse implies a cached program");
+        let mut store = self.store.borrow_mut();
+        if store.lookup(fingerprint) {
+            let entry = store.entry_mut(fingerprint).expect("hit implies entry");
             for &(row, rhs) in &budget_rows {
-                cache.program.update_rhs(row, rhs)?;
+                entry.program.update_rhs(row, rhs)?;
             }
         } else {
             let mutable: Vec<usize> = budget_rows.iter().map(|&(r, _)| r).collect();
@@ -200,19 +197,21 @@ impl MilpEngine {
                 // See `solve`: the windows are feasible by construction.
                 PresolveOutcome::Infeasible(_) => return Err(MilpError::Infeasible.into()),
             };
-            *slot = Some(ProgramCache {
-                fingerprint,
-                program,
-                basis: None,
-            });
+            store.insert(fingerprint, program);
         }
-        let cache = slot.as_mut().expect("populated above");
+        let entry = store.entry_mut(fingerprint).expect("populated above");
         let solver = Solver::with_limits(self.limits.clone()).with_backend(BackendKind::Revised);
-        let solved = solver.solve_program(&cache.program, cache.basis.as_ref())?;
+        let solved = solver.solve_program(&entry.program, entry.basis.as_ref())?;
         if solved.basis.is_some() {
-            cache.basis = solved.basis;
+            entry.basis = solved.basis;
         }
         Ok(solved.solution)
+    }
+
+    /// Presolve/basis reuse counters of the structure store (revised
+    /// backend only; all zeros otherwise).
+    pub fn basis_store_stats(&self) -> BasisStoreStats {
+        self.store.borrow().stats()
     }
 }
 

@@ -55,10 +55,13 @@ pub mod ls_search;
 pub mod partitioning;
 pub mod protocol;
 pub mod schedulability;
+pub mod session;
 pub mod wcrt;
 pub mod window;
 
-pub use cache::{CacheStats, CachedEngine, DelayCache, WindowKey};
+pub use cache::{
+    CacheStats, CachedEngine, DelayCache, SharedCachedEngine, SharedDelayCache, WindowKey,
+};
 pub use certify::{certify_task_set, certify_window_dp, certify_window_milp};
 pub use chains::{chain_latency, ChainActivation, TaskChain};
 pub use engine::bnb;
@@ -73,5 +76,6 @@ pub use schedulability::{
     analyze_task_set, analyze_task_set_traced, promotion_affects, GreedyTrace, LsAssignment,
     RoundEntry, SchedulabilityReport, TaskVerdict,
 };
+pub use session::{AnalysisSession, SessionStats};
 pub use wcrt::{DelayEngine, TaskAnalysis, TaskTrace, TraceStep, WcrtAnalyzer};
 pub use window::{WindowCase, WindowModel, WindowTask};

@@ -19,6 +19,7 @@ use std::fmt;
 use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
 
 use crate::error::CoreError;
+use crate::session::{AnalysisSession, VerdictCache, VerdictKey};
 use crate::wcrt::{DelayEngine, TaskAnalysis, WcrtAnalyzer};
 
 /// `true` iff promoting `promoted` to latency-sensitive can change the
@@ -124,9 +125,20 @@ impl SchedulabilityReport {
         &self.assignment
     }
 
-    /// Greedy rounds performed (1 = no promotion needed).
+    /// Greedy rounds performed (1 = no promotion needed; 0 = empty
+    /// session, nothing analyzed).
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// The report of an empty [`AnalysisSession`]: no verdicts, no LS
+    /// tasks, trivially schedulable, zero rounds.
+    pub(crate) fn empty() -> Self {
+        SchedulabilityReport {
+            verdicts: Vec::new(),
+            assignment: LsAssignment::default(),
+            rounds: 0,
+        }
     }
 }
 
@@ -161,6 +173,10 @@ impl fmt::Display for SchedulabilityReport {
 /// Runs the greedy LS-marking schedulability analysis of Section VI on a
 /// task set (initial markings are ignored: the algorithm starts all-NLS).
 ///
+/// This is the trivial [`AnalysisSession`] use: admit every task into a
+/// fresh session and read its report — batch and incremental analysis
+/// share one code path.
+///
 /// # Errors
 ///
 /// Propagates engine and model errors from the per-task analyses.
@@ -172,7 +188,9 @@ pub fn analyze_task_set(
     set: &TaskSet,
     engine: &impl DelayEngine,
 ) -> Result<SchedulabilityReport, CoreError> {
-    analyze_impl(set, engine, true, None)
+    let mut session = AnalysisSession::new(engine);
+    session.admit_all(set.iter().cloned())?;
+    Ok(session.into_report())
 }
 
 /// One per-task entry of a greedy round transcript.
@@ -216,7 +234,7 @@ pub fn analyze_task_set_traced(
     engine: &impl DelayEngine,
 ) -> Result<(SchedulabilityReport, GreedyTrace), CoreError> {
     let mut trace = GreedyTrace::default();
-    let report = analyze_impl(set, engine, true, Some(&mut trace))?;
+    let report = greedy_analyze(set, engine, true, Some(&mut trace), None)?;
     Ok((report, trace))
 }
 
@@ -230,14 +248,26 @@ pub fn analyze_task_set_no_reuse(
     set: &TaskSet,
     engine: &impl DelayEngine,
 ) -> Result<SchedulabilityReport, CoreError> {
-    analyze_impl(set, engine, false, None)
+    greedy_analyze(set, engine, false, None, None)
 }
 
-fn analyze_impl(
+/// The greedy LS-marking loop shared by every analysis entry point:
+/// batch ([`analyze_task_set`]), traced ([`analyze_task_set_traced`]),
+/// the no-reuse oracle, and incremental
+/// [`AnalysisSession`](crate::AnalysisSession) operations.
+///
+/// `verdicts`, when present, is a session-lifetime content-addressed
+/// cache of per-task analyses: each fixed point is looked up under its
+/// [`VerdictKey`] before running and stored after. This is orthogonal to
+/// the *round-level* `carried` reuse (which survives provably inert
+/// promotions within one call) — the cache additionally survives across
+/// calls, i.e. across session operations.
+pub(crate) fn greedy_analyze(
     set: &TaskSet,
     engine: &impl DelayEngine,
     reuse: bool,
     mut trace: Option<&mut GreedyTrace>,
+    mut verdict_cache: Option<&mut VerdictCache>,
 ) -> Result<SchedulabilityReport, CoreError> {
     let analyzer = WcrtAnalyzer::default();
     let mut current = set.all_nls();
@@ -260,7 +290,20 @@ fn analyze_impl(
             let analysis = match carried[idx].as_ref() {
                 Some(a) => a.clone(),
                 None => {
-                    let a = analyzer.analyze_task(&current, task.id(), engine)?;
+                    let a = match verdict_cache.as_deref_mut() {
+                        Some(cache) => {
+                            let key = VerdictKey::of(&current, task.id());
+                            match cache.get(&key, task.id()) {
+                                Some(hit) => hit,
+                                None => {
+                                    let a = analyzer.analyze_task(&current, task.id(), engine)?;
+                                    cache.insert(key, a.clone());
+                                    a
+                                }
+                            }
+                        }
+                        None => analyzer.analyze_task(&current, task.id(), engine)?,
+                    };
                     carried[idx] = Some(a.clone());
                     a
                 }

@@ -38,6 +38,12 @@ pub trait DelayEngine {
     fn max_total_delay(&self, window: &WindowModel) -> Result<DelayBound, CoreError>;
 }
 
+impl<E: DelayEngine + ?Sized> DelayEngine for &E {
+    fn max_total_delay(&self, window: &WindowModel) -> Result<DelayBound, CoreError> {
+        (**self).max_total_delay(window)
+    }
+}
+
 /// Per-task analysis outcome.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskAnalysis {

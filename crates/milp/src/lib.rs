@@ -61,6 +61,7 @@
 
 pub mod audit;
 pub mod backend;
+pub mod basis_store;
 pub mod branch;
 pub mod certify;
 pub mod error;
@@ -82,6 +83,7 @@ pub use backend::{
     backend_for, BackendKind, Basis, BasisStatus, DenseBackend, LpBackend, LpRun, RevisedBackend,
     WarmStart,
 };
+pub use basis_store::{BasisStore, BasisStoreStats, StoredProgram};
 pub use branch::{BbRun, BranchAndBound, BranchRule, Limits, NodeOrder, Strategy};
 pub use certify::{certify_upper_bound, CertifyLimits};
 pub use error::MilpError;

@@ -1,0 +1,35 @@
+//! # pmcs-serve
+//!
+//! Schedulability-as-a-service: a dependency-free NDJSON-over-TCP daemon
+//! wrapping [`pmcs_core::AnalysisSession`]. Clients `admit`, `remove`,
+//! `update` and `query` tasks over a plain socket; each connection holds
+//! its own incremental sessions while every session in the process shares
+//! one sharded [`pmcs_core::SharedDelayCache`], so a window bound solved
+//! for one client is a cache hit for all of them.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * [`proto`] — the wire codec: request/response JSON in the certificate
+//!   dialect, stable machine-readable error codes ([`ERROR_CODES`]),
+//!   request batching via JSON arrays;
+//! * [`server`] — the listener/worker-pool daemon ([`spawn`]); protocol
+//!   errors never drop a connection, a `shutdown` op drains it cleanly;
+//! * [`replay`] / [`bench`] — verification and measurement: the bench
+//!   replays a seeded workload from concurrent clients and checks every
+//!   response against the from-scratch batch analyzer; the same check
+//!   runs offline over a recorded log via [`replay_log`] (exposed as
+//!   `pmcs-audit serve-replay`).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod bench;
+pub mod proto;
+pub mod replay;
+pub mod server;
+
+pub use bench::{run as run_bench, BenchConfig, BenchOutcome};
+pub use proto::{decode_request, encode_request, Request, WireError, ERROR_CODES};
+pub use replay::{replay_log, ReplayOutcome};
+pub use server::{spawn, Server, ServerConfig};

@@ -1,0 +1,302 @@
+//! End-to-end protocol tests over real loopback sockets: every stable
+//! error code is reachable, protocol errors never drop the connection,
+//! batching is entry-wise, sessions are connection-private, and server
+//! responses are byte-identical to the from-scratch batch analyzer.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use pmcs_cert::json::{parse_value, write_value, Value};
+use pmcs_core::{analyze_task_set, ExactEngine};
+use pmcs_model::{Priority, Task, TaskId, TaskSet, Time};
+use pmcs_serve::proto::{
+    encode_report, obj_get, E_BAD_FIELD, E_DUPLICATE_TASK, E_MALFORMED, E_MISSING_FIELD,
+    E_OVER_CAPACITY, E_UNKNOWN_OP, E_UNKNOWN_TASK,
+};
+use pmcs_serve::{spawn, Server, ServerConfig};
+
+fn start(capacity: Option<usize>) -> Server {
+    spawn(&ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        session_capacity: capacity,
+    })
+    .expect("bind loopback")
+}
+
+/// One client connection speaking NDJSON.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to server");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    /// Sends one line, returns the parsed response line.
+    fn send(&mut self, line: &str) -> Value {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .expect("write request");
+        let mut resp = String::new();
+        assert_ne!(
+            self.reader.read_line(&mut resp).expect("read response"),
+            0,
+            "server closed the connection after {line:?}"
+        );
+        parse_value(resp.trim_end()).expect("response is valid JSON")
+    }
+}
+
+fn error_code(resp: &Value) -> &str {
+    match obj_get(resp, "error").and_then(|e| obj_get(e, "code")) {
+        Some(Value::Str(s)) => s,
+        other => panic!("expected an error response, got {other:?} in {resp:?}"),
+    }
+}
+
+fn task_json(id: u32, exec: i64, prio: u32) -> String {
+    format!(
+        "{{\"id\":{id},\"exec\":{exec},\"copy_in\":2,\"copy_out\":2,\"deadline\":100,\
+         \"priority\":{prio},\"arrival\":{{\"kind\":\"sporadic\",\"t\":100}}}}"
+    )
+}
+
+fn admit_line(session: u64, id: u32, exec: i64, prio: u32) -> String {
+    format!(
+        "{{\"op\":\"admit\",\"session\":{session},\"task\":{}}}",
+        task_json(id, exec, prio)
+    )
+}
+
+fn demo_task(id: u32, exec: i64, prio: u32) -> Task {
+    Task::builder(TaskId(id))
+        .exec(Time::from_ticks(exec))
+        .copy_in(Time::from_ticks(2))
+        .copy_out(Time::from_ticks(2))
+        .sporadic(Time::from_ticks(100))
+        .deadline(Time::from_ticks(100))
+        .priority(Priority(prio))
+        .build()
+        .expect("valid task")
+}
+
+#[test]
+fn protocol_errors_have_stable_codes_and_keep_the_connection() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+
+    let resp = client.send("this is not json");
+    assert_eq!(error_code(&resp), E_MALFORMED);
+
+    let resp = client.send("{\"op\":\"evict\"}");
+    assert_eq!(error_code(&resp), E_UNKNOWN_OP);
+
+    let resp = client.send("{\"op\":\"remove\"}");
+    assert_eq!(error_code(&resp), E_MISSING_FIELD);
+
+    let resp = client.send(
+        "{\"op\":\"admit\",\"task\":{\"id\":0,\"exec\":1,\"copy_in\":1,\"copy_out\":1,\
+         \"deadline\":50,\"priority\":0,\"arrival\":{\"kind\":\"bursty\",\"t\":9}}}",
+    );
+    assert_eq!(error_code(&resp), E_BAD_FIELD);
+
+    // The connection survived four protocol errors in a row: a normal
+    // request still succeeds.
+    let resp = client.send(&admit_line(0, 0, 10, 0));
+    assert!(obj_get(&resp, "ok").is_some(), "got {resp:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn session_errors_have_stable_codes() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+
+    let resp = client.send("{\"op\":\"remove\",\"id\":7}");
+    assert_eq!(error_code(&resp), E_UNKNOWN_TASK);
+
+    let resp = client.send(&admit_line(0, 1, 10, 1));
+    assert!(obj_get(&resp, "ok").is_some());
+    let resp = client.send(&admit_line(0, 1, 10, 1));
+    assert_eq!(error_code(&resp), E_DUPLICATE_TASK);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn capacity_limit_rejects_with_over_capacity() {
+    let server = start(Some(1));
+    let mut client = Client::connect(server.addr());
+
+    let resp = client.send(&admit_line(0, 0, 10, 0));
+    assert!(obj_get(&resp, "ok").is_some());
+    let resp = client.send(&admit_line(0, 1, 10, 1));
+    assert_eq!(error_code(&resp), E_OVER_CAPACITY);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn batch_requests_answer_entry_wise() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+
+    let line = format!(
+        "[{},{},{{\"op\":\"evict\"}},{{\"op\":\"query\"}}]",
+        admit_line(0, 0, 10, 0),
+        admit_line(0, 1, 20, 1),
+    );
+    let resp = client.send(&line);
+    let Value::Arr(entries) = &resp else {
+        panic!("batch must get an array response, got {resp:?}");
+    };
+    assert_eq!(entries.len(), 4);
+    assert!(obj_get(&entries[0], "ok").is_some());
+    assert!(obj_get(&entries[1], "ok").is_some());
+    assert_eq!(error_code(&entries[2]), E_UNKNOWN_OP);
+    // The final query sees both admits from earlier in the same batch.
+    let verdicts = obj_get(&entries[3], "ok")
+        .and_then(|r| obj_get(r, "verdicts"))
+        .expect("query returns a report");
+    let Value::Arr(verdicts) = verdicts else {
+        panic!("verdicts must be an array");
+    };
+    assert_eq!(verdicts.len(), 2);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn server_report_is_byte_identical_to_the_batch_analyzer() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+
+    for (id, exec, prio) in [(0, 10, 0), (1, 20, 1), (2, 15, 2)] {
+        let resp = client.send(&admit_line(0, id, exec, prio));
+        assert!(obj_get(&resp, "ok").is_some(), "admit failed: {resp:?}");
+    }
+    let served = client.send("{\"op\":\"query\"}");
+    let served = obj_get(&served, "ok").expect("query succeeds");
+
+    let set = TaskSet::new(vec![
+        demo_task(0, 10, 0),
+        demo_task(1, 20, 1),
+        demo_task(2, 15, 2),
+    ])
+    .expect("valid set");
+    let report = analyze_task_set(&set, &ExactEngine::default()).expect("analyzes");
+    assert_eq!(write_value(served), write_value(&encode_report(&report)));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn sessions_are_isolated_within_and_across_connections() {
+    let server = start(None);
+    let mut a = Client::connect(server.addr());
+    let mut b = Client::connect(server.addr());
+
+    // Two sessions on one connection hold different task sets.
+    assert!(obj_get(&a.send(&admit_line(0, 0, 10, 0)), "ok").is_some());
+    assert!(obj_get(&a.send(&admit_line(1, 1, 20, 1)), "ok").is_some());
+    let count = |resp: &Value| -> usize {
+        match obj_get(resp, "ok").and_then(|r| obj_get(r, "verdicts")) {
+            Some(Value::Arr(v)) => v.len(),
+            other => panic!("expected a report, got {other:?}"),
+        }
+    };
+    assert_eq!(count(&a.send("{\"op\":\"query\",\"session\":0}")), 1);
+    assert_eq!(count(&a.send("{\"op\":\"query\",\"session\":1}")), 1);
+
+    // Session 0 of another connection is empty: same id, different state.
+    assert_eq!(count(&b.send("{\"op\":\"query\",\"session\":0}")), 0);
+    // And b may admit the same task id without a duplicate error.
+    assert!(obj_get(&b.send(&admit_line(0, 0, 10, 0)), "ok").is_some());
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn update_and_remove_round_trip_through_the_session() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+
+    assert!(obj_get(&client.send(&admit_line(0, 0, 10, 0)), "ok").is_some());
+    assert!(obj_get(&client.send(&admit_line(0, 1, 20, 1)), "ok").is_some());
+
+    let update = format!(
+        "{{\"op\":\"update\",\"id\":1,\"task\":{}}}",
+        task_json(1, 30, 1)
+    );
+    let resp = client.send(&update);
+    assert!(obj_get(&resp, "ok").is_some(), "update failed: {resp:?}");
+
+    let resp = client.send("{\"op\":\"remove\",\"id\":0}");
+    assert!(obj_get(&resp, "ok").is_some(), "remove failed: {resp:?}");
+
+    // What remains is exactly the updated task 1.
+    let served = client.send("{\"op\":\"query\"}");
+    let served = obj_get(&served, "ok").expect("query succeeds");
+    let set = TaskSet::new(vec![demo_task(1, 30, 1)]).expect("valid set");
+    let report = analyze_task_set(&set, &ExactEngine::default()).expect("analyzes");
+    assert_eq!(write_value(served), write_value(&encode_report(&report)));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn stats_reports_shared_cache_hits_across_connections() {
+    let server = start(None);
+    // Two connections admit the same tasks: the second connection's
+    // windows are already in the process-wide shared delay cache.
+    for _ in 0..2 {
+        let mut client = Client::connect(server.addr());
+        for (id, exec, prio) in [(0, 10, 0), (1, 20, 1)] {
+            let resp = client.send(&admit_line(0, id, exec, prio));
+            assert!(obj_get(&resp, "ok").is_some());
+        }
+    }
+    let mut control = Client::connect(server.addr());
+    let stats = control.send("{\"op\":\"stats\"}");
+    let stats = obj_get(&stats, "ok").expect("stats succeeds");
+    let int = |key: &str| -> i128 {
+        match obj_get(stats, key) {
+            Some(Value::Int(i)) => *i,
+            other => panic!("stats.{key} must be an integer, got {other:?}"),
+        }
+    };
+    assert!(int("ops") >= 4, "stats: {stats:?}");
+    assert!(int("cache_hits") > 0, "stats: {stats:?}");
+    assert!(int("cache_misses") > 0, "stats: {stats:?}");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_op_acknowledges_and_stops_the_server() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+    let resp = client.send("{\"op\":\"shutdown\"}");
+    let ack = obj_get(&resp, "ok").expect("shutdown acknowledged");
+    assert!(matches!(obj_get(ack, "shutdown"), Some(Value::Bool(true))));
+    // join() returning proves the listener and every worker exited.
+    server.join();
+}

@@ -17,6 +17,7 @@
 //! | [`workload`] | `pmcs-workload` | Section VII task-set generators |
 //! | [`cert`] | `pmcs-cert` | proof-carrying analysis: certificate formats + independent `i128` checker |
 //! | [`audit`] | `pmcs-audit` | exact MILP audits, formulation lints, R1–R6 conformance |
+//! | [`serve`] | `pmcs-serve` | schedulability-as-a-service: NDJSON/TCP daemon, replay auditing, load generator |
 //!
 //! ## Quickstart
 //!
@@ -52,6 +53,7 @@ pub use pmcs_cert as cert;
 pub use pmcs_core as core;
 pub use pmcs_milp as milp;
 pub use pmcs_model as model;
+pub use pmcs_serve as serve;
 pub use pmcs_sim as sim;
 pub use pmcs_workload as workload;
 
