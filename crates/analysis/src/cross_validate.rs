@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use pmcs_model::{TaskId, TaskSet, Time};
+use pmcs_model::{CoreId, TaskId, TaskSet, Time};
 use pmcs_sim::{
     check_conformance, simulate_with, validate_trace, ProtocolPolicy, ReleasePlan, SimResult,
 };
@@ -84,6 +84,21 @@ pub enum RefutationKind {
         /// Rendered diagnostic list.
         diagnostics: String,
     },
+    /// A DMA transfer replayed on the regulated shared bus took longer
+    /// than the analytical copy-phase inflation allows (multi-core
+    /// cross-validation, see `pmcs_analysis::multicore`).
+    BusOverrun {
+        /// Core whose transfer overran.
+        core: CoreId,
+        /// Task the transfer belongs to.
+        task: TaskId,
+        /// Uninflated transfer demand.
+        demand: Time,
+        /// Observed bus service time (head-of-queue to completion).
+        observed: Time,
+        /// The violated inflated bound.
+        bound: Time,
+    },
 }
 
 /// A machine-readable cross-validation failure: enough to reproduce the
@@ -123,6 +138,16 @@ impl std::fmt::Display for Refutation {
             RefutationKind::NonConformant { diagnostics } => {
                 write!(f, " kind=non-conformant diagnostics=[{diagnostics}]")
             }
+            RefutationKind::BusOverrun {
+                core,
+                task,
+                demand,
+                observed,
+                bound,
+            } => write!(
+                f,
+                " kind=bus-overrun core={core} task={task} demand={demand} observed={observed} bound={bound}"
+            ),
         }?;
         write!(f, " excerpt=[{}]", self.excerpt)
     }
@@ -145,7 +170,7 @@ pub fn plan_horizon(set: &TaskSet) -> Time {
 /// released job of a schedulable set to complete (jobs cut by the
 /// horizon are skipped by `worst_response` — conservative, part of why a
 /// pass is necessary-not-sufficient).
-fn sim_horizon(set: &TaskSet) -> Time {
+pub(crate) fn sim_horizon(set: &TaskSet) -> Time {
     let max_d = set.iter().map(|t| t.deadline()).max().unwrap_or(Time::ZERO);
     let total_wcet: i64 = set.iter().map(|t| t.wcet_serialized().as_ticks()).sum();
     plan_horizon(set) + max_d + Time::from_ticks(2 * total_wcet)

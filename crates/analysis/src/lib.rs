@@ -53,6 +53,7 @@ pub mod config;
 pub mod cross_validate;
 pub mod engine_stack;
 pub mod error;
+pub mod multicore;
 pub mod registry;
 pub mod report;
 
@@ -68,5 +69,9 @@ pub use cross_validate::{
 };
 pub use engine_stack::{milp_engine, AuditedEngine, EngineStack, StackEngine};
 pub use error::AnalysisError;
+pub use multicore::{
+    cross_validate_platform, extract_transfers, refute_bus_bounds, ContentionAware, CoreValidation,
+    PlatformValidation,
+};
 pub use registry::Registry;
 pub use report::{ApproachReport, TaskReport};

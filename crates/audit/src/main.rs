@@ -49,9 +49,10 @@ use pmcs_analysis::{
 };
 use pmcs_audit::{check_conformance, lint, lint_sequence, Severity, LINT_CODES};
 use pmcs_core::window::case_for;
+use pmcs_core::Heuristic;
 use pmcs_core::WindowModel;
 use pmcs_milp::{AuditedOutcome, Cmp, LinExpr, Problem, Solver};
-use pmcs_model::{Sensitivity, TaskId, TaskSet, Time};
+use pmcs_model::{BusModel, Sensitivity, TaskId, TaskSet, Time};
 use pmcs_sim::{simulate, simulate_with, Policy, SimResult, TraceUnit};
 use pmcs_workload::{
     adversarial_plan, adversarial_specs, random_sporadic_plan, TaskSetConfig, TaskSetGenerator,
@@ -79,6 +80,12 @@ COMMANDS:
     serve-replay <FILE>
              replay a pmcs-serve request/response log against the
              from-scratch batch analyzer; refutations exit nonzero
+    partition
+             pack a generated workload onto --cores cores and print the
+             per-core assignment and verdicts; with --period the bus is
+             bandwidth-regulated (admission uses contention-aware
+             inflation), and --period without --budget searches
+             descending uniform budgets
 
 OPTIONS:
     --seed <N>       RNG seed for workload generation      [default: 42]
@@ -86,6 +93,11 @@ OPTIONS:
     --util <X>       total utilization of the set          [default: 0.5]
     --plans <N>      adversarial release plans per approach
                      (simulate)                            [default: 8]
+    --cores <M>      cores to partition onto (partition)   [default: 2]
+    --heuristic <H>  first-fit | best-fit | worst-fit
+                     (partition)                           [default: first-fit]
+    --period <P>     bus replenishment period in ticks (partition)
+    --budget <Q>     uniform per-core bus budget in ticks (partition)
     --lp-backend <B> LP backend: dense | revised (milp/analyze/simulate;
                      beats PMCS_LP_BACKEND)
     --corrupt <K>    cert emit: corrupt the bundle before printing
@@ -98,6 +110,10 @@ struct Options {
     tasks: usize,
     util: f64,
     plans: usize,
+    cores: usize,
+    heuristic: Heuristic,
+    period: Option<i64>,
+    budget: Option<i64>,
     corrupt: Option<String>,
     out: Option<String>,
 }
@@ -109,6 +125,10 @@ impl Default for Options {
             tasks: 5,
             util: 0.5,
             plans: 8,
+            cores: 2,
+            heuristic: Heuristic::FirstFit,
+            period: None,
+            budget: None,
             corrupt: None,
             out: None,
         }
@@ -139,7 +159,8 @@ fn main() -> ExitCode {
                 };
                 cli.lp_backend = Some(kind);
             }
-            "--seed" | "--tasks" | "--util" | "--plans" | "--corrupt" | "--out" => {
+            "--seed" | "--tasks" | "--util" | "--plans" | "--cores" | "--heuristic"
+            | "--period" | "--budget" | "--corrupt" | "--out" => {
                 let Some(value) = it.next() else {
                     eprintln!("error: {arg} requires a value");
                     return ExitCode::FAILURE;
@@ -148,6 +169,27 @@ fn main() -> ExitCode {
                     "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
                     "--tasks" => value.parse().map(|v| opts.tasks = v).is_ok(),
                     "--plans" => value.parse().map(|v| opts.plans = v).is_ok(),
+                    "--cores" => value
+                        .parse()
+                        .ok()
+                        .filter(|&m: &usize| m >= 1)
+                        .map(|v| opts.cores = v)
+                        .is_some(),
+                    "--heuristic" => Heuristic::parse(value)
+                        .map(|h| opts.heuristic = h)
+                        .is_some(),
+                    "--period" => value
+                        .parse()
+                        .ok()
+                        .filter(|&t: &i64| t > 0)
+                        .map(|v| opts.period = Some(v))
+                        .is_some(),
+                    "--budget" => value
+                        .parse()
+                        .ok()
+                        .filter(|&t: &i64| t > 0)
+                        .map(|v| opts.budget = Some(v))
+                        .is_some(),
                     "--corrupt" => {
                         opts.corrupt = Some(value.clone());
                         true
@@ -199,6 +241,7 @@ fn main() -> ExitCode {
         Some("lint") => cmd_lint(&opts, &cfg),
         Some("analyze") => cmd_analyze(&opts, &cfg),
         Some("simulate") => cmd_simulate(&opts, &cfg),
+        Some("partition") => cmd_partition(&opts, &cfg),
         Some("cert") => cmd_cert(&opts, &positionals[1..]),
         Some("serve-replay") => match positionals.get(1) {
             Some(path) => cmd_serve_replay(path),
@@ -638,6 +681,142 @@ fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+// --- partition ----------------------------------------------------------
+
+fn cmd_partition(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
+    // --util stays the set's *total* utilization (like every other
+    // subcommand); there are at least as many tasks as cores so every
+    // heuristic has real placement choices.
+    let config = TaskSetConfig {
+        n: opts.tasks.max(opts.cores),
+        utilization: opts.util,
+        ..TaskSetConfig::default()
+    };
+    let tasks = TaskSetGenerator::new(config, opts.seed)
+        .generate()
+        .tasks()
+        .to_vec();
+    let ctx = AnalysisContext::new(cfg);
+    let engine = ctx.engine();
+    println!(
+        "partitioning {} task(s) onto {} core(s) with {} (engine stack: {}):",
+        tasks.len(),
+        opts.cores,
+        opts.heuristic,
+        engine.layers(),
+    );
+
+    let outcome = match (opts.period, opts.budget) {
+        (None, Some(_)) => {
+            eprintln!("error: --budget requires --period");
+            return ExitCode::FAILURE;
+        }
+        (None, None) => pmcs_core::partition(tasks, opts.cores, opts.heuristic, engine),
+        (Some(p), Some(q)) => {
+            let bus = match BusModel::uniform(Time::from_ticks(p), opts.cores, Time::from_ticks(q))
+            {
+                Ok(bus) => bus,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            pmcs_core::partition_regulated(tasks, opts.cores, &bus, opts.heuristic, engine)
+        }
+        (Some(p), None) => {
+            // Budget-assignment search: descending uniform budgets, first
+            // schedulable partition wins.
+            let search = match pmcs_core::assign_budgets(
+                tasks,
+                opts.cores,
+                Time::from_ticks(p),
+                opts.heuristic,
+                engine,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: budget search failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("budget search over P={}:", Time::from_ticks(p));
+            for a in &search.attempts {
+                println!(
+                    "  Q={} — {}",
+                    a.budget,
+                    if a.schedulable {
+                        "schedulable"
+                    } else {
+                        "not schedulable"
+                    }
+                );
+            }
+            match &search.solution {
+                Some(p) => {
+                    print_partitioning(p);
+                    println!("verdict: SCHEDULABLE (budget search succeeded)");
+                }
+                None => println!("verdict: NOT SCHEDULABLE under any tried budget"),
+            }
+            return ExitCode::SUCCESS;
+        }
+    };
+    match outcome {
+        Ok(Ok(p)) => {
+            print_partitioning(&p);
+            println!(
+                "verdict: {}",
+                if p.schedulable() {
+                    "SCHEDULABLE"
+                } else {
+                    "NOT SCHEDULABLE"
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Err(unplaced)) => {
+            println!(
+                "verdict: NOT SCHEDULABLE — {} fits on none of the {} core(s)",
+                unplaced.task, unplaced.cores
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: partitioning failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Prints a partitioning: the bus, then per-core assignments and
+/// verdicts (WCRTs are contention-inflated when the bus is regulated).
+fn print_partitioning(p: &pmcs_core::Partitioning) {
+    println!("bus: {}", p.platform.bus());
+    for ((core, set), report) in p.platform.iter().zip(&p.reports) {
+        let ids: Vec<String> = set.tasks().iter().map(|t| t.id().to_string()).collect();
+        println!(
+            "  {core}: {} task(s) [{}] — {}",
+            set.len(),
+            ids.join(", "),
+            if report.schedulable() {
+                "schedulable"
+            } else {
+                "UNSCHEDULABLE"
+            }
+        );
+        for v in report.verdicts() {
+            println!(
+                "    {} wcrt={} deadline={} {}{}",
+                v.task,
+                v.wcrt,
+                v.deadline,
+                if v.schedulable { "ok" } else { "MISS" },
+                if v.sensitivity.is_ls() { " [LS]" } else { "" },
+            );
+        }
     }
 }
 

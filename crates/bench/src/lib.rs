@@ -33,6 +33,7 @@
 pub mod certs;
 pub mod experiment;
 pub mod figures;
+pub mod multicore;
 pub mod parallel;
 pub mod perf;
 pub mod report;
@@ -43,6 +44,7 @@ pub use experiment::{
     SetOutcome, SweepOutcome, SweepPoint, SweepRow,
 };
 pub use figures::{fig1_task_set, fig2_inset, Fig2Inset};
+pub use multicore::{sweep_multicore, MulticoreConfig, MulticoreOutcome, MulticoreRow};
 pub use parallel::{parallel_map, parallel_map_with};
 pub use perf::{PerfPoint, PerfRecord};
 pub use report::{ascii_chart, csv_string, write_csv};

@@ -48,6 +48,7 @@
 pub mod cache;
 pub mod certify;
 pub mod chains;
+pub mod contention;
 pub mod engine;
 pub mod error;
 pub mod formulation;
@@ -64,12 +65,16 @@ pub use cache::{
 };
 pub use certify::{certify_task_set, certify_window_dp, certify_window_milp};
 pub use chains::{chain_latency, ChainActivation, TaskChain};
+pub use contention::Inflation;
 pub use engine::bnb;
 pub use engine::ExactEngine;
 pub use error::CoreError;
 pub use formulation::{MilpEngine, AUDIT_ENV_VAR};
 pub use ls_search::{exhaustive_ls_assignment, ExhaustiveResult};
-pub use partitioning::{analyze_platform, partition, Heuristic, Partitioning};
+pub use partitioning::{
+    analyze_platform, assign_budgets, partition, partition_regulated, BudgetAttempt, BudgetSearch,
+    Heuristic, PartitionError, Partitioning,
+};
 pub use pmcs_milp::{BackendKind, SolverStats};
 pub use protocol::{ProtocolRule, RULES};
 pub use schedulability::{

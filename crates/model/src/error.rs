@@ -47,6 +47,13 @@ pub enum ModelError {
     EmptyTaskSet,
     /// A platform was configured with no cores.
     EmptyPlatform,
+    /// A bus model was configured inconsistently (non-positive period,
+    /// zero budget, budgets exceeding the period, or a budget count
+    /// that disagrees with the platform's core count).
+    InvalidBus {
+        /// Human-readable explanation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -68,6 +75,7 @@ impl fmt::Display for ModelError {
             ModelError::UnknownTask(id) => write!(f, "unknown task id {id}"),
             ModelError::EmptyTaskSet => write!(f, "task set must contain at least one task"),
             ModelError::EmptyPlatform => write!(f, "platform must have at least one core"),
+            ModelError::InvalidBus { reason } => write!(f, "invalid bus model: {reason}"),
         }
     }
 }

@@ -40,6 +40,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod bus;
 pub mod curve;
 pub mod error;
 pub mod job;
@@ -48,6 +49,7 @@ pub mod task;
 pub mod taskset;
 pub mod time;
 
+pub use bus::BusModel;
 pub use curve::{ArrivalBound, ArrivalModel, StaircaseCurve};
 pub use error::ModelError;
 pub use job::{Job, JobId};
@@ -58,6 +60,7 @@ pub use time::Time;
 
 /// Commonly used items, for glob import.
 pub mod prelude {
+    pub use crate::bus::BusModel;
     pub use crate::curve::{ArrivalBound, ArrivalModel};
     pub use crate::error::ModelError;
     pub use crate::job::{Job, JobId};

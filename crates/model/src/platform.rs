@@ -1,17 +1,28 @@
-//! Platform model (Section II of the paper).
+//! Platform model (Section II of the paper, plus an explicit bus).
 //!
 //! The target platform has `P` identical cores; each core owns a private
 //! dual-ported local memory split into **two partitions** and a private DMA
-//! engine. A crossbar provides contention-free point-to-point paths, so all
-//! memory contention is folded into the `l_i`/`u_i` bounds of the tasks
-//! (computed with the techniques of references [7, 8] of the paper).
+//! engine. The memory interconnect comes in two flavors, selected by the
+//! platform's [`BusModel`]:
 //!
-//! Since scheduling and analysis are strictly per-core (partitioned), the
-//! platform type mainly documents the assumptions and carries per-core task
-//! assignments for multi-core experiments.
+//! * **Contention-free crossbar** (the paper's assumption, and the
+//!   default): point-to-point paths mean per-core DMA transfers never
+//!   interfere, so all memory contention is folded into the `l_i`/`u_i`
+//!   bounds of the tasks (computed with the techniques of references
+//!   [7, 8] of the paper). Scheduling and analysis are then strictly
+//!   per-core.
+//! * **Regulated shared bus**: the per-core DMA engines contend on one
+//!   bus/DRAM controller under MemGuard-style per-core bandwidth budgets
+//!   replenished every period. Per-core analysis still applies after the
+//!   copy-phase bounds are inflated by the contention model in
+//!   `pmcs_core::contention`.
+//!
+//! The platform type carries per-core task assignments plus the bus for
+//! multi-core experiments.
 
 use std::fmt;
 
+use crate::bus::BusModel;
 use crate::error::ModelError;
 use crate::taskset::TaskSet;
 
@@ -47,17 +58,26 @@ impl fmt::Display for CoreId {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     cores: Vec<TaskSet>,
+    bus: BusModel,
 }
 
 impl Platform {
     /// Starts building a platform.
     pub fn builder() -> PlatformBuilder {
-        PlatformBuilder { cores: Vec::new() }
+        PlatformBuilder {
+            cores: Vec::new(),
+            bus: BusModel::contention_free(),
+        }
     }
 
     /// Number of cores `P`.
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// The memory-bus model (contention-free crossbar by default).
+    pub fn bus(&self) -> &BusModel {
+        &self.bus
     }
 
     /// Task set partitioned to the given core.
@@ -81,7 +101,12 @@ impl Platform {
 
 impl fmt::Display for Platform {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "platform with {} core(s):", self.num_cores())?;
+        writeln!(
+            f,
+            "platform with {} core(s), {}:",
+            self.num_cores(),
+            self.bus
+        )?;
         for (id, ts) in self.iter() {
             writeln!(f, "{id}: {ts}")?;
         }
@@ -93,6 +118,7 @@ impl fmt::Display for Platform {
 #[derive(Debug, Clone)]
 pub struct PlatformBuilder {
     cores: Vec<TaskSet>,
+    bus: BusModel,
 }
 
 impl PlatformBuilder {
@@ -102,16 +128,36 @@ impl PlatformBuilder {
         self
     }
 
+    /// Sets the memory-bus model (default: contention-free crossbar).
+    pub fn bus(mut self, bus: BusModel) -> Self {
+        self.bus = bus;
+        self
+    }
+
     /// Finalizes the platform.
     ///
     /// # Errors
     ///
-    /// Returns [`ModelError::EmptyPlatform`] if no core was added.
+    /// Returns [`ModelError::EmptyPlatform`] if no core was added, and
+    /// [`ModelError::InvalidBus`] if a regulated bus was configured with
+    /// a budget count different from the number of cores.
     pub fn build(self) -> Result<Platform, ModelError> {
         if self.cores.is_empty() {
             return Err(ModelError::EmptyPlatform);
         }
-        Ok(Platform { cores: self.cores })
+        if !self.bus.is_contention_free() && self.bus.num_cores() != self.cores.len() {
+            return Err(ModelError::InvalidBus {
+                reason: format!(
+                    "bus regulates {} core(s) but the platform has {}",
+                    self.bus.num_cores(),
+                    self.cores.len()
+                ),
+            });
+        }
+        Ok(Platform {
+            cores: self.cores,
+            bus: self.bus,
+        })
     }
 }
 
@@ -156,6 +202,30 @@ mod tests {
     fn utilization_sums_over_cores() {
         let p = Platform::builder().core(ts(0)).core(ts(1)).build().unwrap();
         assert!((p.utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn platforms_default_to_the_crossbar() {
+        let p = Platform::builder().core(ts(0)).build().unwrap();
+        assert!(p.bus().is_contention_free());
+    }
+
+    #[test]
+    fn regulated_bus_must_match_the_core_count() {
+        let bus = BusModel::regulated(Time::from_ticks(100), vec![Time::from_ticks(20)]).unwrap();
+        let err = Platform::builder()
+            .core(ts(0))
+            .core(ts(1))
+            .bus(bus.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ModelError::InvalidBus { .. }), "{err}");
+        let p = Platform::builder()
+            .core(ts(0))
+            .bus(bus.clone())
+            .build()
+            .unwrap();
+        assert_eq!(p.bus(), &bus);
     }
 
     #[test]

@@ -5,7 +5,10 @@
 //! `update` and `query` tasks over a plain socket; each connection holds
 //! its own incremental sessions while every session in the process shares
 //! one sharded [`pmcs_core::SharedDelayCache`], so a window bound solved
-//! for one client is a cache hit for all of them.
+//! for one client is a cache hit for all of them. A stateless `partition`
+//! op packs a posted task set onto `M` cores — optionally under
+//! shared-bus bandwidth regulation with contention-aware admission, or
+//! with a server-side search over uniform per-core budgets.
 //!
 //! Three layers, each usable on its own:
 //!

@@ -13,9 +13,19 @@
 //! {"op":"remove","session":0,"id":3}
 //! {"op":"update","session":0,"id":3,"task":{...}}
 //! {"op":"query","session":0}
+//! {"op":"partition","cores":2,"heuristic":"first-fit","tasks":[{...},...],
+//!   "period":20,"budget":10}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `partition` is stateless (it touches no session): it packs the posted
+//! tasks onto `cores` cores with the named bin-packing heuristic.
+//! Without `period` the platform is a contention-free crossbar; with
+//! `period` and `budget` every core runs under uniform shared-bus
+//! bandwidth regulation and admission uses contention-aware inflation;
+//! with `period` alone the server searches descending uniform budgets
+//! and returns the attempts ledger.
 //!
 //! `session` defaults to `0` and names a session *private to the
 //! connection* — two connections using session 0 never see each other's
@@ -35,8 +45,10 @@
 use std::fmt;
 
 use pmcs_cert::json::Value;
-use pmcs_core::{CoreError, SchedulabilityReport};
-use pmcs_model::{ArrivalModel, ModelError, Priority, Task, TaskId, Time};
+use pmcs_core::{
+    BudgetSearch, CoreError, Heuristic, PartitionError, Partitioning, SchedulabilityReport,
+};
+use pmcs_model::{ArrivalModel, BusModel, ModelError, Priority, Task, TaskId, Time};
 
 /// Malformed JSON on the wire (parse failure).
 pub const E_MALFORMED: &str = "proto.malformed-json";
@@ -127,6 +139,22 @@ pub enum Request {
         /// Connection-local session id.
         session: u64,
     },
+    /// Partition a task set onto `cores` cores (stateless — touches no
+    /// session), optionally under shared-bus bandwidth regulation.
+    Partition {
+        /// The tasks to place.
+        tasks: Vec<Task>,
+        /// Number of identical cores.
+        cores: usize,
+        /// Bin-packing heuristic (defaults to first-fit on the wire).
+        heuristic: Heuristic,
+        /// Bus replenishment period; absent means a contention-free
+        /// crossbar.
+        period: Option<Time>,
+        /// Uniform per-core budget; absent with `period` present runs
+        /// the descending budget-assignment search.
+        budget: Option<Time>,
+    },
     /// Return server-wide counters (sessions, ops, cache, verdict reuse).
     Stats,
     /// Stop accepting connections and shut the server down.
@@ -141,6 +169,7 @@ impl Request {
             Request::Remove { .. } => "remove",
             Request::Update { .. } => "update",
             Request::Query { .. } => "query",
+            Request::Partition { .. } => "partition",
             Request::Stats => "stats",
             Request::Shutdown => "shutdown",
         }
@@ -153,7 +182,7 @@ impl Request {
             | Request::Remove { session, .. }
             | Request::Update { session, .. }
             | Request::Query { session } => Some(*session),
-            Request::Stats | Request::Shutdown => None,
+            Request::Partition { .. } | Request::Stats | Request::Shutdown => None,
         }
     }
 }
@@ -340,6 +369,66 @@ pub fn decode_request(v: &Value) -> Result<Request, WireError> {
             task: decode_task(req_field(v, "task")?)?,
         }),
         "query" => Ok(Request::Query { session }),
+        "partition" => {
+            let tasks = match req_field(v, "tasks")? {
+                Value::Arr(items) => items
+                    .iter()
+                    .map(decode_task)
+                    .collect::<Result<Vec<_>, _>>()?,
+                _ => {
+                    return Err(WireError::new(E_BAD_FIELD, "`tasks` must be an array"));
+                }
+            };
+            let cores = usize::try_from(as_u64(req_field(v, "cores")?, "cores")?)
+                .ok()
+                .filter(|&m| m >= 1)
+                .ok_or_else(|| WireError::new(E_BAD_FIELD, "`cores` must be at least 1"))?;
+            let heuristic = match obj_get(v, "heuristic") {
+                Some(h) => {
+                    let name = as_str(h, "heuristic")?;
+                    Heuristic::parse(name).ok_or_else(|| {
+                        WireError::new(
+                            E_BAD_FIELD,
+                            format!(
+                                "unknown heuristic {name:?} (use first-fit | best-fit | worst-fit)"
+                            ),
+                        )
+                    })?
+                }
+                None => Heuristic::FirstFit,
+            };
+            let positive_tick = |key: &str| -> Result<Option<Time>, WireError> {
+                match obj_get(v, key) {
+                    Some(val) => {
+                        let t = as_i64(val, key)?;
+                        if t <= 0 {
+                            return Err(WireError::new(
+                                E_BAD_FIELD,
+                                format!("`{key}` must be positive"),
+                            ));
+                        }
+                        Ok(Some(Time::from_ticks(t)))
+                    }
+                    None => Ok(None),
+                }
+            };
+            let period = positive_tick("period")?;
+            let budget = positive_tick("budget")?;
+            if budget.is_some() && period.is_none() {
+                return Err(WireError::new(
+                    E_BAD_FIELD,
+                    "`budget` requires `period` (a budget without a replenishment period is \
+                     meaningless)",
+                ));
+            }
+            Ok(Request::Partition {
+                tasks,
+                cores,
+                heuristic,
+                period,
+                budget,
+            })
+        }
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(WireError::new(
@@ -374,6 +463,35 @@ pub fn encode_request(r: &Request) -> Result<Value, WireError> {
             ("task", encode_task(task)?),
         ]),
         Request::Query { session } => obj(vec![op("query"), ("session", int(*session as i64))]),
+        Request::Partition {
+            tasks,
+            cores,
+            heuristic,
+            period,
+            budget,
+        } => {
+            let mut pairs = vec![
+                op("partition"),
+                ("cores", int(*cores as i64)),
+                ("heuristic", Value::Str(heuristic.to_string())),
+                (
+                    "tasks",
+                    Value::Arr(
+                        tasks
+                            .iter()
+                            .map(encode_task)
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                ),
+            ];
+            if let Some(p) = period {
+                pairs.push(("period", int(p.as_ticks())));
+            }
+            if let Some(q) = budget {
+                pairs.push(("budget", int(q.as_ticks())));
+            }
+            obj(pairs)
+        }
         Request::Stats => obj(vec![op("stats")]),
         Request::Shutdown => obj(vec![op("shutdown")]),
     })
@@ -430,6 +548,92 @@ pub fn encode_report(r: &SchedulabilityReport) -> Value {
             ),
         ),
     ])
+}
+
+/// Encodes a bus model: `{"kind":"crossbar"}` or
+/// `{"kind":"regulated","period":P,"budgets":[Q0,Q1,...]}`.
+pub fn encode_bus(bus: &BusModel) -> Value {
+    match bus.period() {
+        Some(period) => obj(vec![
+            ("kind", Value::Str("regulated".into())),
+            ("period", int(period.as_ticks())),
+            (
+                "budgets",
+                Value::Arr(bus.budgets().iter().map(|q| int(q.as_ticks())).collect()),
+            ),
+        ]),
+        None => obj(vec![("kind", Value::Str("crossbar".into()))]),
+    }
+}
+
+/// Encodes a successful partitioning: the overall verdict, the bus, and
+/// per-core task assignments with their schedulability reports (analyzed
+/// under contention-aware inflation when the bus is regulated).
+pub fn encode_partitioning(p: &Partitioning) -> Value {
+    obj(vec![
+        ("schedulable", Value::Bool(p.schedulable())),
+        ("bus", encode_bus(p.platform.bus())),
+        (
+            "cores",
+            Value::Arr(
+                p.platform
+                    .iter()
+                    .zip(&p.reports)
+                    .map(|((_, set), report)| {
+                        obj(vec![
+                            (
+                                "tasks",
+                                Value::Arr(
+                                    set.tasks().iter().map(|t| int(t.id().0 as i64)).collect(),
+                                ),
+                            ),
+                            ("report", encode_report(report)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Encodes a packing failure as a *success* response payload (the client
+/// asked a well-formed question whose answer is "does not fit"):
+/// `{"schedulable":false,"unplaced":ID,"cores":N}`.
+pub fn encode_partition_failure(e: &PartitionError) -> Value {
+    obj(vec![
+        ("schedulable", Value::Bool(false)),
+        ("unplaced", int(e.task.0 as i64)),
+        ("cores", int(e.cores as i64)),
+    ])
+}
+
+/// Encodes a budget-assignment search: the attempts ledger plus either
+/// the winning partitioning or the failure verdict.
+pub fn encode_budget_search(s: &BudgetSearch) -> Value {
+    let attempts = Value::Arr(
+        s.attempts
+            .iter()
+            .map(|a| {
+                obj(vec![
+                    ("budget", int(a.budget.as_ticks())),
+                    ("schedulable", Value::Bool(a.schedulable)),
+                ])
+            })
+            .collect(),
+    );
+    match &s.solution {
+        Some(p) => {
+            let mut v = encode_partitioning(p);
+            if let Value::Obj(pairs) = &mut v {
+                pairs.push(("attempts".to_string(), attempts));
+            }
+            v
+        }
+        None => obj(vec![
+            ("schedulable", Value::Bool(false)),
+            ("attempts", attempts),
+        ]),
+    }
 }
 
 /// The wire object of an *empty* session's report: trivially schedulable,
@@ -525,6 +729,20 @@ mod tests {
                 task: demo_task(1, 0),
             },
             Request::Query { session: 9 },
+            Request::Partition {
+                tasks: vec![demo_task(0, 0), demo_task(1, 1)],
+                cores: 2,
+                heuristic: Heuristic::WorstFit,
+                period: Some(Time::from_ticks(20)),
+                budget: Some(Time::from_ticks(10)),
+            },
+            Request::Partition {
+                tasks: vec![demo_task(2, 2)],
+                cores: 1,
+                heuristic: Heuristic::FirstFit,
+                period: None,
+                budget: None,
+            },
             Request::Stats,
             Request::Shutdown,
         ] {

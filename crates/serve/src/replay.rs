@@ -104,6 +104,20 @@ pub(crate) fn expected_response(shadows: &mut HashMap<u64, Vec<Task>>, request: 
             }
             resp
         }
+        Request::Partition {
+            tasks,
+            cores,
+            heuristic,
+            period,
+            budget,
+        } => crate::server::partition_value(
+            tasks.clone(),
+            *cores,
+            *heuristic,
+            *period,
+            *budget,
+            &ExactEngine::default(),
+        ),
         Request::Shutdown => ok_response(shutdown_value()),
         Request::Stats => Value::Null, // unreachable: caller skips stats
     }

@@ -23,11 +23,16 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 
 use pmcs_cert::json::{parse_value, write_value, Value};
-use pmcs_core::{AnalysisSession, ExactEngine, SessionStats, SharedCachedEngine, SharedDelayCache};
+use pmcs_core::{
+    assign_budgets, partition, partition_regulated, AnalysisSession, DelayEngine, ExactEngine,
+    Heuristic, SessionStats, SharedCachedEngine, SharedDelayCache,
+};
+use pmcs_model::{BusModel, Task, Time};
 
 use crate::proto::{
-    decode_request, encode_report, error_response, ok_response, session_error, shutdown_value,
-    Request, WireError, E_MALFORMED,
+    decode_request, encode_budget_search, encode_partition_failure, encode_partitioning,
+    encode_report, error_response, ok_response, session_error, shutdown_value, Request, WireError,
+    E_BAD_FIELD, E_MALFORMED,
 };
 
 /// Server construction knobs.
@@ -324,6 +329,16 @@ fn respond_value(
     match request {
         Request::Stats => (ok_response(stats_value(shared)), false),
         Request::Shutdown => (ok_response(shutdown_value()), true),
+        Request::Partition {
+            tasks,
+            cores,
+            heuristic,
+            period,
+            budget,
+        } => (
+            respond_partition(tasks, cores, heuristic, period, budget, shared),
+            false,
+        ),
         Request::Query { session } => {
             let slot = slot_for(sessions, shared, capacity, session);
             (ok_response(encode_report(slot.session.report())), false)
@@ -343,6 +358,59 @@ fn respond_value(
             let result = slot.session.update(id, task).cloned();
             (finish_op(slot, shared, result), false)
         }
+    }
+}
+
+/// Evaluates a stateless `partition` request over the shared delay
+/// cache: contention-free packing without a `period`, contention-aware
+/// packing on a uniform regulated bus with `period` + `budget`, and the
+/// descending budget-assignment search with `period` alone. Packing
+/// failures are *successful* responses (`schedulable:false`); only
+/// engine faults and inconsistent bus parameters are errors.
+fn respond_partition(
+    tasks: Vec<Task>,
+    cores: usize,
+    heuristic: Heuristic,
+    period: Option<Time>,
+    budget: Option<Time>,
+    shared: &Shared,
+) -> Value {
+    let engine = SharedCachedEngine::new(ExactEngine::default(), Arc::clone(&shared.cache));
+    partition_value(tasks, cores, heuristic, period, budget, &engine)
+}
+
+/// The engine-generic body of [`respond_partition`]; the offline replay
+/// checker re-derives partition responses through the same dispatch on a
+/// fresh uncached engine (the request is stateless, so the cache is the
+/// only machinery this shares with the live server).
+pub(crate) fn partition_value(
+    tasks: Vec<Task>,
+    cores: usize,
+    heuristic: Heuristic,
+    period: Option<Time>,
+    budget: Option<Time>,
+    engine: &impl DelayEngine,
+) -> Value {
+    let outcome = match (period, budget) {
+        (None, _) => partition(tasks, cores, heuristic, engine),
+        (Some(p), Some(q)) => {
+            let bus = match BusModel::uniform(p, cores, q) {
+                Ok(bus) => bus,
+                Err(e) => return error_response(&WireError::new(E_BAD_FIELD, e.to_string())),
+            };
+            partition_regulated(tasks, cores, &bus, heuristic, engine)
+        }
+        (Some(p), None) => {
+            return match assign_budgets(tasks, cores, p, heuristic, engine) {
+                Ok(search) => ok_response(encode_budget_search(&search)),
+                Err(e) => error_response(&session_error(&e)),
+            };
+        }
+    };
+    match outcome {
+        Ok(Ok(p)) => ok_response(encode_partitioning(&p)),
+        Ok(Err(unplaced)) => ok_response(encode_partition_failure(&unplaced)),
+        Err(e) => error_response(&session_error(&e)),
     }
 }
 

@@ -300,3 +300,141 @@ fn shutdown_op_acknowledges_and_stops_the_server() {
     // join() returning proves the listener and every worker exited.
     server.join();
 }
+
+#[test]
+fn partition_places_tasks_and_reports_per_core() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+    let line = format!(
+        "{{\"op\":\"partition\",\"cores\":2,\"tasks\":[{},{},{}]}}",
+        task_json(0, 40, 0),
+        task_json(1, 40, 1),
+        task_json(2, 10, 2),
+    );
+    let resp = client.send(&line);
+    let ok = obj_get(&resp, "ok").expect("partition succeeds");
+    assert!(matches!(
+        obj_get(ok, "schedulable"),
+        Some(Value::Bool(true))
+    ));
+    let bus = obj_get(ok, "bus").expect("bus present");
+    assert!(matches!(
+        obj_get(bus, "kind"),
+        Some(Value::Str(s)) if s == "crossbar"
+    ));
+    let cores = match obj_get(ok, "cores") {
+        Some(Value::Arr(a)) => a,
+        other => panic!("cores must be an array, got {other:?}"),
+    };
+    let placed: usize = cores
+        .iter()
+        .map(|c| match obj_get(c, "tasks") {
+            Some(Value::Arr(t)) => t.len(),
+            other => panic!("tasks must be an array, got {other:?}"),
+        })
+        .sum();
+    assert_eq!(placed, 3, "every task is placed exactly once");
+    for core in cores {
+        let report = obj_get(core, "report").expect("per-core report");
+        assert!(obj_get(report, "verdicts").is_some());
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn partition_on_a_regulated_bus_reports_the_bus_and_admits_contention_aware() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+    let line = format!(
+        "{{\"op\":\"partition\",\"cores\":2,\"period\":20,\"budget\":10,\
+         \"heuristic\":\"worst-fit\",\"tasks\":[{},{}]}}",
+        task_json(0, 20, 0),
+        task_json(1, 20, 1),
+    );
+    let resp = client.send(&line);
+    let ok = obj_get(&resp, "ok").expect("partition succeeds");
+    assert!(
+        matches!(obj_get(ok, "schedulable"), Some(Value::Bool(true))),
+        "worst-fit spreads the two tasks, one per core: {ok:?}"
+    );
+    let bus = obj_get(ok, "bus").expect("bus present");
+    assert!(matches!(
+        obj_get(bus, "kind"),
+        Some(Value::Str(s)) if s == "regulated"
+    ));
+    assert!(matches!(obj_get(bus, "period"), Some(Value::Int(20))));
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn partition_budget_search_returns_the_attempts_ledger() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+    let line = format!(
+        "{{\"op\":\"partition\",\"cores\":2,\"period\":20,\"tasks\":[{},{}]}}",
+        task_json(0, 40, 0),
+        task_json(1, 40, 1),
+    );
+    let resp = client.send(&line);
+    let ok = obj_get(&resp, "ok").expect("search completes");
+    let attempts = match obj_get(ok, "attempts") {
+        Some(Value::Arr(a)) => a,
+        other => panic!("attempts must be an array, got {other:?}"),
+    };
+    assert!(!attempts.is_empty());
+    for a in attempts {
+        assert!(matches!(obj_get(a, "budget"), Some(Value::Int(q)) if *q > 0));
+        assert!(obj_get(a, "schedulable").is_some());
+    }
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn partition_rejects_inconsistent_bus_parameters() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+    // A budget without a period is meaningless.
+    let no_period = format!(
+        "{{\"op\":\"partition\",\"cores\":2,\"budget\":5,\"tasks\":[{}]}}",
+        task_json(0, 10, 0),
+    );
+    assert_eq!(error_code(&client.send(&no_period)), E_BAD_FIELD);
+    // Budgets exceeding the period violate ΣQ ≤ P.
+    let oversubscribed = format!(
+        "{{\"op\":\"partition\",\"cores\":4,\"period\":20,\"budget\":10,\"tasks\":[{}]}}",
+        task_json(0, 10, 0),
+    );
+    assert_eq!(error_code(&client.send(&oversubscribed)), E_BAD_FIELD);
+    // Unknown heuristics are named.
+    let bad_heuristic = format!(
+        "{{\"op\":\"partition\",\"cores\":2,\"heuristic\":\"next-fit\",\"tasks\":[{}]}}",
+        task_json(0, 10, 0),
+    );
+    assert_eq!(error_code(&client.send(&bad_heuristic)), E_BAD_FIELD);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn partition_packing_failure_is_a_successful_unschedulable_response() {
+    let server = start(None);
+    let mut client = Client::connect(server.addr());
+    // One core, two tasks that each saturate it: the second cannot fit.
+    let line = format!(
+        "{{\"op\":\"partition\",\"cores\":1,\"tasks\":[{},{}]}}",
+        task_json(0, 90, 0),
+        task_json(1, 90, 1),
+    );
+    let resp = client.send(&line);
+    let ok = obj_get(&resp, "ok").expect("packing failure is not a wire error");
+    assert!(matches!(
+        obj_get(ok, "schedulable"),
+        Some(Value::Bool(false))
+    ));
+    assert!(matches!(obj_get(ok, "unplaced"), Some(Value::Int(_))));
+    server.shutdown();
+    server.join();
+}

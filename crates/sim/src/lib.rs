@@ -51,6 +51,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod bus;
 pub mod conformance;
 pub mod gantt;
 pub mod kernel;
@@ -61,6 +62,7 @@ pub mod stats;
 pub mod trace;
 pub mod validate;
 
+pub use bus::{arbitrate, TransferRecord, TransferReq};
 pub use conformance::{check_conformance, ConformanceReport, RuleDiagnostic, RuleTag};
 pub use gantt::render_gantt;
 pub use kernel::{JobState, KernelView};
