@@ -27,9 +27,10 @@ use std::time::Instant;
 
 use pmcs_model::{CoreId, TaskId, TaskSet, Time};
 use pmcs_sim::{
-    check_conformance, simulate_with, validate_trace, ProtocolPolicy, ReleasePlan, SimResult,
+    check_conformance_ref, kernel::run_into, validate_trace_ref, ProtocolPolicy, ReleasePlan,
+    SimWorkspace, TraceRef,
 };
-use pmcs_workload::{adversarial_plan, adversarial_specs, PlanSpec};
+use pmcs_workload::{adversarial_plan_into, adversarial_specs, PlanSpec};
 
 use crate::analyzer::AnalysisContext;
 use crate::error::AnalysisError;
@@ -50,6 +51,9 @@ pub struct SimCounters {
     pub refutations: u64,
     /// Wall-clock seconds spent simulating and validating.
     pub sim_secs: f64,
+    /// Simulation runs that reused a warm [`SimWorkspace`] (pooled
+    /// buffers, no per-run allocation) instead of allocating fresh.
+    pub ws_reused: u64,
 }
 
 impl SimCounters {
@@ -59,6 +63,35 @@ impl SimCounters {
         self.traces_validated += other.traces_validated;
         self.refutations += other.refutations;
         self.sim_secs += other.sim_secs;
+        self.ws_reused += other.ws_reused;
+    }
+
+    /// Simulated plans per wall-clock second (`0.0` before any run).
+    pub fn plans_per_sec(&self) -> f64 {
+        if self.sim_secs > 0.0 {
+            self.plans_run as f64 / self.sim_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-worker reusable simulation scratch: a pooled [`SimWorkspace`]
+/// plus a release-plan buffer. Drivers that evaluate many plans hold one
+/// of these per worker thread and pass it to the `*_in` cross-validation
+/// entry points, so steady-state simulation allocates nothing.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Pooled kernel buffers.
+    pub ws: SimWorkspace,
+    /// Pooled release-plan buffer (refilled per spec).
+    pub plan: ReleasePlan,
+}
+
+impl SimScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        SimScratch::default()
     }
 }
 
@@ -178,7 +211,7 @@ pub(crate) fn sim_horizon(set: &TaskSet) -> Time {
 
 /// A compact excerpt of the trace around a task's worst-response job
 /// (or the trace tail when no task is singled out).
-fn trace_excerpt(result: &SimResult, task: Option<TaskId>) -> String {
+fn trace_excerpt(result: TraceRef<'_>, task: Option<TaskId>) -> String {
     let events: Vec<String> = match task {
         Some(task) => result
             .events()
@@ -206,19 +239,34 @@ pub fn cross_validate_bounds(
     specs: &[PlanSpec],
     approach: &str,
 ) -> (SimCounters, Vec<Refutation>) {
+    cross_validate_bounds_in(set, policy, bounds, specs, approach, &mut SimScratch::new())
+}
+
+/// [`cross_validate_bounds`] against a caller-owned [`SimScratch`] —
+/// the zero-allocation path drivers thread one scratch per worker
+/// through. Results are identical to the allocating wrapper.
+pub fn cross_validate_bounds_in(
+    set: &TaskSet,
+    policy: &dyn ProtocolPolicy,
+    bounds: &[(TaskId, Time)],
+    specs: &[PlanSpec],
+    approach: &str,
+    scratch: &mut SimScratch,
+) -> (SimCounters, Vec<Refutation>) {
     let started = Instant::now();
+    let reuses_before = scratch.ws.reuses();
     let mut counters = SimCounters::default();
     let mut refutations = Vec::new();
     let release_horizon = plan_horizon(set);
     let horizon = sim_horizon(set);
 
     for &spec in specs {
-        let plan: ReleasePlan = adversarial_plan(set, release_horizon, spec);
-        let result = simulate_with(set, &plan, policy, horizon);
+        adversarial_plan_into(set, release_horizon, spec, &mut scratch.plan);
+        let result = run_into(set, &scratch.plan, policy, horizon, &mut scratch.ws);
         counters.plans_run += 1;
 
         if policy.interval_structured() {
-            let violations = validate_trace(set, &result, policy.ls_rules());
+            let violations = validate_trace_ref(set, result, policy.ls_rules());
             if !violations.is_empty() {
                 refutations.push(Refutation {
                     approach: approach.to_string(),
@@ -230,10 +278,10 @@ pub fn cross_validate_bounds(
                             .collect::<Vec<_>>()
                             .join("; "),
                     },
-                    excerpt: trace_excerpt(&result, None),
+                    excerpt: trace_excerpt(result, None),
                 });
             }
-            let conformance = check_conformance(set, &result, policy.ls_rules());
+            let conformance = check_conformance_ref(set, result, policy.ls_rules());
             if conformance.applicable && !conformance.is_conformant() {
                 refutations.push(Refutation {
                     approach: approach.to_string(),
@@ -246,7 +294,7 @@ pub fn cross_validate_bounds(
                             .collect::<Vec<_>>()
                             .join("; "),
                     },
-                    excerpt: trace_excerpt(&result, None),
+                    excerpt: trace_excerpt(result, None),
                 });
             }
             counters.traces_validated += 1;
@@ -263,7 +311,7 @@ pub fn cross_validate_bounds(
                             observed,
                             bound,
                         },
-                        excerpt: trace_excerpt(&result, Some(task)),
+                        excerpt: trace_excerpt(result, Some(task)),
                     });
                 }
             }
@@ -272,6 +320,7 @@ pub fn cross_validate_bounds(
 
     counters.refutations = refutations.len() as u64;
     counters.sim_secs = started.elapsed().as_secs_f64();
+    counters.ws_reused = scratch.ws.reuses() - reuses_before;
     (counters, refutations)
 }
 
@@ -293,6 +342,22 @@ pub fn cross_validate_report(
     report: &ApproachReport,
     specs: &[PlanSpec],
 ) -> Result<(SimCounters, Vec<Refutation>), AnalysisError> {
+    cross_validate_report_in(set, policy, report, specs, &mut SimScratch::new())
+}
+
+/// [`cross_validate_report`] against a caller-owned [`SimScratch`] (see
+/// [`cross_validate_bounds_in`]).
+///
+/// # Errors
+///
+/// Same conditions as [`cross_validate_report`].
+pub fn cross_validate_report_in(
+    set: &TaskSet,
+    policy: &dyn ProtocolPolicy,
+    report: &ApproachReport,
+    specs: &[PlanSpec],
+    scratch: &mut SimScratch,
+) -> Result<(SimCounters, Vec<Refutation>), AnalysisError> {
     let mut marked = set.clone();
     for task in &report.tasks {
         if let Some(s) = task.sensitivity {
@@ -306,12 +371,13 @@ pub fn cross_validate_report(
     } else {
         Vec::new()
     };
-    Ok(cross_validate_bounds(
+    Ok(cross_validate_bounds_in(
         &marked,
         policy,
         &bounds,
         specs,
         &report.approach,
+        scratch,
     ))
 }
 
@@ -487,17 +553,21 @@ mod tests {
             traces_validated: 1,
             refutations: 0,
             sim_secs: 0.5,
+            ws_reused: 1,
         };
         let b = SimCounters {
             plans_run: 3,
             traces_validated: 3,
             refutations: 2,
             sim_secs: 1.0,
+            ws_reused: 3,
         };
         a.merge(&b);
         assert_eq!(a.plans_run, 5);
         assert_eq!(a.traces_validated, 4);
         assert_eq!(a.refutations, 2);
         assert!((a.sim_secs - 1.5).abs() < 1e-9);
+        assert_eq!(a.ws_reused, 4);
+        assert!(a.plans_per_sec() > 0.0);
     }
 }

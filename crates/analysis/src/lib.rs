@@ -64,14 +64,14 @@ pub use config::{
     LP_BACKEND_ENV_VAR,
 };
 pub use cross_validate::{
-    cross_validate, cross_validate_bounds, cross_validate_report, plan_horizon, Refutation,
-    RefutationKind, SimCounters,
+    cross_validate, cross_validate_bounds, cross_validate_bounds_in, cross_validate_report,
+    cross_validate_report_in, plan_horizon, Refutation, RefutationKind, SimCounters, SimScratch,
 };
 pub use engine_stack::{milp_engine, AuditedEngine, EngineStack, StackEngine};
 pub use error::AnalysisError;
 pub use multicore::{
-    cross_validate_platform, extract_transfers, refute_bus_bounds, ContentionAware, CoreValidation,
-    PlatformValidation,
+    cross_validate_platform, extract_transfers, extract_transfers_into, refute_bus_bounds,
+    ContentionAware, CoreValidation, PlatformValidation,
 };
 pub use registry::Registry;
 pub use report::{ApproachReport, TaskReport};

@@ -37,12 +37,13 @@ use std::time::Instant;
 use pmcs_core::contention::Inflation;
 use pmcs_model::{BusModel, CoreId, Phase, Platform, TaskSet, Time};
 use pmcs_sim::bus::{arbitrate, TransferReq};
-use pmcs_sim::{simulate_with, SimResult, TraceUnit};
-use pmcs_workload::{adversarial_plan, adversarial_specs, PlanSpec};
+use pmcs_sim::{kernel::run_into, SimResult, TraceRef, TraceUnit};
+use pmcs_workload::{adversarial_plan_into, adversarial_specs, PlanSpec};
 
 use crate::analyzer::{AnalysisContext, Analyzer};
 use crate::cross_validate::{
-    cross_validate_report, plan_horizon, sim_horizon, Refutation, RefutationKind, SimCounters,
+    cross_validate_report_in, plan_horizon, sim_horizon, Refutation, RefutationKind, SimCounters,
+    SimScratch,
 };
 use crate::error::AnalysisError;
 use crate::registry::Registry;
@@ -192,6 +193,18 @@ impl PlatformValidation {
 /// events and zero-demand copies issue no bus transfer.
 pub fn extract_transfers(core: CoreId, original: &TaskSet, result: &SimResult) -> Vec<TransferReq> {
     let mut out = Vec::new();
+    extract_transfers_into(core, original, result.as_trace(), &mut out);
+    out
+}
+
+/// [`extract_transfers`] over a borrowed trace view, appending into a
+/// caller-owned (pooled) request buffer.
+pub fn extract_transfers_into(
+    core: CoreId,
+    original: &TaskSet,
+    result: TraceRef<'_>,
+    out: &mut Vec<TransferReq>,
+) {
     for e in result.events() {
         if e.unit != TraceUnit::Dma || e.canceled {
             continue;
@@ -215,7 +228,6 @@ pub fn extract_transfers(core: CoreId, original: &TaskSet, result: &SimResult) -
             demand,
         });
     }
-    out
 }
 
 /// Replays `requests` through the regulated-bus arbiter and refutes
@@ -291,6 +303,9 @@ pub fn cross_validate_platform(
         .ok_or_else(|| AnalysisError::UnknownApproach(approach.to_string()))?;
     let specs = adversarial_specs(plans, base_seed);
     let bus = platform.bus();
+    // One reusable workspace + plan buffer for every simulation this
+    // validation performs (both layers).
+    let mut scratch = SimScratch::new();
 
     // Layer 1: per-core analysis + cross-validation on the inflated sets.
     let mut cores = Vec::with_capacity(platform.num_cores());
@@ -298,7 +313,8 @@ pub fn cross_validate_platform(
         let inflation = Inflation::for_core(bus, core);
         let inflated = inflation.inflate_set(set).map_err(AnalysisError::Core)?;
         let report = analyzer.analyze_with(&inflated, ctx)?;
-        let (counters, refutations) = cross_validate_report(&inflated, policy, &report, &specs)?;
+        let (counters, refutations) =
+            cross_validate_report_in(&inflated, policy, &report, &specs, &mut scratch)?;
         cores.push(CoreValidation {
             core,
             inflation,
@@ -328,14 +344,22 @@ pub fn cross_validate_platform(
             }
             marked.push(inflated);
         }
+        let reuses_before = scratch.ws.reuses();
+        let mut requests = Vec::new();
         for &spec in &specs {
-            let mut requests = Vec::new();
+            requests.clear();
             for (cv, inflated) in cores.iter().zip(&marked) {
-                let plan = adversarial_plan(inflated, plan_horizon(inflated), spec);
-                let result = simulate_with(inflated, &plan, policy, sim_horizon(inflated));
+                adversarial_plan_into(inflated, plan_horizon(inflated), spec, &mut scratch.plan);
+                let result = run_into(
+                    inflated,
+                    &scratch.plan,
+                    policy,
+                    sim_horizon(inflated),
+                    &mut scratch.ws,
+                );
                 bus_counters.plans_run += 1;
                 let original = platform.core(cv.core).expect("iterated core exists");
-                requests.extend(extract_transfers(cv.core, original, &result));
+                extract_transfers_into(cv.core, original, result, &mut requests);
             }
             transfers_checked += requests.len() as u64;
             let inflations: Vec<Inflation> = cores.iter().map(|c| c.inflation).collect();
@@ -349,6 +373,7 @@ pub fn cross_validate_platform(
         }
         bus_counters.refutations = bus_refutations.len() as u64;
         bus_counters.sim_secs = started.elapsed().as_secs_f64();
+        bus_counters.ws_reused = scratch.ws.reuses() - reuses_before;
     }
 
     Ok(PlatformValidation {

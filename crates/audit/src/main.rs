@@ -27,7 +27,11 @@
 //!   log from scratch with the batch analyzer and refute any recorded
 //!   response that differs byte-for-byte (the admission-control analogue
 //!   of `cert check`: the replay shares no session, verdict-cache, or
-//!   shared-cache machinery with the server it audits).
+//!   shared-cache machinery with the server it audits);
+//! * `campaign` — run the Monte-Carlo falsification campaign of
+//!   `pmcs-bench` (single-core, regulated-bus, and measured sections,
+//!   every job response live-checked against the analytical WCRTs) and
+//!   exit nonzero on any bound exceedance.
 //!
 //! Engines are built through the `pmcs-analysis` facade: the typed
 //! [`AnalysisConfig`] is resolved once here at the CLI edge (so
@@ -48,6 +52,7 @@ use pmcs_analysis::{
     AnalysisContext, CliOverrides, RefutationKind, Registry,
 };
 use pmcs_audit::{check_conformance, lint, lint_sequence, Severity, LINT_CODES};
+use pmcs_bench::{run_campaign, CampaignConfig};
 use pmcs_core::window::case_for;
 use pmcs_core::Heuristic;
 use pmcs_core::WindowModel;
@@ -86,13 +91,18 @@ COMMANDS:
              bandwidth-regulated (admission uses contention-aware
              inflation), and --period without --budget searches
              descending uniform budgets
+    campaign run the pmcs-bench Monte-Carlo falsification campaign
+             (--plans defaults to 20000 and --util to 0.25 here; every
+             job response is checked live against the analytical WCRT
+             bounds and any exceedance exits nonzero)
 
 OPTIONS:
     --seed <N>       RNG seed for workload generation      [default: 42]
     --tasks <N>      number of tasks in the generated set  [default: 5]
-    --util <X>       total utilization of the set          [default: 0.5]
+    --util <X>       total utilization of the set
+                     [default: 0.5; campaign: 0.25]
     --plans <N>      adversarial release plans per approach
-                     (simulate)                            [default: 8]
+                     [simulate default: 8; campaign default: 20000]
     --cores <M>      cores to partition onto (partition)   [default: 2]
     --heuristic <H>  first-fit | best-fit | worst-fit
                      (partition)                           [default: first-fit]
@@ -108,8 +118,11 @@ OPTIONS:
 struct Options {
     seed: u64,
     tasks: usize,
-    util: f64,
-    plans: usize,
+    // `None` = not given on the CLI; per-subcommand defaults apply
+    // (campaign wants a schedulable 0.25-utilization regime and a much
+    // larger plan budget than the simulate smoke check).
+    util: Option<f64>,
+    plans: Option<usize>,
     cores: usize,
     heuristic: Heuristic,
     period: Option<i64>,
@@ -123,8 +136,8 @@ impl Default for Options {
         Options {
             seed: 42,
             tasks: 5,
-            util: 0.5,
-            plans: 8,
+            util: None,
+            plans: None,
             cores: 2,
             heuristic: Heuristic::FirstFit,
             period: None,
@@ -168,7 +181,7 @@ fn main() -> ExitCode {
                 let ok = match arg.as_str() {
                     "--seed" => value.parse().map(|v| opts.seed = v).is_ok(),
                     "--tasks" => value.parse().map(|v| opts.tasks = v).is_ok(),
-                    "--plans" => value.parse().map(|v| opts.plans = v).is_ok(),
+                    "--plans" => value.parse().map(|v| opts.plans = Some(v)).is_ok(),
                     "--cores" => value
                         .parse()
                         .ok()
@@ -198,7 +211,7 @@ fn main() -> ExitCode {
                         opts.out = Some(value.clone());
                         true
                     }
-                    _ => value.parse().map(|v| opts.util = v).is_ok(),
+                    _ => value.parse().map(|v| opts.util = Some(v)).is_ok(),
                 };
                 if !ok {
                     eprintln!("error: invalid value {value:?} for {arg}");
@@ -220,9 +233,11 @@ fn main() -> ExitCode {
         eprintln!("error: --tasks must be at least 1");
         return ExitCode::FAILURE;
     }
-    if !(opts.util > 0.0 && opts.util < 1.0) {
-        eprintln!("error: --util must be in (0, 1), got {}", opts.util);
-        return ExitCode::FAILURE;
+    if let Some(util) = opts.util {
+        if !(util > 0.0 && util < 1.0) {
+            eprintln!("error: --util must be in (0, 1), got {util}");
+            return ExitCode::FAILURE;
+        }
     }
 
     // Resolve the typed analysis configuration exactly once, at the CLI
@@ -242,6 +257,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&opts, &cfg),
         Some("simulate") => cmd_simulate(&opts, &cfg),
         Some("partition") => cmd_partition(&opts, &cfg),
+        Some("campaign") => cmd_campaign(&opts, &cfg),
         Some("cert") => cmd_cert(&opts, &positionals[1..]),
         Some("serve-replay") => match positionals.get(1) {
             Some(path) => cmd_serve_replay(path),
@@ -267,7 +283,7 @@ fn main() -> ExitCode {
 fn demo_set(opts: &Options) -> TaskSet {
     let config = TaskSetConfig {
         n: opts.tasks,
-        utilization: opts.util,
+        utilization: opts.util.unwrap_or(0.5),
         ..TaskSetConfig::default()
     };
     let set = TaskSetGenerator::new(config, opts.seed).generate();
@@ -544,6 +560,7 @@ fn cmd_analyze(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
 // --- simulate -----------------------------------------------------------
 
 fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
+    let plans = opts.plans.unwrap_or(8);
     let set = demo_set(opts);
     let ctx = AnalysisContext::new(cfg);
     let analyzers = Registry::standard();
@@ -554,7 +571,7 @@ fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
     println!(
         "cross-validating {} registered approaches against {} adversarial plans each:",
         analyzers.len(),
-        opts.plans,
+        plans,
     );
     for analyzer in analyzers.iter() {
         let name = analyzer.name();
@@ -562,7 +579,7 @@ fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
             println!("  {name}: no simulator policy of that name — skipped");
             continue;
         }
-        match cross_validate(&set, name, opts.plans, opts.seed, &ctx) {
+        match cross_validate(&set, name, plans, opts.seed, &ctx) {
             Ok((report, counters, refutations)) => {
                 println!(
                     "  {name}: {} plan(s) simulated, {} trace(s) validated, \
@@ -581,7 +598,7 @@ fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
                     failed = true;
                 }
                 if name == "proposed" {
-                    proposed = Some((report, adversarial_specs(opts.plans, opts.seed)));
+                    proposed = Some((report, adversarial_specs(plans, opts.seed)));
                 }
             }
             Err(e) => {
@@ -684,6 +701,50 @@ fn cmd_simulate(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
     }
 }
 
+// --- campaign -----------------------------------------------------------
+
+/// Runs the `pmcs-bench` Monte-Carlo falsification campaign as an audit
+/// pass: the deterministic report goes to stdout and any live bound
+/// exceedance fails the run. Unlike the `campaign` bench binary this
+/// writes no perf record — it is the pass/fail half of the tool only.
+fn cmd_campaign(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
+    let mut campaign = CampaignConfig {
+        plans: opts.plans.unwrap_or(20_000),
+        tasks: opts.tasks,
+        seed: opts.seed,
+        analysis: cfg.clone(),
+        ..CampaignConfig::default()
+    };
+    if let Some(util) = opts.util {
+        campaign.util = util;
+    }
+
+    let out = match run_campaign(&campaign) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("error: campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", out.report_text());
+    if out.refutations.is_empty() {
+        println!(
+            "campaign PASSED: {} sims ({} warm-workspace reuses), 0 bound exceedances",
+            out.sims_run, out.ws_reused,
+        );
+        ExitCode::SUCCESS
+    } else {
+        for line in &out.refutations {
+            eprintln!("{line}");
+        }
+        eprintln!(
+            "campaign REFUTED: {} bound exceedance(s)",
+            out.refutations.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
 // --- partition ----------------------------------------------------------
 
 fn cmd_partition(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
@@ -692,7 +753,7 @@ fn cmd_partition(opts: &Options, cfg: &AnalysisConfig) -> ExitCode {
     // heuristic has real placement choices.
     let config = TaskSetConfig {
         n: opts.tasks.max(opts.cores),
-        utilization: opts.util,
+        utilization: opts.util.unwrap_or(0.5),
         ..TaskSetConfig::default()
     };
     let tasks = TaskSetGenerator::new(config, opts.seed)

@@ -124,6 +124,7 @@ fn main() {
         traces_validated: scenarios.iter().filter(|(p, _)| *p != Policy::Nps).count() as u64,
         refutations: 0,
         sim_secs: rendered.iter().map(|(_, secs)| secs).sum(),
+        ws_reused: 0,
     });
 
     // Certificate pass (outside the timed region): certify the proposed

@@ -33,8 +33,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use pmcs_analysis::{
-    cross_validate_report, AnalysisConfig, AnalysisContext, AnalysisError, ApproachReport,
-    Registry, SimCounters,
+    cross_validate_report_in, AnalysisConfig, AnalysisContext, AnalysisError, ApproachReport,
+    Registry, SimCounters, SimScratch,
 };
 use pmcs_core::{CacheStats, SharedDelayCache, SolverStats};
 use pmcs_workload::{adversarial_specs, derive_seed, TaskSetConfig, TaskSetGenerator};
@@ -198,6 +198,7 @@ fn cross_validate_item(
     reports: &[(SetOutcome, SolverStats, Option<ApproachReport>)],
     plans: usize,
     item_seed: u64,
+    scratch: &mut SimScratch,
 ) -> (SimCounters, Vec<String>) {
     let sim_registry = pmcs_sim::Registry::standard();
     let mut sim = SimCounters::default();
@@ -210,7 +211,7 @@ fn cross_validate_item(
             continue;
         };
         let specs = adversarial_specs(plans, derive_seed(item_seed, CV_SEED_STREAM, ai as u64));
-        match cross_validate_report(set, policy, report, &specs) {
+        match cross_validate_report_in(set, policy, report, &specs, scratch) {
             Ok((counters, refutations)) => {
                 sim.merge(&counters);
                 lines.extend(refutations.iter().map(|r| r.to_string()));
@@ -249,17 +250,25 @@ pub fn sweep_with(
     // context reports only its own lookups, so the merge below counts
     // every lookup exactly once.
     let shared_cache = Arc::new(SharedDelayCache::default());
+    // Each worker owns one analysis context AND one simulation scratch
+    // (workspace + plan buffer): every cross-validated plan in the sweep
+    // reuses the worker's buffers instead of allocating per run.
     let (evaluated, contexts) = parallel_map_with(
         &items,
         cfg.jobs,
-        || AnalysisContext::with_shared_cache(cfg, Arc::clone(&shared_cache)),
-        |ctx, _, &(pi, si)| {
+        || {
+            (
+                AnalysisContext::with_shared_cache(cfg, Arc::clone(&shared_cache)),
+                SimScratch::new(),
+            )
+        },
+        |(ctx, scratch), _, &(pi, si)| {
             let t0 = Instant::now();
             let seed = derive_seed(base_seed, pi as u64, si as u64);
             let set = TaskSetGenerator::new(points[pi].config.clone(), seed).generate();
             let outcomes = evaluate_set_with_reports(&set, registry, ctx);
             let (sim, refutations) = if cfg.cross_validate > 0 {
-                cross_validate_item(&set, registry, &outcomes, cfg.cross_validate, seed)
+                cross_validate_item(&set, registry, &outcomes, cfg.cross_validate, seed, scratch)
             } else {
                 (SimCounters::default(), Vec::new())
             };
@@ -302,7 +311,7 @@ pub fn sweep_with(
         })
         .collect();
     let mut cache = CacheStats::default();
-    for ctx in contexts {
+    for (ctx, _) in contexts {
         cache.merge(ctx.cache_stats());
     }
     SweepOutcome {

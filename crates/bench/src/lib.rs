@@ -30,6 +30,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod certs;
 pub mod experiment;
 pub mod figures;
@@ -38,6 +39,9 @@ pub mod parallel;
 pub mod perf;
 pub mod report;
 
+pub use campaign::{
+    bin_of, run_campaign, CampaignConfig, CampaignOutcome, MeasuredRow, PolicyHist, BINS,
+};
 pub use certs::{certify_set, certify_sweep, CertSummary};
 pub use experiment::{
     evaluate_set, evaluate_set_with_reports, evaluate_set_with_stats, sweep, sweep_with,

@@ -100,13 +100,17 @@ impl PerfRecord {
         self.extra_num("cert_secs", certs.secs);
     }
 
-    /// Attaches the simulation cross-validation counters as the four
-    /// `sim_*` keys (all zero when cross-validation was off).
+    /// Attaches the simulation cross-validation counters as the `sim_*`
+    /// keys (all zero when cross-validation was off), including the
+    /// simulation throughput and the workspace-reuse counter — how many
+    /// runs recycled a worker's pooled buffers instead of allocating.
     pub fn extra_sim(&mut self, sim: &SimCounters) {
         self.extra_num("sim_plans_run", sim.plans_run as f64);
         self.extra_num("sim_traces_validated", sim.traces_validated as f64);
         self.extra_num("sim_refutations", sim.refutations as f64);
         self.extra_num("sim_secs", sim.sim_secs);
+        self.extra_num("sim_plans_per_sec", sim.plans_per_sec());
+        self.extra_num("sim_ws_reused", sim.ws_reused as f64);
     }
 
     /// Renders the record as a JSON object.
@@ -284,12 +288,15 @@ mod tests {
             traces_validated: 9,
             refutations: 1,
             sim_secs: 0.25,
+            ws_reused: 11,
         });
         let j = r.to_json();
         assert!(j.contains("\"sim_plans_run\": 12"));
         assert!(j.contains("\"sim_traces_validated\": 9"));
         assert!(j.contains("\"sim_refutations\": 1"));
         assert!(j.contains("\"sim_secs\": 0.25"));
+        assert!(j.contains("\"sim_plans_per_sec\": 48"));
+        assert!(j.contains("\"sim_ws_reused\": 11"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::fmt;
 use pmcs_core::protocol::{ProtocolRule, RULES};
 use pmcs_model::{JobId, Phase, TaskSet, Time};
 
-use crate::trace::{JobRecord, SimResult, TraceEvent, TraceUnit};
+use crate::trace::{JobRecord, SimResult, TraceEvent, TraceRef, TraceUnit};
 
 /// Identifies one of the six protocol rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -180,6 +180,16 @@ struct IntervalView {
 /// Traces without interval structure (NPS) yield a non-`applicable`
 /// report with no diagnostics.
 pub fn check_conformance(set: &TaskSet, result: &SimResult, ls_rules: bool) -> ConformanceReport {
+    check_conformance_ref(set, result.as_trace(), ls_rules)
+}
+
+/// [`check_conformance`] over a borrowed trace view (e.g. one held by a
+/// reused [`SimWorkspace`](crate::SimWorkspace)).
+pub fn check_conformance_ref(
+    set: &TaskSet,
+    result: TraceRef<'_>,
+    ls_rules: bool,
+) -> ConformanceReport {
     let starts = result.interval_starts();
     if starts.is_empty() {
         return ConformanceReport::not_applicable();
@@ -362,7 +372,7 @@ fn departure_interval(events: &[TraceEvent], job: JobId) -> Option<usize> {
 /// Jobs ready at the start of interval `k` (activated, not yet departed,
 /// not being served as the urgent task of `k`).
 fn ready_at(
-    result: &SimResult,
+    result: TraceRef<'_>,
     views: &[IntervalView],
     events: &[TraceEvent],
     k: usize,
@@ -407,7 +417,7 @@ fn visible_at_selection(events: &[TraceEvent], r: &JobRecord, istart: Time, k: u
 /// copy-in serves the highest-priority ready job.
 fn check_r2_dma(
     set: &TaskSet,
-    result: &SimResult,
+    result: TraceRef<'_>,
     views: &[IntervalView],
     events: &[TraceEvent],
     report: &mut ConformanceReport,
@@ -473,7 +483,7 @@ fn check_r2_dma(
 /// the interval; the WP baseline must never cancel.
 fn check_r3_cancellation(
     set: &TaskSet,
-    result: &SimResult,
+    result: TraceRef<'_>,
     views: &[IntervalView],
     events: &[TraceEvent],
     ls_rules: bool,
@@ -530,7 +540,7 @@ fn check_r3_cancellation(
 /// the highest-priority LS job released in that interval.
 fn check_r4_urgency(
     set: &TaskSet,
-    result: &SimResult,
+    result: TraceRef<'_>,
     views: &[IntervalView],
     events: &[TraceEvent],
     ls_rules: bool,
@@ -683,7 +693,7 @@ fn check_r5_cpu(views: &[IntervalView], events: &[TraceEvent], report: &mut Conf
 /// input, a waiting output, an urgent task) forces the next interval to
 /// begin exactly when this one ends.
 fn check_r6_extent(
-    result: &SimResult,
+    result: TraceRef<'_>,
     views: &[IntervalView],
     events: &[TraceEvent],
     report: &mut ConformanceReport,

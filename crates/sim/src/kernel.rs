@@ -12,14 +12,25 @@
 //!
 //! The kernel is exact on the integer `Time` tick grid and fully
 //! deterministic: identical inputs produce byte-identical traces.
-
-use std::collections::VecDeque;
+//!
+//! ## Workspaces
+//!
+//! All per-run storage lives in a [`SimWorkspace`]: pooled event, job
+//! and interval buffers, the runtime task table, and a flat release
+//! queue. Buffers are *cleared, not reallocated* between runs, and the
+//! static task parameters are *borrowed* from the [`TaskSet`] rather
+//! than cloned into the job table, so a reused workspace reaches a
+//! steady state with zero allocation per simulated plan. [`run`] is a
+//! thin wrapper that spins up a fresh workspace per call (the historical
+//! allocating path); Monte-Carlo drivers call [`run_into`] — or
+//! [`run_streaming`], which skips trace materialization entirely and
+//! folds worst-observed response times per task on the fly.
 
 use pmcs_model::{JobId, Phase, Task, TaskSet, Time};
 
 use crate::policy::{CancelWindow, CpuAction, IntervalOutcome, ProtocolPolicy};
 use crate::release::ReleasePlan;
-use crate::trace::{JobRecord, SimResult, TraceEvent, TraceUnit};
+use crate::trace::{JobRecord, SimResult, TraceEvent, TraceRef, TraceUnit};
 
 /// What a local-memory partition currently holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,11 +58,17 @@ pub enum JobState {
     AwaitingCopyOut,
 }
 
-#[derive(Debug)]
+/// Per-task runtime state. Static task parameters are *not* duplicated
+/// here — the kernel borrows them from the [`TaskSet`] — and the release
+/// queue is a cursor range into the workspace's flat release buffer, so
+/// this struct is plain data that a reused workspace recycles for free.
+#[derive(Debug, Clone, Copy)]
 struct TaskRt {
-    info: Task,
-    /// Future plan releases not yet activated.
-    releases: VecDeque<Time>,
+    /// Index of the next unactivated plan release in
+    /// [`SimWorkspace::releases`].
+    rel_cursor: usize,
+    /// One past the last release belonging to this task.
+    rel_end: usize,
     /// Sequence number for job ids.
     next_index: u64,
     /// Completion time of the last finished job (gates activation).
@@ -63,9 +80,16 @@ struct TaskRt {
 #[derive(Debug, Clone, Copy)]
 struct CurrentJob {
     job: JobId,
+    /// Plan release instant (response times are measured from here).
+    release: Time,
     /// When the job became visible to the scheduler
     /// (`max(release, previous completion)`).
     activation: Time,
+    /// Absolute deadline (`release + D`).
+    deadline: Time,
+    /// Recorder handle of the job's [`JobRecord`] (`usize::MAX` in
+    /// streaming mode, which materializes no records).
+    rec: usize,
     state: JobState,
 }
 
@@ -73,7 +97,9 @@ struct CurrentJob {
 /// [`ProtocolPolicy`] at a decision point.
 #[derive(Debug)]
 pub struct KernelView<'a> {
+    infos: &'a [Task],
     tasks: &'a [TaskRt],
+    releases: &'a [Time],
     urgent: Option<usize>,
     cpu_loaded: Option<usize>,
     now: Time,
@@ -90,9 +116,9 @@ impl KernelView<'_> {
         self.tasks.is_empty()
     }
 
-    /// Static parameters of task `i`.
+    /// Static parameters of task `i` (borrowed from the task set).
     pub fn task(&self, i: usize) -> &Task {
-        &self.tasks[i].info
+        &self.infos[i]
     }
 
     /// Scheduling state of task `i`'s in-flight job (`None` if idle).
@@ -126,7 +152,7 @@ impl KernelView<'_> {
             .iter()
             .enumerate()
             .filter(|(_, t)| t.current.is_some_and(|c| c.state == JobState::Ready))
-            .min_by_key(|(_, t)| t.info.priority())
+            .min_by_key(|(i, _)| self.infos[*i].priority())
             .map(|(i, _)| i)
     }
 
@@ -136,15 +162,273 @@ impl KernelView<'_> {
     /// the plan is exhausted. This is what rule R3 watches for.
     pub fn pending_activation(&self, i: usize) -> Option<Time> {
         let t = &self.tasks[i];
-        if t.current.is_some() {
+        if t.current.is_some() || t.rel_cursor == t.rel_end {
             return None;
         }
-        t.releases.front().map(|&r| r.max(t.last_completion))
+        Some(self.releases[t.rel_cursor].max(t.last_completion))
+    }
+}
+
+/// Streaming per-task statistics folded by [`run_streaming`] without
+/// materializing the trace: worst-observed response time, release,
+/// completion and deadline-miss counts per task (indexed by task
+/// position in the set), plus the number of scheduling intervals.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    worst: Vec<Option<Time>>,
+    released: Vec<u64>,
+    completed: Vec<u64>,
+    misses: Vec<u64>,
+    intervals: u64,
+}
+
+impl StreamStats {
+    fn reset(&mut self, n: usize) {
+        self.worst.clear();
+        self.worst.resize(n, None);
+        self.released.clear();
+        self.released.resize(n, 0);
+        self.completed.clear();
+        self.completed.resize(n, 0);
+        self.misses.clear();
+        self.misses.resize(n, 0);
+        self.intervals = 0;
+    }
+
+    /// Number of tasks covered.
+    pub fn len(&self) -> usize {
+        self.worst.len()
+    }
+
+    /// `true` iff no tasks are covered.
+    pub fn is_empty(&self) -> bool {
+        self.worst.is_empty()
+    }
+
+    /// Worst observed response time of the task at set position `i`
+    /// (`None` if no job of the task completed).
+    pub fn worst_response(&self, i: usize) -> Option<Time> {
+        self.worst[i]
+    }
+
+    /// Jobs of task `i` activated within the horizon.
+    pub fn released(&self, i: usize) -> u64 {
+        self.released[i]
+    }
+
+    /// Jobs of task `i` that completed within the horizon.
+    pub fn completed(&self, i: usize) -> u64 {
+        self.completed[i]
+    }
+
+    /// Completed jobs of task `i` that finished after their deadline.
+    pub fn deadline_misses(&self, i: usize) -> u64 {
+        self.misses[i]
+    }
+
+    /// Total completed jobs that finished after their deadline.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Number of scheduling intervals begun (0 under NPS).
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+}
+
+/// Reusable simulation storage: pooled trace buffers, the runtime task
+/// table, a flat release queue, and streaming statistics. Create once,
+/// pass to [`run_into`]/[`run_streaming`] many times — every buffer is
+/// cleared (capacity retained) at the start of each run, so steady-state
+/// simulation allocates nothing.
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    events: Vec<TraceEvent>,
+    jobs: Vec<JobRecord>,
+    interval_starts: Vec<Time>,
+    tasks: Vec<TaskRt>,
+    releases: Vec<Time>,
+    stream: StreamStats,
+    runs: u64,
+}
+
+impl SimWorkspace {
+    /// An empty workspace (no buffers allocated yet).
+    pub fn new() -> Self {
+        SimWorkspace::default()
+    }
+
+    /// Number of simulation runs this workspace has hosted.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Number of runs that *reused* previously allocated buffers
+    /// (all but the first).
+    pub fn reuses(&self) -> u64 {
+        self.runs.saturating_sub(1)
+    }
+
+    /// Borrowed view of the last traced run's buffers.
+    pub fn trace(&self) -> TraceRef<'_> {
+        TraceRef::new(&self.events, &self.jobs, &self.interval_starts)
+    }
+
+    /// Streaming statistics of the last [`run_streaming`] call.
+    pub fn stream_stats(&self) -> &StreamStats {
+        &self.stream
+    }
+
+    /// Moves the last traced run's buffers out into an owned
+    /// [`SimResult`], leaving this workspace empty (but reusable).
+    pub fn take_result(&mut self) -> SimResult {
+        SimResult::new(
+            std::mem::take(&mut self.events),
+            std::mem::take(&mut self.jobs),
+            std::mem::take(&mut self.interval_starts),
+        )
+    }
+
+    /// Clears all buffers (retaining capacity) and rebuilds the runtime
+    /// task table for `set` with `plan`'s releases.
+    fn begin(&mut self, set: &TaskSet, plan: &ReleasePlan) {
+        self.runs += 1;
+        self.events.clear();
+        self.jobs.clear();
+        self.interval_starts.clear();
+        self.releases.clear();
+        self.tasks.clear();
+        for t in set.tasks() {
+            let start = self.releases.len();
+            self.releases.extend_from_slice(plan.releases(t.id()));
+            self.tasks.push(TaskRt {
+                rel_cursor: start,
+                rel_end: self.releases.len(),
+                next_index: 0,
+                last_completion: Time::ZERO,
+                current: None,
+            });
+        }
+    }
+}
+
+/// Sink for what the kernel observes while simulating. The traced
+/// recorder materializes the full trace into workspace buffers; the
+/// streaming recorder folds per-task statistics and drops everything
+/// else. Both see identical callbacks in identical order, which is what
+/// the dirty-workspace equivalence proptests pin down.
+trait Recorder {
+    /// A new scheduling interval begins at `t`; returns its index.
+    fn interval_start(&mut self, t: Time) -> usize;
+    /// A CPU or DMA operation was performed.
+    fn event(&mut self, e: TraceEvent);
+    /// A job was activated; returns the recorder's handle for it.
+    fn activated(
+        &mut self,
+        ti: usize,
+        job: JobId,
+        release: Time,
+        activation: Time,
+        absolute_deadline: Time,
+    ) -> usize;
+    /// The job behind handle `rec` started executing at `at`.
+    fn exec_start(&mut self, rec: usize, at: Time);
+    /// The job behind handle `rec` completed (end of copy-out) at `at`.
+    fn completed(&mut self, ti: usize, rec: usize, release: Time, deadline: Time, at: Time);
+}
+
+struct TraceRecorder<'w> {
+    events: &'w mut Vec<TraceEvent>,
+    jobs: &'w mut Vec<JobRecord>,
+    interval_starts: &'w mut Vec<Time>,
+}
+
+impl Recorder for TraceRecorder<'_> {
+    fn interval_start(&mut self, t: Time) -> usize {
+        self.interval_starts.push(t);
+        self.interval_starts.len() - 1
+    }
+
+    fn event(&mut self, e: TraceEvent) {
+        self.events.push(e);
+    }
+
+    fn activated(
+        &mut self,
+        _ti: usize,
+        job: JobId,
+        release: Time,
+        activation: Time,
+        absolute_deadline: Time,
+    ) -> usize {
+        self.jobs.push(JobRecord {
+            job,
+            release,
+            activation,
+            absolute_deadline,
+            exec_start: None,
+            completion: None,
+        });
+        self.jobs.len() - 1
+    }
+
+    fn exec_start(&mut self, rec: usize, at: Time) {
+        self.jobs[rec].exec_start = Some(at);
+    }
+
+    fn completed(&mut self, _ti: usize, rec: usize, _release: Time, _deadline: Time, at: Time) {
+        self.jobs[rec].completion = Some(at);
+    }
+}
+
+struct StreamRecorder<'w, F: FnMut(usize, Time)> {
+    stats: &'w mut StreamStats,
+    on_response: F,
+}
+
+impl<F: FnMut(usize, Time)> Recorder for StreamRecorder<'_, F> {
+    fn interval_start(&mut self, _t: Time) -> usize {
+        self.stats.intervals += 1;
+        (self.stats.intervals - 1) as usize
+    }
+
+    fn event(&mut self, _e: TraceEvent) {}
+
+    fn activated(
+        &mut self,
+        ti: usize,
+        _job: JobId,
+        _release: Time,
+        _activation: Time,
+        _absolute_deadline: Time,
+    ) -> usize {
+        self.stats.released[ti] += 1;
+        usize::MAX
+    }
+
+    fn exec_start(&mut self, _rec: usize, _at: Time) {}
+
+    fn completed(&mut self, ti: usize, _rec: usize, release: Time, deadline: Time, at: Time) {
+        let response = at - release;
+        let worst = &mut self.stats.worst[ti];
+        if worst.is_none_or(|w| response > w) {
+            *worst = Some(response);
+        }
+        self.stats.completed[ti] += 1;
+        if at > deadline {
+            self.stats.misses[ti] += 1;
+        }
+        (self.on_response)(ti, response);
     }
 }
 
 /// Runs `set` under `policy` with the given release plan until `horizon`
 /// (scheduling slots starting at or after the horizon are not begun).
+///
+/// This is the fresh-workspace convenience wrapper: it allocates a
+/// [`SimWorkspace`] per call. Hot loops should hold a workspace and call
+/// [`run_into`] or [`run_streaming`] instead.
 ///
 /// # Panics
 ///
@@ -156,21 +440,94 @@ pub fn run(
     policy: &dyn ProtocolPolicy,
     horizon: Time,
 ) -> SimResult {
-    let mut tasks: Vec<TaskRt> = set
-        .iter()
-        .map(|t| TaskRt {
-            releases: plan.releases(t.id()).iter().copied().collect(),
-            next_index: 0,
-            last_completion: Time::ZERO,
-            current: None,
-            info: t.clone(),
-        })
-        .collect();
+    let mut ws = SimWorkspace::new();
+    run_into(set, plan, policy, horizon, &mut ws);
+    ws.take_result()
+}
 
-    let mut events: Vec<TraceEvent> = Vec::new();
-    let mut jobs: Vec<JobRecord> = Vec::new();
-    let mut interval_starts: Vec<Time> = Vec::new();
+/// Runs `set` under `policy` into a caller-owned [`SimWorkspace`],
+/// returning a borrowed view of the produced trace. Identical inputs
+/// produce byte-identical traces regardless of what the workspace held
+/// before the call.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to make progress.
+pub fn run_into<'w>(
+    set: &TaskSet,
+    plan: &ReleasePlan,
+    policy: &dyn ProtocolPolicy,
+    horizon: Time,
+    ws: &'w mut SimWorkspace,
+) -> TraceRef<'w> {
+    ws.begin(set, plan);
+    {
+        let mut rec = TraceRecorder {
+            events: &mut ws.events,
+            jobs: &mut ws.jobs,
+            interval_starts: &mut ws.interval_starts,
+        };
+        run_kernel(
+            set.tasks(),
+            &mut ws.tasks,
+            &ws.releases,
+            policy,
+            horizon,
+            &mut rec,
+        );
+    }
+    ws.jobs.sort_by_key(|j| (j.release, j.job));
+    ws.trace()
+}
 
+/// Runs `set` under `policy` in streaming mode: no trace is
+/// materialized; per-task worst responses, counts and deadline misses
+/// are folded into the workspace's [`StreamStats`], and `on_response`
+/// is invoked once per completed job with `(task_index, response)` —
+/// the hook campaign drivers use to fold response-time histograms.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to make progress.
+pub fn run_streaming<'w, F>(
+    set: &TaskSet,
+    plan: &ReleasePlan,
+    policy: &dyn ProtocolPolicy,
+    horizon: Time,
+    ws: &'w mut SimWorkspace,
+    on_response: F,
+) -> &'w StreamStats
+where
+    F: FnMut(usize, Time),
+{
+    ws.begin(set, plan);
+    ws.stream.reset(set.len());
+    {
+        let mut rec = StreamRecorder {
+            stats: &mut ws.stream,
+            on_response,
+        };
+        run_kernel(
+            set.tasks(),
+            &mut ws.tasks,
+            &ws.releases,
+            policy,
+            horizon,
+            &mut rec,
+        );
+    }
+    &ws.stream
+}
+
+/// The shared kernel loop, generic over the recording sink.
+fn run_kernel<R: Recorder>(
+    infos: &[Task],
+    tasks: &mut [TaskRt],
+    releases: &[Time],
+    policy: &dyn ProtocolPolicy,
+    horizon: Time,
+    rec: &mut R,
+) {
     // Two partitions; indices 0/1. `cpu_part` is the partition assigned
     // to the CPU in the *current* interval. The serialized (no-DMA) mode
     // never touches them.
@@ -191,7 +548,7 @@ pub fn run(
             policy.name()
         );
 
-        activate(&mut tasks, &mut jobs, now);
+        activate(infos, tasks, releases, rec, now);
 
         let work_pending = urgent.is_some()
             || partitions
@@ -202,7 +559,7 @@ pub fn run(
                 .any(|t| matches!(t.current.map(|c| c.state), Some(JobState::Ready)));
         if !work_pending {
             // System idle: jump to the next activation, if any.
-            match next_activation(&tasks) {
+            match next_activation(tasks, releases) {
                 Some(t) if t < horizon => {
                     now = t;
                     continue;
@@ -216,9 +573,8 @@ pub fn run(
 
         // ----- Slot start: R1 partition swap (interval mode) -------------
         let k = if structured {
-            interval_starts.push(now);
             cpu_part = 1 - cpu_part;
-            interval_starts.len() - 1
+            rec.interval_start(now)
         } else {
             usize::MAX
         };
@@ -226,7 +582,7 @@ pub fn run(
 
         // ----- CPU side (R5) ---------------------------------------------
         let action = {
-            let view = view(&tasks, urgent, partitions[cpu_part], now);
+            let view = view(infos, tasks, releases, urgent, partitions[cpu_part], now);
             policy.dispatch(&view)
         };
         let mut cpu_end = now;
@@ -240,9 +596,9 @@ pub fn run(
                     .current
                     .unwrap_or_else(|| panic!("urgent task τ{ti} must have a job at t={now}"));
                 debug_assert_eq!(job.state, JobState::Urgent);
-                let l = tasks[ti].info.copy_in();
-                let c = tasks[ti].info.exec();
-                events.push(TraceEvent {
+                let l = infos[ti].copy_in();
+                let c = infos[ti].exec();
+                rec.event(TraceEvent {
                     start: now,
                     end: now + l,
                     unit: TraceUnit::Cpu,
@@ -251,7 +607,7 @@ pub fn run(
                     canceled: false,
                     interval: k,
                 });
-                events.push(TraceEvent {
+                rec.event(TraceEvent {
                     start: now + l,
                     end: now + l + c,
                     unit: TraceUnit::Cpu,
@@ -260,7 +616,7 @@ pub fn run(
                     canceled: false,
                     interval: k,
                 });
-                record_exec_start(&mut jobs, job.job, now + l);
+                rec.exec_start(job.rec, now + l);
                 cpu_end = now + l + c;
                 set_state(&mut tasks[ti], JobState::AwaitingCopyOut);
                 debug_assert_eq!(partitions[cpu_part], PartitionContent::Empty);
@@ -271,8 +627,8 @@ pub fn run(
                     panic!("dispatch chose ExecuteLoaded with no loaded partition at t={now}")
                 };
                 debug_assert_eq!(pi, ti, "dispatch must execute the loaded task");
-                let c = tasks[ti].info.exec();
-                events.push(TraceEvent {
+                let c = infos[ti].exec();
+                rec.event(TraceEvent {
                     start: now,
                     end: now + c,
                     unit: TraceUnit::Cpu,
@@ -281,7 +637,9 @@ pub fn run(
                     canceled: false,
                     interval: k,
                 });
-                record_exec_start(&mut jobs, job, now);
+                if let Some(cur) = tasks[ti].current {
+                    rec.exec_start(cur.rec, now);
+                }
                 cpu_end = now + c;
                 set_state(&mut tasks[ti], JobState::AwaitingCopyOut);
                 partitions[cpu_part] = PartitionContent::Output(job, ti);
@@ -293,18 +651,14 @@ pub fn run(
                     panic!("serialized dispatch of τ{ti} needs a ready job at t={now}")
                 });
                 debug_assert_eq!(job.state, JobState::Ready);
-                let (l, c, u) = (
-                    tasks[ti].info.copy_in(),
-                    tasks[ti].info.exec(),
-                    tasks[ti].info.copy_out(),
-                );
+                let (l, c, u) = (infos[ti].copy_in(), infos[ti].exec(), infos[ti].copy_out());
                 let phases = [
                     (Phase::CopyIn, now, now + l),
                     (Phase::Execute, now + l, now + l + c),
                     (Phase::CopyOut, now + l + c, now + l + c + u),
                 ];
                 for (phase, start, end) in phases {
-                    events.push(TraceEvent {
+                    rec.event(TraceEvent {
                         start,
                         end,
                         unit: TraceUnit::Cpu,
@@ -314,9 +668,9 @@ pub fn run(
                         interval: k,
                     });
                 }
-                record_exec_start(&mut jobs, job.job, now + l);
+                rec.exec_start(job.rec, now + l);
                 cpu_end = now + l + c + u;
-                complete_job(&mut tasks[ti], &mut jobs, job.job, cpu_end);
+                complete_job(&mut tasks[ti], rec, ti, cpu_end);
             }
         }
 
@@ -325,7 +679,7 @@ pub fn run(
         // interval, among the tasks ready at that instant; the copy-in
         // itself runs after the (possible) copy-out.
         let target = {
-            let view = view(&tasks, urgent, partitions[cpu_part], now);
+            let view = view(infos, tasks, releases, urgent, partitions[cpu_part], now);
             policy.copy_in_target(&view)
         };
         if let Some(ti) = target {
@@ -334,8 +688,8 @@ pub fn run(
 
         let mut dma_t = now;
         if let PartitionContent::Output(job, ti) = partitions[dma_part] {
-            let u = tasks[ti].info.copy_out();
-            events.push(TraceEvent {
+            let u = infos[ti].copy_out();
+            rec.event(TraceEvent {
                 start: dma_t,
                 end: dma_t + u,
                 unit: TraceUnit::Dma,
@@ -346,7 +700,7 @@ pub fn run(
             });
             dma_t += u;
             partitions[dma_part] = PartitionContent::Empty;
-            complete_job(&mut tasks[ti], &mut jobs, job, dma_t);
+            complete_job(&mut tasks[ti], rec, ti, dma_t);
         }
 
         let mut copyin_canceled = false;
@@ -356,7 +710,7 @@ pub fn run(
                 .current
                 .unwrap_or_else(|| panic!("copy-in target τ{ti} must have a job at t={now}"));
             let start = dma_t;
-            let full_end = start + tasks[ti].info.copy_in();
+            let full_end = start + infos[ti].copy_in();
             // R3 guards the copy-in for the *whole interval* in which it
             // is scheduled, not just the transfer itself: a
             // higher-priority LS release before the transfer begins
@@ -376,14 +730,14 @@ pub fn run(
                 tentative_end: cpu_end.max(full_end),
             };
             let cancel_at = {
-                let view = view(&tasks, urgent, partitions[cpu_part], now);
+                let view = view(infos, tasks, releases, urgent, partitions[cpu_part], now);
                 policy
                     .cancel_copy_in(&view, ti, window)
                     .map(|rc| rc.clamp(start, full_end))
             };
             match cancel_at {
                 Some(rc) => {
-                    events.push(TraceEvent {
+                    rec.event(TraceEvent {
                         start,
                         end: rc,
                         unit: TraceUnit::Dma,
@@ -396,10 +750,10 @@ pub fn run(
                     set_state(&mut tasks[ti], JobState::Ready); // back in queue (R3)
                     copyin_canceled = true;
                     // Make the canceling release visible immediately.
-                    activate(&mut tasks, &mut jobs, rc);
+                    activate(infos, tasks, releases, rec, rc);
                 }
                 None => {
-                    events.push(TraceEvent {
+                    rec.event(TraceEvent {
                         start,
                         end: full_end,
                         unit: TraceUnit::Dma,
@@ -419,7 +773,7 @@ pub fn run(
 
         // ----- Slot end (R6) ----------------------------------------------
         let interval_end = cpu_end.max(dma_t);
-        activate(&mut tasks, &mut jobs, interval_end);
+        activate(infos, tasks, releases, rec, interval_end);
 
         // ----- R4: urgent promotion ---------------------------------------
         let outcome = IntervalOutcome {
@@ -429,7 +783,7 @@ pub fn run(
             copy_in_committed: copyin_committed,
         };
         let candidate = {
-            let view = view(&tasks, urgent, partitions[cpu_part], now);
+            let view = view(infos, tasks, releases, urgent, partitions[cpu_part], now);
             policy.promote_urgent(&view, outcome)
         };
         if let Some(ti) = candidate {
@@ -439,20 +793,21 @@ pub fn run(
 
         now = interval_end;
     }
-
-    jobs.sort_by_key(|j| (j.release, j.job));
-    SimResult::new(events, jobs, interval_starts)
 }
 
 /// Builds the read-only policy view of the current kernel state.
-fn view(
-    tasks: &[TaskRt],
+fn view<'a>(
+    infos: &'a [Task],
+    tasks: &'a [TaskRt],
+    releases: &'a [Time],
     urgent: Option<usize>,
     cpu_partition: PartitionContent,
     now: Time,
-) -> KernelView<'_> {
+) -> KernelView<'a> {
     KernelView {
+        infos,
         tasks,
+        releases,
         urgent,
         cpu_loaded: match cpu_partition {
             PartitionContent::Loaded(_, ti) => Some(ti),
@@ -464,41 +819,42 @@ fn view(
 
 /// Moves due releases into the ready state (inter-job precedence: a job
 /// activates at `max(release, previous completion)`).
-fn activate(tasks: &mut [TaskRt], jobs: &mut Vec<JobRecord>, upto: Time) {
-    for t in tasks.iter_mut() {
-        if t.current.is_some() {
+fn activate<R: Recorder>(
+    infos: &[Task],
+    tasks: &mut [TaskRt],
+    releases: &[Time],
+    rec: &mut R,
+    upto: Time,
+) {
+    for (ti, t) in tasks.iter_mut().enumerate() {
+        if t.current.is_some() || t.rel_cursor == t.rel_end {
             continue;
         }
-        let Some(&release) = t.releases.front() else {
-            continue;
-        };
+        let release = releases[t.rel_cursor];
         let activation = release.max(t.last_completion);
         if activation <= upto {
-            t.releases.pop_front();
-            let job = JobId::new(t.info.id(), t.next_index);
+            t.rel_cursor += 1;
+            let job = JobId::new(infos[ti].id(), t.next_index);
             t.next_index += 1;
+            let deadline = release + infos[ti].deadline();
+            let handle = rec.activated(ti, job, release, activation, deadline);
             t.current = Some(CurrentJob {
-                job,
-                activation,
-                state: JobState::Ready,
-            });
-            jobs.push(JobRecord {
                 job,
                 release,
                 activation,
-                absolute_deadline: release + t.info.deadline(),
-                exec_start: None,
-                completion: None,
+                deadline,
+                rec: handle,
+                state: JobState::Ready,
             });
         }
     }
 }
 
-fn next_activation(tasks: &[TaskRt]) -> Option<Time> {
+fn next_activation(tasks: &[TaskRt], releases: &[Time]) -> Option<Time> {
     tasks
         .iter()
-        .filter(|t| t.current.is_none())
-        .filter_map(|t| t.releases.front().map(|&r| r.max(t.last_completion)))
+        .filter(|t| t.current.is_none() && t.rel_cursor != t.rel_end)
+        .map(|t| releases[t.rel_cursor].max(t.last_completion))
         .min()
 }
 
@@ -508,15 +864,10 @@ fn set_state(task: &mut TaskRt, state: JobState) {
     }
 }
 
-fn record_exec_start(jobs: &mut [JobRecord], job: JobId, at: Time) {
-    if let Some(r) = jobs.iter_mut().find(|r| r.job == job) {
-        r.exec_start = Some(at);
-    }
-}
-
-fn complete_job(task: &mut TaskRt, jobs: &mut [JobRecord], job: JobId, at: Time) {
-    if let Some(r) = jobs.iter_mut().find(|r| r.job == job) {
-        r.completion = Some(at);
+/// Finishes the task's in-flight job at `at` and clears it.
+fn complete_job<R: Recorder>(task: &mut TaskRt, rec: &mut R, ti: usize, at: Time) {
+    if let Some(c) = task.current {
+        rec.completed(ti, c.rec, c.release, c.deadline, at);
     }
     task.last_completion = at;
     task.current = None;
@@ -809,5 +1160,88 @@ mod tests {
         let via_trait =
             crate::simulate_with(&set, &plan, &crate::policy::Proposed, Time::from_ticks(100));
         assert_eq!(via_enum, via_trait);
+    }
+
+    // --- workspace reuse and streaming mode -------------------------------
+
+    #[test]
+    fn dirty_workspace_reuse_matches_fresh_run() {
+        let set_a = TaskSet::new(vec![
+            test_task(0, 10, 5, 5, 1_000, 0, false),
+            test_task(1, 10, 5, 5, 1_000, 1, false),
+        ])
+        .expect("valid set A");
+        let set_b = TaskSet::new(vec![test_task(0, 30, 2, 1, 100, 0, true)]).expect("valid set B");
+        let plan_a = ReleasePlan::periodic(&set_a, Time::from_ticks(400));
+        let plan_b = ReleasePlan::periodic(&set_b, Time::from_ticks(900));
+
+        let mut ws = SimWorkspace::new();
+        // Soil the workspace with an unrelated run.
+        run_into(
+            &set_b,
+            &plan_b,
+            &crate::policy::Nps,
+            Time::from_ticks(900),
+            &mut ws,
+        );
+        // Reuse it for the run under test.
+        let fresh = run(
+            &set_a,
+            &plan_a,
+            &crate::policy::Proposed,
+            Time::from_ticks(400),
+        );
+        let reused = run_into(
+            &set_a,
+            &plan_a,
+            &crate::policy::Proposed,
+            Time::from_ticks(400),
+            &mut ws,
+        );
+        assert_eq!(fresh.events(), reused.events());
+        assert_eq!(fresh.jobs(), reused.jobs());
+        assert_eq!(fresh.interval_starts(), reused.interval_starts());
+        assert_eq!(ws.runs(), 2);
+        assert_eq!(ws.reuses(), 1);
+    }
+
+    #[test]
+    fn streaming_stats_match_trace_derived_ones() {
+        let set = TaskSet::new(vec![
+            test_task(0, 10, 2, 2, 50, 0, true),
+            test_task(1, 15, 3, 3, 80, 1, false),
+        ])
+        .expect("valid set");
+        let plan = ReleasePlan::periodic(&set, Time::from_ticks(400));
+        let horizon = Time::from_ticks(400);
+        let traced = run(&set, &plan, &crate::policy::Proposed, horizon);
+
+        let mut ws = SimWorkspace::new();
+        let mut hook_worst: Vec<Option<Time>> = vec![None; set.len()];
+        let stats = run_streaming(
+            &set,
+            &plan,
+            &crate::policy::Proposed,
+            horizon,
+            &mut ws,
+            |ti, r| {
+                let w = &mut hook_worst[ti];
+                if w.is_none_or(|cur| r > cur) {
+                    *w = Some(r);
+                }
+            },
+        );
+        for (i, task) in set.tasks().iter().enumerate() {
+            assert_eq!(stats.worst_response(i), traced.worst_response(task.id()));
+            let completed = traced
+                .jobs()
+                .iter()
+                .filter(|j| j.job.task() == task.id() && j.completion.is_some())
+                .count() as u64;
+            assert_eq!(stats.completed(i), completed);
+        }
+        assert_eq!(stats.intervals() as usize, traced.interval_starts().len());
+        assert_eq!(hook_worst[0], stats.worst_response(0));
+        assert_eq!(hook_worst[1], stats.worst_response(1));
     }
 }

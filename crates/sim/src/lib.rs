@@ -63,15 +63,17 @@ pub mod trace;
 pub mod validate;
 
 pub use bus::{arbitrate, TransferRecord, TransferReq};
-pub use conformance::{check_conformance, ConformanceReport, RuleDiagnostic, RuleTag};
+pub use conformance::{
+    check_conformance, check_conformance_ref, ConformanceReport, RuleDiagnostic, RuleTag,
+};
 pub use gantt::render_gantt;
-pub use kernel::{JobState, KernelView};
+pub use kernel::{run_into, run_streaming, JobState, KernelView, SimWorkspace, StreamStats};
 pub use policy::{CancelWindow, CpuAction, IntervalOutcome, ProtocolPolicy};
 pub use registry::Registry;
 pub use release::ReleasePlan;
 pub use stats::{trace_stats, DurationStats, TraceStats};
-pub use trace::{JobRecord, SimResult, TraceEvent, TraceUnit};
-pub use validate::{validate_trace, Violation};
+pub use trace::{JobRecord, SimResult, TraceEvent, TraceRef, TraceUnit};
+pub use validate::{validate_trace, validate_trace_ref, Violation};
 
 use pmcs_model::{TaskSet, Time};
 

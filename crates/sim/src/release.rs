@@ -51,9 +51,57 @@ impl ReleasePlan {
         horizon: Time,
         offset: impl Fn(TaskId) -> Time,
     ) -> Self {
-        let mut releases = BTreeMap::new();
+        let mut plan = ReleasePlan::default();
+        plan.fill_periodic_with_offsets(set, horizon, offset);
+        plan
+    }
+
+    /// Clears the plan for reuse with `set`: entries of tasks outside the
+    /// set are dropped, every remaining release list is emptied with its
+    /// capacity retained, and every task of `set` gets an entry. Plan
+    /// generators that refill a pooled plan (the `*_into` family in
+    /// `pmcs-workload`) call this first, so regenerating plans in a hot
+    /// loop allocates nothing once buffers reach steady-state size.
+    pub fn reset_for(&mut self, set: &TaskSet) {
+        self.releases.retain(|t, _| set.get(*t).is_some());
         for task in set.iter() {
-            let mut times = Vec::new();
+            self.releases.entry(task.id()).or_default().clear();
+        }
+    }
+
+    /// Appends a release instant for `task`. Callers that push out of
+    /// ascending order must call [`ReleasePlan::sort_lists`] afterwards.
+    pub fn push(&mut self, task: TaskId, at: Time) {
+        self.releases.entry(task).or_default().push(at);
+    }
+
+    /// Sorts every release list ascending.
+    pub fn sort_lists(&mut self) {
+        for v in self.releases.values_mut() {
+            v.sort();
+        }
+    }
+
+    /// Refills this plan in place with the pattern of
+    /// [`ReleasePlan::periodic`], reusing buffers.
+    pub fn fill_periodic(&mut self, set: &TaskSet, horizon: Time) {
+        self.fill_periodic_with_offsets(set, horizon, |_| Time::ZERO);
+    }
+
+    /// Refills this plan in place with the pattern of
+    /// [`ReleasePlan::periodic_with_offsets`], reusing buffers.
+    pub fn fill_periodic_with_offsets(
+        &mut self,
+        set: &TaskSet,
+        horizon: Time,
+        offset: impl Fn(TaskId) -> Time,
+    ) {
+        self.reset_for(set);
+        for task in set.iter() {
+            let times = self
+                .releases
+                .get_mut(&task.id())
+                .expect("reset_for inserts every task of the set");
             let start = offset(task.id());
             let mut n = 1u64;
             loop {
@@ -67,9 +115,7 @@ impl ReleasePlan {
                     break; // runaway guard for degenerate models
                 }
             }
-            releases.insert(task.id(), times);
         }
-        ReleasePlan { releases }
     }
 
     /// The (sorted) release instants of a task; empty if absent.

@@ -101,6 +101,82 @@ impl JobRecord {
     }
 }
 
+/// Borrowed view of a simulation trace — the same three slices a
+/// [`SimResult`] owns, but pointing into caller-owned storage (typically
+/// a [`SimWorkspace`](crate::SimWorkspace) that is reused between runs).
+///
+/// All read-only queries of [`SimResult`] are available here with
+/// identical semantics; `SimResult` itself delegates to
+/// [`SimResult::as_trace`] so the two can never drift apart.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceRef<'a> {
+    events: &'a [TraceEvent],
+    jobs: &'a [JobRecord],
+    interval_starts: &'a [Time],
+}
+
+impl<'a> TraceRef<'a> {
+    /// Assembles a view from raw slices.
+    pub fn new(
+        events: &'a [TraceEvent],
+        jobs: &'a [JobRecord],
+        interval_starts: &'a [Time],
+    ) -> Self {
+        TraceRef {
+            events,
+            jobs,
+            interval_starts,
+        }
+    }
+
+    /// All traced operations, in chronological order of start.
+    pub fn events(&self) -> &'a [TraceEvent] {
+        self.events
+    }
+
+    /// Per-job lifecycle records, sorted by `(release, job)`.
+    pub fn jobs(&self) -> &'a [JobRecord] {
+        self.jobs
+    }
+
+    /// Interval start instants (empty under NPS).
+    pub fn interval_starts(&self) -> &'a [Time] {
+        self.interval_starts
+    }
+
+    /// The record of a specific job.
+    pub fn job(&self, job: JobId) -> Option<&'a JobRecord> {
+        self.jobs.iter().find(|j| j.job == job)
+    }
+
+    /// Worst observed response time of a task across completed jobs.
+    pub fn worst_response(&self, task: pmcs_model::TaskId) -> Option<Time> {
+        self.jobs
+            .iter()
+            .filter(|j| j.job.task() == task)
+            .filter_map(JobRecord::response)
+            .max()
+    }
+
+    /// `true` iff every completed job met its deadline and no job was left
+    /// incomplete with a deadline inside the horizon.
+    pub fn all_deadlines_met(&self, horizon: Time) -> bool {
+        self.jobs.iter().all(|j| match j.completion {
+            Some(c) => c <= j.absolute_deadline,
+            None => j.absolute_deadline >= horizon,
+        })
+    }
+
+    /// Deep-copies the viewed slices into an owned [`SimResult`].
+    pub fn to_owned(&self) -> SimResult {
+        SimResult::new(
+            self.events.to_vec(),
+            self.jobs.to_vec(),
+            self.interval_starts.to_vec(),
+        )
+    }
+}
+
 /// Complete result of a simulation run.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SimResult {
@@ -139,6 +215,12 @@ impl SimResult {
         SimResult::new(events, jobs, interval_starts)
     }
 
+    /// Borrowed view of this result, for code paths shared with
+    /// workspace-backed (unowned) traces.
+    pub fn as_trace(&self) -> TraceRef<'_> {
+        TraceRef::new(&self.events, &self.jobs, &self.interval_starts)
+    }
+
     /// All traced operations, in chronological order of start.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -156,25 +238,18 @@ impl SimResult {
 
     /// The record of a specific job.
     pub fn job(&self, job: JobId) -> Option<&JobRecord> {
-        self.jobs.iter().find(|j| j.job == job)
+        self.as_trace().job(job)
     }
 
     /// Worst observed response time of a task across completed jobs.
     pub fn worst_response(&self, task: pmcs_model::TaskId) -> Option<Time> {
-        self.jobs
-            .iter()
-            .filter(|j| j.job.task() == task)
-            .filter_map(JobRecord::response)
-            .max()
+        self.as_trace().worst_response(task)
     }
 
     /// `true` iff every completed job met its deadline and no job was left
     /// incomplete with a deadline inside the horizon.
     pub fn all_deadlines_met(&self, horizon: Time) -> bool {
-        self.jobs.iter().all(|j| match j.completion {
-            Some(c) => c <= j.absolute_deadline,
-            None => j.absolute_deadline >= horizon,
-        })
+        self.as_trace().all_deadlines_met(horizon)
     }
 }
 

@@ -8,7 +8,7 @@ use std::fmt;
 
 use pmcs_model::{JobId, Phase, TaskSet, Time};
 
-use crate::trace::{SimResult, TraceEvent, TraceUnit};
+use crate::trace::{SimResult, TraceEvent, TraceRef, TraceUnit};
 
 /// A property violation found in a trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +45,12 @@ impl fmt::Display for Violation {
 ///
 /// Returns all violations found (empty = clean).
 pub fn validate_trace(set: &TaskSet, result: &SimResult, ls_rules: bool) -> Vec<Violation> {
+    validate_trace_ref(set, result.as_trace(), ls_rules)
+}
+
+/// [`validate_trace`] over a borrowed trace view (e.g. one held by a
+/// reused [`SimWorkspace`](crate::SimWorkspace)).
+pub fn validate_trace_ref(set: &TaskSet, result: TraceRef<'_>, ls_rules: bool) -> Vec<Violation> {
     let mut violations = Vec::new();
     check_unit_serialization(result, &mut violations);
     check_phase_order(result, &mut violations);
@@ -53,12 +59,12 @@ pub fn validate_trace(set: &TaskSet, result: &SimResult, ls_rules: bool) -> Vec<
     violations
 }
 
-fn events_of(result: &SimResult, job: JobId) -> Vec<&TraceEvent> {
+fn events_of<'a>(result: TraceRef<'a>, job: JobId) -> Vec<&'a TraceEvent> {
     result.events().iter().filter(|e| e.job == job).collect()
 }
 
 /// No unit executes two operations at once.
-fn check_unit_serialization(result: &SimResult, out: &mut Vec<Violation>) {
+fn check_unit_serialization(result: TraceRef<'_>, out: &mut Vec<Violation>) {
     for unit in [TraceUnit::Cpu, TraceUnit::Dma] {
         let mut ops: Vec<_> = result
             .events()
@@ -79,7 +85,7 @@ fn check_unit_serialization(result: &SimResult, out: &mut Vec<Violation>) {
 }
 
 /// Copy-in (completed) strictly before execute strictly before copy-out.
-fn check_phase_order(result: &SimResult, out: &mut Vec<Violation>) {
+fn check_phase_order(result: TraceRef<'_>, out: &mut Vec<Violation>) {
     for rec in result.jobs() {
         let evs = events_of(result, rec.job);
         let copyin_end = evs
@@ -113,7 +119,7 @@ fn check_phase_order(result: &SimResult, out: &mut Vec<Violation>) {
 /// Properties 1 and 2: DMA copy-in in `I_{k−1}`, copy-out in `I_{k+1}`
 /// relative to an execution in `I_k` (urgent executions carry their
 /// copy-in inside `I_k` on the CPU).
-fn check_copy_placement(result: &SimResult, out: &mut Vec<Violation>) {
+fn check_copy_placement(result: TraceRef<'_>, out: &mut Vec<Violation>) {
     for rec in result.jobs() {
         let evs = events_of(result, rec.job);
         let Some(exec) = evs.iter().find(|e| e.phase == Phase::Execute) else {
@@ -149,7 +155,7 @@ fn check_copy_placement(result: &SimResult, out: &mut Vec<Violation>) {
 /// Properties 3 and 4: blocking-interval bounds.
 fn check_blocking_bounds(
     set: &TaskSet,
-    result: &SimResult,
+    result: TraceRef<'_>,
     ls_rules: bool,
     out: &mut Vec<Violation>,
 ) {

@@ -23,7 +23,7 @@
 use pmcs_model::{TaskSet, Time};
 use pmcs_sim::ReleasePlan;
 
-use crate::releases::random_sporadic_plan;
+use crate::releases::random_sporadic_plan_into;
 use crate::seed::derive_seed;
 
 /// The adversarial plan families.
@@ -91,20 +91,24 @@ impl std::fmt::Display for PlanSpec {
 /// parallel driver can evaluate plans in any order and still produce
 /// byte-identical reports.
 pub fn adversarial_specs(count: usize, base_seed: u64) -> Vec<PlanSpec> {
-    (0..count)
-        .map(|i| {
-            let kind = PlanKind::ALL[i % PlanKind::ALL.len()];
-            PlanSpec {
-                kind,
-                seed: derive_seed(
-                    base_seed,
-                    (i % PlanKind::ALL.len()) as u64,
-                    (i / PlanKind::ALL.len()) as u64,
-                ),
-                index: i,
-            }
-        })
-        .collect()
+    (0..count).map(|i| adversarial_spec(i, base_seed)).collect()
+}
+
+/// The `index`-th spec of the sequence [`adversarial_specs`] enumerates,
+/// computed directly — shard-parallel drivers use this to regenerate any
+/// slice of a million-plan campaign without materializing the full spec
+/// list.
+pub fn adversarial_spec(index: usize, base_seed: u64) -> PlanSpec {
+    let kind = PlanKind::ALL[index % PlanKind::ALL.len()];
+    PlanSpec {
+        kind,
+        seed: derive_seed(
+            base_seed,
+            (index % PlanKind::ALL.len()) as u64,
+            (index / PlanKind::ALL.len()) as u64,
+        ),
+        index,
+    }
 }
 
 /// Materializes the release plan a [`PlanSpec`] describes for `set` over
@@ -115,14 +119,28 @@ pub fn adversarial_specs(count: usize, base_seed: u64) -> Vec<PlanSpec> {
 /// Panics if a task's arrival model has no positive minimum
 /// inter-arrival time (the generators need a release grid).
 pub fn adversarial_plan(set: &TaskSet, horizon: Time, spec: PlanSpec) -> ReleasePlan {
+    let mut plan = ReleasePlan::default();
+    adversarial_plan_into(set, horizon, spec, &mut plan);
+    plan
+}
+
+/// [`adversarial_plan`] into a caller-owned plan whose buffers are
+/// reused between calls (cleared, not reallocated) — the per-shard
+/// regeneration path of campaign drivers. Produces a plan equal to the
+/// allocating variant for the same inputs, whatever `plan` held before.
+///
+/// # Panics
+///
+/// Same conditions as [`adversarial_plan`].
+pub fn adversarial_plan_into(set: &TaskSet, horizon: Time, spec: PlanSpec, plan: &mut ReleasePlan) {
     match spec.kind {
-        PlanKind::CriticalInstant => ReleasePlan::periodic(set, horizon),
+        PlanKind::CriticalInstant => plan.fill_periodic(set, horizon),
         PlanKind::Sporadic => {
             // Seed-derived jitter amplitude in (0, 0.5].
             let max_slack = ((spec.seed % 50) + 1) as f64 / 100.0;
-            random_sporadic_plan(set, horizon, max_slack, spec.seed)
+            random_sporadic_plan_into(set, horizon, max_slack, spec.seed, plan);
         }
-        PlanKind::Burst => burst_plan(set, horizon),
+        PlanKind::Burst => burst_plan_into(set, horizon, plan),
     }
 }
 
@@ -134,12 +152,12 @@ pub fn adversarial_plan(set: &TaskSet, horizon: Time, spec: PlanSpec) -> Release
 ///
 /// The burst instant is deterministic by design (it *is* the worst
 /// case); the spec's seed identifies the plan but does not perturb it.
-fn burst_plan(set: &TaskSet, horizon: Time) -> ReleasePlan {
+fn burst_plan_into(set: &TaskSet, horizon: Time, plan: &mut ReleasePlan) {
     let blocker = set
         .iter()
         .max_by_key(|t| t.priority())
         .expect("burst plan needs a non-empty task set");
-    let mut pairs = Vec::with_capacity(set.len());
+    plan.reset_for(set);
     for task in set.iter() {
         let t = task
             .arrival()
@@ -150,15 +168,12 @@ fn burst_plan(set: &TaskSet, horizon: Time) -> ReleasePlan {
         } else {
             Time::TICK
         };
-        let mut times = Vec::new();
         let mut now = offset;
         while now < horizon {
-            times.push(now);
+            plan.push(task.id(), now);
             now += t;
         }
-        pairs.push((task.id(), times));
     }
-    ReleasePlan::from_pairs(pairs)
 }
 
 #[cfg(test)]

@@ -20,13 +20,18 @@
 #![forbid(unsafe_code)]
 
 pub mod adversarial;
+pub mod ema;
 pub mod generator;
 pub mod releases;
 pub mod seed;
 pub mod uunifast;
 
-pub use adversarial::{adversarial_plan, adversarial_specs, PlanKind, PlanSpec};
+pub use adversarial::{
+    adversarial_plan, adversarial_plan_into, adversarial_spec, adversarial_specs, PlanKind,
+    PlanSpec,
+};
+pub use ema::{measured_set, simulated_exec_history, EmaPredictor, ExecClass, MeasuredTask};
 pub use generator::{TaskSetConfig, TaskSetGenerator};
-pub use releases::random_sporadic_plan;
+pub use releases::{random_sporadic_plan, random_sporadic_plan_into};
 pub use seed::derive_seed;
 pub use uunifast::uunifast;

@@ -35,26 +35,42 @@ pub fn random_sporadic_plan(
     max_slack: f64,
     seed: u64,
 ) -> ReleasePlan {
+    let mut plan = ReleasePlan::default();
+    random_sporadic_plan_into(set, horizon, max_slack, seed, &mut plan);
+    plan
+}
+
+/// [`random_sporadic_plan`] into a caller-owned plan whose buffers are
+/// reused (cleared, not reallocated). Produces a plan equal to the
+/// allocating variant for the same inputs, whatever `plan` held before.
+///
+/// # Panics
+///
+/// Same conditions as [`random_sporadic_plan`].
+pub fn random_sporadic_plan_into(
+    set: &TaskSet,
+    horizon: Time,
+    max_slack: f64,
+    seed: u64,
+    plan: &mut ReleasePlan,
+) {
     assert!(max_slack >= 0.0, "slack must be non-negative");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut pairs = Vec::with_capacity(set.len());
+    plan.reset_for(set);
     for task in set.iter() {
         let t = task
             .arrival()
             .min_inter_arrival()
             .expect("sporadic plan needs a positive minimum inter-arrival time");
         assert!(t > Time::ZERO);
-        let mut times = Vec::new();
         let mut now = Time::from_ticks(rng.gen_range(0..=t.as_ticks()));
         while now < horizon {
-            times.push(now);
+            plan.push(task.id(), now);
             let slack = rng.gen_range(0.0..=max_slack.max(f64::MIN_POSITIVE));
             let gap = Time::from_f64_ceil(t.as_f64() * (1.0 + slack)).max(t);
             now += gap;
         }
-        pairs.push((task.id(), times));
     }
-    ReleasePlan::from_pairs(pairs)
 }
 
 #[cfg(test)]
